@@ -1,0 +1,60 @@
+//! Event-list ablation: Ulrich's timing wheel vs a binary heap.
+//!
+//! The paper's run-time model assumes "near-constant-time event-list
+//! management" [UL78] and names event-list manipulation a prime
+//! candidate for functional specialization. This bench quantifies the
+//! claim in software: scheduling/draining N events through the wheel
+//! is O(1) per event, through the heap O(log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logicsim::sim::{HeapEventList, TimingWheel};
+
+fn drive_wheel(n: u64) {
+    let mut w: TimingWheel<u64> = TimingWheel::new(256);
+    // Steady-state pattern: keep ~n events in flight, delays 1..16.
+    for i in 0..n {
+        w.schedule(w.now() + 1 + (i * 7 % 16), i);
+        if i % 4 == 3 {
+            while w.pop_current().is_empty() && !w.is_empty() {
+                w.advance();
+            }
+        }
+    }
+    while !w.is_empty() {
+        w.pop_current();
+        w.advance();
+    }
+}
+
+fn drive_heap(n: u64) {
+    let mut h: HeapEventList<u64> = HeapEventList::new();
+    for i in 0..n {
+        h.schedule(h.now() + 1 + (i * 7 % 16), i);
+        if i % 4 == 3 {
+            while h.pop_current().is_empty() && !h.is_empty() {
+                h.advance();
+            }
+        }
+    }
+    while !h.is_empty() {
+        h.pop_current();
+        h.advance();
+    }
+}
+
+fn event_list_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_list");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("timing_wheel", n), &n, |b, &n| {
+            b.iter(|| drive_wheel(n))
+        });
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            b.iter(|| drive_heap(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, event_list_benches);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmarks for the cycle-level machine simulator: ticks
+//! per second when replaying a synthetic workload, across network
+//! models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use logicsim::machine::synthetic::SyntheticWorkload;
+use logicsim::machine::{MachineConfig, MachineSim, NetworkKind};
+use logicsim_machine::sim::random_component_partition;
+
+fn machine_benches(c: &mut Criterion) {
+    let workload = SyntheticWorkload::uniform(100, 900, 128.0, 2.0, 8_000);
+    let trace = workload.generate(3);
+    let partition = random_component_partition(8_000, 8, 4);
+    let mut group = c.benchmark_group("machine");
+    group.throughput(Throughput::Elements(trace.total_events()));
+    for (label, network) in [
+        ("bus_w1", NetworkKind::BusSet { width: 1 }),
+        ("bus_w3", NetworkKind::BusSet { width: 3 }),
+        ("crossbar", NetworkKind::Crossbar),
+        ("delta", NetworkKind::Delta),
+    ] {
+        let cfg = MachineConfig::paper_design(8, 5, network, 100.0, 3.0);
+        group.bench_function(label, |b| {
+            let sim = MachineSim::new(&cfg);
+            b.iter(|| sim.run(&trace, &partition))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, machine_benches);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the analytical model: single speed-up
+//! evaluations (Figures 3-5 inner loop) and the full Table 9 design
+//! search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use logicsim::core::design::{table9, DesignSpace};
+use logicsim::core::paper_data::average_workload_table8;
+use logicsim::core::speedup::speedup;
+use logicsim::core::{BaseMachine, MachineDesign};
+
+fn bench_speedup_eval(c: &mut Criterion) {
+    let w = average_workload_table8();
+    let base = BaseMachine::vax_11_750();
+    let d = MachineDesign::new(15, 5, 1.0, 400.0, 3.0, 1.0);
+    c.bench_function("model/speedup_single_eval", |b| {
+        b.iter(|| speedup(black_box(&w), black_box(&d), black_box(&base), 1.0))
+    });
+}
+
+fn bench_figure_sweep(c: &mut Criterion) {
+    let w = average_workload_table8();
+    let base = BaseMachine::vax_11_750();
+    c.bench_function("model/figure_curve_50_points", |b| {
+        b.iter(|| {
+            logicsim::core::design::speedup_curve(
+                black_box(&w),
+                &base,
+                10.0,
+                1.0,
+                5,
+                3.0,
+                1.0,
+                50,
+                1.0,
+            )
+        })
+    });
+}
+
+fn bench_table9_search(c: &mut Criterion) {
+    let w = average_workload_table8();
+    let base = BaseMachine::vax_11_750();
+    let space = DesignSpace::paper_table7();
+    c.bench_function("model/table9_full_search", |b| {
+        b.iter(|| table9(black_box(&w), &base, &space))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_speedup_eval,
+    bench_figure_sweep,
+    bench_table9_search
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the event-driven simulator: event
+//! throughput on the benchmark circuits (the number that decides how
+//! long Table 5/6 measurements take).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use logicsim::circuits::Benchmark;
+use logicsim::sim::stimulus::run_with_stimulus;
+use logicsim::sim::Simulator;
+
+fn bench_circuit(c: &mut Criterion, bench: Benchmark, window: u64) {
+    let inst = bench.build_default();
+    // Count events once so Criterion can report events/second.
+    let events = {
+        let mut stim = inst.stimulus.build(&inst.netlist, 1).unwrap();
+        let mut sim = Simulator::new(&inst.netlist);
+        run_with_stimulus(&mut sim, &mut stim, window);
+        sim.counters().events.max(1)
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(10);
+    group.bench_function(bench.paper_name(), |b| {
+        b.iter_batched(
+            || {
+                (
+                    Simulator::new(&inst.netlist),
+                    inst.stimulus.build(&inst.netlist, 1).unwrap(),
+                )
+            },
+            |(mut sim, mut stim)| run_with_stimulus(&mut sim, &mut stim, window),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn simulator_benches(c: &mut Criterion) {
+    bench_circuit(c, Benchmark::StopWatch, 4_000);
+    bench_circuit(c, Benchmark::AssocMem, 2_000);
+    bench_circuit(c, Benchmark::PriorityQueue, 1_000);
+    bench_circuit(c, Benchmark::RtpChip, 1_000);
+    bench_circuit(c, Benchmark::CrossbarSwitch, 2_000);
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's Figure 2: idealized speed-up `S*_P`
+//! (evaluation-time dominant, Eq. 14) vs number of processors for the
+//! five 100,000-component circuits, with L=5 and H=100.
+//!
+//! Prints one series per circuit; the crossbar switch plateaus at
+//! `H*N = 8,000` for `P >= 80`, the others keep climbing toward
+//! `H*N` in the hundreds of thousands (the paper truncates the plot).
+
+use logicsim::core::bounds::ideal_speedup;
+use logicsim::core::paper_data::five_circuits;
+use logicsim_bench::{banner, measure_all, measure_options, quick_mode};
+
+const H: f64 = 100.0;
+const L: u32 = 5;
+
+fn series(label: &str, n: f64, points: &[u32]) {
+    print!("{label:<24}");
+    for &p in points {
+        print!(" {:>9.0}", ideal_speedup(H, n, L, p));
+    }
+    println!();
+}
+
+fn main() {
+    banner("Figure 2: Idealized Speed-up S*_P (H=100, L=5, 100k components)");
+    let points = [1u32, 2, 5, 10, 20, 50, 80, 100, 200, 500, 1000];
+    print!("{:<24}", "P =");
+    for p in points {
+        print!(" {p:>9}");
+    }
+    println!();
+
+    println!("--- from the paper's Table 6 N values ---");
+    for c in five_circuits() {
+        let n = c.workload.simultaneity();
+        series(c.name, n, &points);
+    }
+
+    println!(
+        "\nCheckpoints: S* ~ H*L*P = 500P in the N >> P region; the\n\
+         crossbar (N=80) saturates at H*N = 8,000 for P >= 80."
+    );
+
+    if !quick_mode() {
+        println!("--- from this reproduction's measured N values ---");
+        for m in measure_all(&measure_options(false)) {
+            let n = m.normalized.simultaneity();
+            series(m.name, n, &points);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Table 8: the average workload derived from
+//! Table 6 at a 60,000-tick run length — from the published rows
+//! (exact reproduction) and from our measured rows (end-to-end).
+
+use logicsim::core::paper_data::{average_workload_table8, table6_as_printed};
+use logicsim::stats::average_workload;
+use logicsim_bench::{banner, measure_all, measure_options};
+
+fn main() {
+    banner("Table 8: Average Workload Characteristics (run length 60,000)");
+    let printed = average_workload_table8();
+    let derived = average_workload(&table6_as_printed(), 60_000.0);
+    let measured_rows: Vec<_> = measure_all(&measure_options(false))
+        .iter()
+        .map(|m| m.nature())
+        .collect();
+    let ours = average_workload(&measured_rows, 60_000.0);
+
+    println!(
+        "{:<34} {:>8} {:>8} {:>12} {:>12}",
+        "source", "B", "I", "E", "M_inf"
+    );
+    for (label, w) in [
+        ("paper, as printed", printed),
+        ("derived from printed Table 6", derived),
+        ("derived from measured circuits", ours),
+    ] {
+        println!(
+            "{:<34} {:>8.0} {:>8.0} {:>12.0} {:>12.0}",
+            label, w.busy_ticks, w.idle_ticks, w.events, w.messages_inf
+        );
+    }
+    println!(
+        "\nDerived ratios (printed / measured): N = {:.0} / {:.0}, F = {:.2} / {:.2}",
+        printed.simultaneity(),
+        ours.simultaneity(),
+        printed.average_fanout(),
+        ours.average_fanout()
+    );
+}

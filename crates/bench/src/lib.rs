@@ -1,0 +1,78 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Each binary regenerates one artifact of WUCS-86-19's evaluation:
+//!
+//! | binary        | artifact |
+//! |---------------|----------|
+//! | `table4`      | Table 4 — circuit characteristics |
+//! | `table5`      | Table 5 — workloads normalized to 100k components |
+//! | `table6`      | Table 6 — the nature of logic simulation |
+//! | `table8`      | Table 8 — average workload |
+//! | `table9`      | Table 9 — comparison of 36 designs |
+//! | `figure2`     | Figure 2 — idealized speed-up bounds |
+//! | `figures3to5` | Figures 3-5 — speed-up vs processors |
+//! | `validate_model` | model vs machine-simulator (extension) |
+//! | `partition_study` | partitioning heuristics vs Eq. 6 (extension) |
+//! | `sensitivity`  | elasticities along N/F/busy-fraction/beta (abstract claim) |
+//! | `variants_study` | EI time advance, sync-cost scaling, Q=1 dispatch |
+//! | `scaling_study` | raw N and E vs built circuit size |
+//! | `engines_study` | event-driven vs compiled-mode (the activity argument) |
+//!
+//! Run with `cargo run --release -p logicsim-bench --bin <name>`.
+//! Binaries that measure circuits accept `--quick` for a short window.
+
+use logicsim::circuits::Benchmark;
+use logicsim::{measure_benchmark, MeasureOptions, MeasuredCircuit};
+
+/// Parses the common `--quick` flag from `std::env::args`.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Measurement options for the binaries: the full 20k-tick window, or
+/// the quick 3k-tick window with `--quick`.
+#[must_use]
+pub fn measure_options(collect_trace: bool) -> MeasureOptions {
+    let mut opts = if quick_mode() {
+        MeasureOptions::quick()
+    } else {
+        MeasureOptions::default()
+    };
+    opts.collect_trace = collect_trace;
+    opts
+}
+
+/// Measures all five benchmarks, printing progress to stderr.
+#[must_use]
+pub fn measure_all(opts: &MeasureOptions) -> Vec<MeasuredCircuit> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            eprintln!("measuring {} ...", b.paper_name());
+            measure_benchmark(b, opts)
+        })
+        .collect()
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a float the way the paper prints millions ("15.1").
+#[must_use]
+pub fn millions(x: f64) -> String {
+    format!("{:.1}", x / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millions_formats() {
+        assert_eq!(millions(15.1e6), "15.1");
+        assert_eq!(millions(0.0), "0.0");
+    }
+}

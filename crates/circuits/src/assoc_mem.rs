@@ -1,0 +1,287 @@
+//! The associative memory benchmark (nmos, asynchronous).
+//!
+//! "The associative memory functions like a normal random access memory
+//! as well as a memory in which records can be retrieved by content."
+//! Structure: a CAM array of dynamic nmos storage cells with
+//! switch-level match-line pulldowns, a gate-level read plane, a
+//! priority encoder over the match lines, and a four-phase asynchronous
+//! search handshake built from a delay line and a C-element.
+
+use crate::cells::{self, Rails};
+use crate::BenchmarkInstance;
+use logicsim_netlist::{Level, NetId, NetlistBuilder, SwitchKind};
+use logicsim_netlist::{Clocking, Technology};
+use logicsim_sim::{SignalRole, StimulusSpec};
+
+/// Associative memory generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssocMemParams {
+    /// Number of words.
+    pub words: usize,
+    /// Bits per word.
+    pub bits: usize,
+    /// Stimulus vector period in ticks.
+    pub vector_period: u64,
+}
+
+impl Default for AssocMemParams {
+    fn default() -> AssocMemParams {
+        AssocMemParams {
+            words: 12,
+            bits: 8,
+            vector_period: 96,
+        }
+    }
+}
+
+/// Builds the associative memory.
+#[must_use]
+pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
+    assert!(params.words >= 2 && params.bits >= 1, "CAM too small");
+    let mut b = NetlistBuilder::new("assoc_mem");
+    let rails = Rails::new(&mut b);
+
+    // Interface.
+    let write_en = b.input("write_en");
+    let search_req = b.input("search_req");
+    let addr_bits = (params.words as f64).log2().ceil() as usize;
+    let addr: Vec<NetId> = (0..addr_bits).map(|i| b.input(format!("addr{i}"))).collect();
+    let data: Vec<NetId> = (0..params.bits).map(|i| b.input(format!("data{i}"))).collect();
+    let key: Vec<NetId> = (0..params.bits).map(|i| b.input(format!("key{i}"))).collect();
+
+    // Word-write decode.
+    let word_sel = cells::decoder(&mut b, &addr, "wsel");
+    let word_write: Vec<NetId> = word_sel
+        .iter()
+        .take(params.words)
+        .enumerate()
+        .map(|(w, &sel)| cells::and2(&mut b, sel, write_en, &format!("ww{w}")))
+        .collect();
+
+    // CAM array. Per cell: a pass-transistor write port into a dynamic
+    // storage node, a gate-level mismatch XOR, and one nmos pulldown on
+    // the word's precharged (pulled-up) match line.
+    let mut stored: Vec<Vec<NetId>> = Vec::with_capacity(params.words);
+    let mut match_lines: Vec<NetId> = Vec::with_capacity(params.words);
+    for w in 0..params.words {
+        let ml = b.net(format!("match{w}"));
+        b.pull(ml, Level::One);
+        let mut word_bits = Vec::with_capacity(params.bits);
+        for bit in 0..params.bits {
+            let hint = format!("c{w}_{bit}");
+            // Write port: stored node charged from the data line.
+            let stored_raw = cells::nmos_pass(&mut b, word_write[w], data[bit], &hint);
+            // Restore to a driven level for the read plane and XOR.
+            let stored_n = cells::nmos_inv(&mut b, rails, stored_raw, &hint);
+            let stored_bit = cells::nmos_inv(&mut b, rails, stored_n, &hint);
+            // Mismatch pulls the match line low.
+            let mm = cells::xor2(&mut b, stored_bit, key[bit], &hint);
+            b.switch(SwitchKind::Nmos, mm, ml, rails.gnd);
+            word_bits.push(stored_bit);
+        }
+        stored.push(word_bits);
+        match_lines.push(ml);
+    }
+
+    // Read plane: read_bit = OR over words of (word_sel AND stored).
+    for bit in 0..params.bits {
+        let terms: Vec<NetId> = (0..params.words)
+            .map(|w| cells::and2(&mut b, word_sel[w], stored[w][bit], &format!("rd{w}_{bit}")))
+            .collect();
+        let read = cells::or_n(&mut b, &terms, &format!("read{bit}"));
+        b.mark_output(read);
+    }
+
+    // Priority encoder over match lines (lowest matching word wins)
+    // plus a match-found flag.
+    let found_raw = cells::or_n(&mut b, &match_lines, "found_raw");
+    let found = b.net("found");
+    b.gate(logicsim_netlist::GateKind::Buf, &[found_raw], found, cells::d1());
+    b.mark_output(found);
+    let mut blocked = Vec::with_capacity(params.words);
+    let mut grant = Vec::with_capacity(params.words);
+    for w in 0..params.words {
+        let g = if w == 0 {
+            cells::and2(&mut b, match_lines[0], match_lines[0], "g0")
+        } else {
+            let none_above = cells::inv(&mut b, blocked[w - 1], &format!("na{w}"));
+            cells::and2(&mut b, match_lines[w], none_above, &format!("g{w}"))
+        };
+        let blk = if w == 0 {
+            g
+        } else {
+            cells::or2(&mut b, blocked[w - 1], match_lines[w], &format!("blk{w}"))
+        };
+        blocked.push(blk);
+        grant.push(g);
+    }
+    for a in 0..addr_bits {
+        let terms: Vec<NetId> = (0..params.words)
+            .filter(|w| w >> a & 1 == 1)
+            .map(|w| grant[w])
+            .collect();
+        let bit = if terms.is_empty() {
+            cells::xor2(&mut b, grant[0], grant[0], &format!("ma{a}"))
+        } else {
+            cells::or_n(&mut b, &terms, &format!("ma{a}"))
+        };
+        b.mark_output(bit);
+    }
+
+    // Asynchronous search handshake: the request ripples down a delay
+    // line sized to cover match-line settling; the ack rises only when
+    // both the request and the delayed completion agree (C-element).
+    let mut delayed = search_req;
+    for i in 0..6 {
+        let next = b.fresh(&format!("dl{i}"));
+        b.gate(logicsim_netlist::GateKind::Buf, &[delayed], next, cells::d1());
+        delayed = next;
+    }
+    let ack = cells::c_element(&mut b, search_req, delayed, "ack");
+    b.mark_output(ack);
+
+    let vp = params.vector_period;
+    let mut stimulus = StimulusSpec::new()
+        .with("write_en", SignalRole::Random { period: vp, phase: 3, toggle_prob: 0.5 })
+        .with("search_req", SignalRole::Random { period: vp / 2, phase: 11, toggle_prob: 0.6 });
+    for i in 0..addr_bits {
+        stimulus = stimulus.with(
+            format!("addr{i}"),
+            SignalRole::Random { period: vp, phase: 5 * i as u64 + 1, toggle_prob: 0.4 },
+        );
+    }
+    for i in 0..params.bits {
+        stimulus = stimulus
+            .with(format!("data{i}"), SignalRole::Random { period: vp, phase: 7 * i as u64 + 2, toggle_prob: 0.3 })
+            .with(format!("key{i}"), SignalRole::Random { period: vp / 2, phase: 3 * i as u64, toggle_prob: 0.3 });
+    }
+
+    BenchmarkInstance {
+        netlist: b.finish().expect("assoc_mem netlist is valid"),
+        stimulus,
+        technology: Technology::Nmos,
+        clocking: Clocking::Asynchronous,
+        vector_period: params.vector_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_sim::Simulator;
+
+    fn settle(sim: &mut Simulator<'_>) {
+        let t = sim.now();
+        sim.run_until(t + 96);
+    }
+
+    #[test]
+    fn write_then_search_matches_only_that_word() {
+        let params = AssocMemParams {
+            words: 4,
+            bits: 4,
+            vector_period: 32,
+        };
+        let inst = build(&params);
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+
+        let write_word = |sim: &mut Simulator<'_>, w: u32, value: u32| {
+            for i in 0..2 {
+                sim.set_input(net(&format!("addr{i}")), Level::from_bool(w >> i & 1 == 1));
+            }
+            for i in 0..4 {
+                sim.set_input(net(&format!("data{i}")), Level::from_bool(value >> i & 1 == 1));
+            }
+            settle(sim);
+            sim.set_input(net("write_en"), Level::One);
+            settle(sim);
+            sim.set_input(net("write_en"), Level::Zero);
+            settle(sim);
+        };
+
+        sim.set_input(net("write_en"), Level::Zero);
+        sim.set_input(net("search_req"), Level::Zero);
+        write_word(&mut sim, 0, 0b0101);
+        write_word(&mut sim, 1, 0b0011);
+        write_word(&mut sim, 2, 0b1100);
+        write_word(&mut sim, 3, 0b1111);
+
+        // Search for 0b1100: only word 2 should match.
+        for i in 0..4 {
+            sim.set_input(net(&format!("key{i}")), Level::from_bool(0b1100 >> i & 1 == 1));
+        }
+        settle(&mut sim);
+        for w in 0..4 {
+            let expect = Level::from_bool(w == 2);
+            assert_eq!(
+                sim.level(net(&format!("match{w}"))),
+                expect,
+                "match line {w}"
+            );
+        }
+        // The encoded match address reads 2 and found=1.
+        let found = n.find_net("found").unwrap();
+        assert_eq!(sim.level(found), Level::One);
+
+        // Async handshake: ack (the last marked output) rises only after
+        // the request has rippled down the delay line, and falls with it.
+        let ack = *n.outputs().last().unwrap();
+        assert_eq!(sim.level(ack), Level::Zero);
+        sim.set_input(net("search_req"), Level::One);
+        settle(&mut sim);
+        assert_eq!(sim.level(ack), Level::One);
+        sim.set_input(net("search_req"), Level::Zero);
+        settle(&mut sim);
+        assert_eq!(sim.level(ack), Level::Zero);
+    }
+
+    #[test]
+    fn read_back_by_address() {
+        let params = AssocMemParams {
+            words: 4,
+            bits: 4,
+            vector_period: 32,
+        };
+        let inst = build(&params);
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        sim.set_input(net("search_req"), Level::Zero);
+        // Write 0b1010 to word 3.
+        for i in 0..2 {
+            sim.set_input(net(&format!("addr{i}")), Level::One);
+        }
+        for i in 0..4 {
+            sim.set_input(net(&format!("data{i}")), Level::from_bool(0b1010 >> i & 1 == 1));
+        }
+        for i in 0..4 {
+            sim.set_input(net(&format!("key{i}")), Level::Zero);
+        }
+        let t = sim.now();
+        sim.run_until(t + 64);
+        sim.set_input(net("write_en"), Level::One);
+        let t = sim.now();
+        sim.run_until(t + 64);
+        sim.set_input(net("write_en"), Level::Zero);
+        let t = sim.now();
+        sim.run_until(t + 64);
+        // Address still 3: read plane should show the stored value.
+        let outs = n.outputs();
+        for i in 0..4 {
+            let expect = Level::from_bool(0b1010 >> i & 1 == 1);
+            assert_eq!(sim.level(outs[i]), expect, "read bit {i}");
+        }
+    }
+
+    #[test]
+    fn default_size_in_paper_range() {
+        let inst = build(&AssocMemParams::default());
+        let total = inst.netlist.num_simulated_components();
+        // Paper: 750 components (296 switches + 454 gates).
+        assert!((400..=1500).contains(&total), "total={total}");
+        assert!(inst.netlist.num_switches() > 100);
+        assert!(inst.netlist.num_gates() > 150);
+    }
+}

@@ -1,0 +1,325 @@
+//! The crossbar switch benchmark (nmos technology, but an all-gate
+//! design — the only circuit in the paper's Table 4 with zero
+//! bidirectional switches — and asynchronous).
+//!
+//! "The crossbar switch provides an interconnection network between
+//! four input and four output ports." Structure: per input port a
+//! request latch and destination decoder; per output port a
+//! fixed-priority arbiter, an AND-OR data plane, and a four-phase
+//! handshake (request out, ack in) whose completion is detected with
+//! C-elements and a delay line.
+
+use crate::cells;
+use crate::BenchmarkInstance;
+use logicsim_netlist::{Clocking, GateKind, NetId, NetlistBuilder, Technology};
+use logicsim_sim::{SignalRole, StimulusSpec};
+
+/// Crossbar generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarParams {
+    /// Number of input and output ports (the paper's chip was 4x4).
+    pub ports: usize,
+    /// Data path width in bits.
+    pub width: usize,
+    /// Stimulus vector period in ticks.
+    pub vector_period: u64,
+}
+
+impl Default for CrossbarParams {
+    fn default() -> CrossbarParams {
+        CrossbarParams {
+            ports: 4,
+            width: 64,
+            vector_period: 480,
+        }
+    }
+}
+
+/// Builds the crossbar switch.
+#[must_use]
+pub fn build(params: &CrossbarParams) -> BenchmarkInstance {
+    assert!(params.ports >= 2, "crossbar needs at least two ports");
+    assert!(params.ports.is_power_of_two(), "ports must be a power of two");
+    let mut b = NetlistBuilder::new("crossbar");
+    let ports = params.ports;
+    let width = params.width;
+    let sel_bits = ports.trailing_zeros() as usize;
+
+    // Per-input interface.
+    let mut req = Vec::with_capacity(ports);
+    let mut data: Vec<Vec<NetId>> = Vec::with_capacity(ports);
+    let mut dst_onehot: Vec<Vec<NetId>> = Vec::with_capacity(ports);
+    for i in 0..ports {
+        let r = b.input(format!("req{i}"));
+        req.push(r);
+        let d: Vec<NetId> = (0..width).map(|k| b.input(format!("data{i}_{k}"))).collect();
+        let dst: Vec<NetId> = (0..sel_bits).map(|k| b.input(format!("dst{i}_{k}"))).collect();
+        // Latch data and destination while the request is low (input
+        // register, transparent when idle, frozen during a transaction).
+        let rn = cells::inv(&mut b, r, &format!("rn{i}"));
+        let latched_d: Vec<NetId> = d
+            .iter()
+            .enumerate()
+            .map(|(k, &bit)| latch(&mut b, rn, bit, &format!("ld{i}_{k}")))
+            .collect();
+        let latched_dst: Vec<NetId> = dst
+            .iter()
+            .enumerate()
+            .map(|(k, &bit)| latch(&mut b, rn, bit, &format!("la{i}_{k}")))
+            .collect();
+        data.push(latched_d);
+        dst_onehot.push(cells::decoder(&mut b, &latched_dst, &format!("dec{i}")));
+    }
+
+    // Ack inputs from downstream consumers.
+    let ack_out: Vec<NetId> = (0..ports).map(|j| b.input(format!("ack_out{j}"))).collect();
+
+    // Per-output arbitration and data plane.
+    let mut grant: Vec<Vec<NetId>> = vec![Vec::new(); ports];
+    for j in 0..ports {
+        // Requests for output j.
+        let r_j: Vec<NetId> = (0..ports)
+            .map(|i| {
+                let want = dst_onehot[i][j];
+                cells::and2(&mut b, req[i], want, &format!("r{i}_{j}"))
+            })
+            .collect();
+        // Fixed-priority arbiter (input 0 highest).
+        let mut any_above: Option<NetId> = None;
+        let mut g_j = Vec::with_capacity(ports);
+        for (i, &r) in r_j.iter().enumerate() {
+            let g = match any_above {
+                None => cells::and2(&mut b, r, r, &format!("g{i}_{j}")),
+                Some(above) => {
+                    let free = cells::inv(&mut b, above, &format!("f{i}_{j}"));
+                    cells::and2(&mut b, r, free, &format!("g{i}_{j}"))
+                }
+            };
+            any_above = Some(match any_above {
+                None => r,
+                Some(above) => cells::or2(&mut b, above, r, &format!("ab{i}_{j}")),
+            });
+            g_j.push(g);
+        }
+        // Data plane: out bit = OR_i (g_ij AND data_i).
+        for k in 0..width {
+            let terms: Vec<NetId> = (0..ports)
+                .map(|i| cells::and2(&mut b, g_j[i], data[i][k], &format!("dp{i}_{j}_{k}")))
+                .collect();
+            let out = b.net(format!("out{j}_{k}"));
+            b.gate(GateKind::Or, &terms, out, cells::d1());
+            b.mark_output(out);
+        }
+        // Output request with completion detection: the grant must have
+        // propagated through the data plane before req_out rises, so the
+        // raw request is delayed and combined with a C-element.
+        let raw = cells::or_n(&mut b, &g_j, &format!("oreq{j}"));
+        let mut delayed = raw;
+        for s in 0..4 {
+            let nxt = b.fresh(&format!("odl{j}_{s}"));
+            b.gate(GateKind::Buf, &[delayed], nxt, cells::d1());
+            delayed = nxt;
+        }
+        let req_out = cells::c_element(&mut b, raw, delayed, &format!("reqo{j}"));
+        let named = b.net(format!("req_out{j}"));
+        b.gate(GateKind::Buf, &[req_out], named, cells::d1());
+        b.mark_output(named);
+        grant[j] = g_j;
+    }
+
+    // Input acks: ack_i = OR_j (g_ij AND ack_out_j).
+    for i in 0..ports {
+        let terms: Vec<NetId> = (0..ports)
+            .map(|j| cells::and2(&mut b, grant[j][i], ack_out[j], &format!("ak{i}_{j}")))
+            .collect();
+        let ack = cells::or_n(&mut b, &terms, &format!("aterm{i}"));
+        let named = b.net(format!("ack_in{i}"));
+        b.gate(GateKind::Buf, &[ack], named, cells::d1());
+        b.mark_output(named);
+    }
+
+    // Asynchronous traffic: every input runs on its own coprime-ish
+    // period and phase, so events spread thinly over time — the paper's
+    // async circuits show a higher busy fraction but far lower
+    // simultaneity than the clocked designs.
+    let vp = params.vector_period;
+    let mut stimulus = StimulusSpec::new();
+    for i in 0..ports {
+        let pi = i as u64;
+        stimulus = stimulus
+            .with(
+                format!("req{i}"),
+                SignalRole::Random { period: vp + 7 * pi, phase: 13 * pi, toggle_prob: 0.3 },
+            )
+            .with(
+                format!("ack_out{i}"),
+                SignalRole::Random { period: vp + 5 * pi + 3, phase: 29 * pi + 7, toggle_prob: 0.3 },
+            );
+        for k in 0..sel_bits {
+            stimulus = stimulus.with(
+                format!("dst{i}_{k}"),
+                SignalRole::Random {
+                    period: 2 * vp + 11 * pi,
+                    phase: 17 * pi + 3 * k as u64,
+                    toggle_prob: 0.4,
+                },
+            );
+        }
+        for k in 0..width {
+            stimulus = stimulus.with(
+                format!("data{i}_{k}"),
+                SignalRole::Random {
+                    period: vp + 3 * (k as u64 % 13),
+                    phase: 31 * pi + 5 * k as u64,
+                    toggle_prob: 0.08,
+                },
+            );
+        }
+    }
+
+    BenchmarkInstance {
+        netlist: b.finish().expect("crossbar netlist is valid"),
+        stimulus,
+        technology: Technology::Nmos,
+        clocking: Clocking::Asynchronous,
+        vector_period: vp,
+    }
+}
+
+/// Gate-level transparent latch: output follows `d` while `en` is high,
+/// holds while low. Two hazards are designed out:
+///
+/// * the consensus term `d AND q` covers the enable hand-off (without
+///   it the output glitches low between `pass` falling and `hold`
+///   rising);
+/// * the feedback gates are **slower (2 ticks) than the forward path
+///   (1 tick)**. With delay-matched feedback the loop `q -> hold -> q`
+///   merely shifts its own history, so a glitch pulse injected by an
+///   input race circulates forever (a marginal period-2 oscillation —
+///   observed under some stimulus seeds before this fix). With the
+///   2-tick feedback, `q(t+1) = q(t-2)`, and any alternating pattern
+///   collapses to a constant in one step.
+fn latch(b: &mut NetlistBuilder, en: NetId, d: NetId, hint: &str) -> NetId {
+    let q = b.fresh(hint);
+    let slow = logicsim_netlist::Delay::uniform(2);
+    let en_n = cells::inv(b, en, hint);
+    let pass = cells::and2(b, d, en, hint);
+    let hold = b.fresh(hint);
+    b.gate(GateKind::And, &[q, en_n], hold, slow);
+    let keep = b.fresh(hint);
+    b.gate(GateKind::And, &[d, q], keep, slow);
+    b.gate(GateKind::Or, &[pass, hold, keep], q, cells::d1());
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_netlist::Level;
+    use logicsim_sim::Simulator;
+
+    fn settle(sim: &mut Simulator<'_>) {
+        let t = sim.now();
+        sim.run_until(t + 96);
+    }
+
+    fn small() -> BenchmarkInstance {
+        build(&CrossbarParams {
+            ports: 4,
+            width: 4,
+            vector_period: 32,
+        })
+    }
+
+    #[test]
+    fn routes_data_to_requested_output() {
+        let inst = small();
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        // Quiesce all inputs.
+        for i in 0..4 {
+            sim.set_input(net(&format!("req{i}")), Level::Zero);
+            sim.set_input(net(&format!("ack_out{i}")), Level::Zero);
+            for k in 0..2 {
+                sim.set_input(net(&format!("dst{i}_{k}")), Level::Zero);
+            }
+            for k in 0..4 {
+                sim.set_input(net(&format!("data{i}_{k}")), Level::Zero);
+            }
+        }
+        settle(&mut sim);
+        // Input 1 sends 0b1010 to output 2.
+        for k in 0..4 {
+            sim.set_input(net(&format!("data1_{k}")), Level::from_bool(0b1010 >> k & 1 == 1));
+        }
+        sim.set_input(net("dst1_0"), Level::Zero);
+        sim.set_input(net("dst1_1"), Level::One); // dst = 2
+        settle(&mut sim);
+        sim.set_input(net("req1"), Level::One);
+        settle(&mut sim);
+        for k in 0..4 {
+            let expect = Level::from_bool(0b1010 >> k & 1 == 1);
+            assert_eq!(sim.level(net(&format!("out2_{k}"))), expect, "out2 bit {k}");
+        }
+        assert_eq!(sim.level(net("req_out2")), Level::One);
+        assert_eq!(sim.level(net("req_out0")), Level::Zero);
+        // Downstream ack completes the handshake back to input 1.
+        sim.set_input(net("ack_out2"), Level::One);
+        settle(&mut sim);
+        assert_eq!(sim.level(net("ack_in1")), Level::One);
+        assert_eq!(sim.level(net("ack_in0")), Level::Zero);
+        // Release.
+        sim.set_input(net("req1"), Level::Zero);
+        sim.set_input(net("ack_out2"), Level::Zero);
+        settle(&mut sim);
+        assert_eq!(sim.level(net("req_out2")), Level::Zero);
+    }
+
+    #[test]
+    fn arbiter_prefers_lower_input_on_conflict() {
+        let inst = small();
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        for i in 0..4 {
+            sim.set_input(net(&format!("req{i}")), Level::Zero);
+            sim.set_input(net(&format!("ack_out{i}")), Level::Zero);
+            for k in 0..2 {
+                sim.set_input(net(&format!("dst{i}_{k}")), Level::Zero);
+            }
+            for k in 0..4 {
+                sim.set_input(net(&format!("data{i}_{k}")), Level::Zero);
+            }
+        }
+        settle(&mut sim);
+        // Inputs 0 and 3 both target output 0 with different data.
+        for k in 0..4 {
+            sim.set_input(net(&format!("data0_{k}")), Level::from_bool(0b0110 >> k & 1 == 1));
+            sim.set_input(net(&format!("data3_{k}")), Level::from_bool(0b1001 >> k & 1 == 1));
+        }
+        settle(&mut sim);
+        sim.set_input(net("req0"), Level::One);
+        sim.set_input(net("req3"), Level::One);
+        settle(&mut sim);
+        for k in 0..4 {
+            let expect = Level::from_bool(0b0110 >> k & 1 == 1);
+            assert_eq!(sim.level(net(&format!("out0_{k}"))), expect);
+        }
+        // Only input 0 gets an ack.
+        sim.set_input(net("ack_out0"), Level::One);
+        settle(&mut sim);
+        assert_eq!(sim.level(net("ack_in0")), Level::One);
+        assert_eq!(sim.level(net("ack_in3")), Level::Zero);
+    }
+
+    #[test]
+    fn default_is_all_gates_near_paper_size() {
+        let inst = build(&CrossbarParams::default());
+        let nl = &inst.netlist;
+        assert_eq!(nl.num_switches(), 0, "crossbar must be all-gate");
+        let gates = nl.num_gates();
+        // Paper: 2,648 gates.
+        assert!((1_200..=5_000).contains(&gates), "gates={gates}");
+    }
+}

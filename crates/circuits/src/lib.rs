@@ -1,0 +1,179 @@
+//! Parameterizable generators for the five WUCS-86-19 benchmark
+//! circuits.
+//!
+//! The paper's workload data came from five student-designed VLSI chips
+//! (Table 4): a stop watch, an associative memory, a priority queue, a
+//! radiation-treatment-planning (RTP) chip, and a crossbar switch. The
+//! original designs are not available, so this crate provides structural
+//! generators with the same technology mix (nmos/cmos), clocking
+//! disciplines (sync/async), size range, and architectural flavor —
+//! including the paper's signature structural fact that the crossbar
+//! switch is the only all-gate (zero-switch) design.
+//!
+//! Every generator is scalable: the paper itself scaled its circuits
+//! ("the priority queue, associative memory, and crossbar switch were
+//! designed so that they could be scaled to larger versions").
+//!
+//! # Example
+//!
+//! ```
+//! use logicsim_circuits::{Benchmark, BenchmarkInstance};
+//!
+//! let inst = Benchmark::CrossbarSwitch.build_default();
+//! assert_eq!(inst.netlist.num_switches(), 0); // all-gate, like the paper
+//! assert!(inst.netlist.num_gates() > 500);
+//! ```
+
+// Generators index parallel per-bit/per-word arrays by position; the
+// index *is* the hardware coordinate, so range loops read better than
+// iterator zips here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod assoc_mem;
+pub mod cells;
+pub mod crossbar;
+pub mod priority_queue;
+pub mod rtp;
+pub mod stopwatch;
+
+use logicsim_netlist::{CircuitCharacteristics, Clocking, Netlist, Technology};
+use logicsim_sim::StimulusSpec;
+
+/// The five benchmark circuits of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Elapsed-time stop watch (nmos, synchronous).
+    StopWatch,
+    /// Content-addressable memory (nmos, asynchronous).
+    AssocMem,
+    /// Smallest-first priority queue over 48-bit records (cmos, sync).
+    PriorityQueue,
+    /// Radiation-treatment-planning MAC datapath (nmos, synchronous).
+    RtpChip,
+    /// 4x4 crossbar interconnection switch (nmos, asynchronous).
+    CrossbarSwitch,
+}
+
+impl Benchmark {
+    /// All five benchmarks in the paper's Table 4 order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::StopWatch,
+        Benchmark::AssocMem,
+        Benchmark::PriorityQueue,
+        Benchmark::RtpChip,
+        Benchmark::CrossbarSwitch,
+    ];
+
+    /// The paper's printed circuit name.
+    #[must_use]
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Benchmark::StopWatch => "Stop Watch",
+            Benchmark::AssocMem => "Assoc. Mem.",
+            Benchmark::PriorityQueue => "Priority Q.",
+            Benchmark::RtpChip => "RTP Chip",
+            Benchmark::CrossbarSwitch => "CB Switch",
+        }
+    }
+
+    /// Builds the benchmark at its default scale (sized to land in the
+    /// paper's hundreds-to-thousands component range).
+    #[must_use]
+    pub fn build_default(self) -> BenchmarkInstance {
+        match self {
+            Benchmark::StopWatch => stopwatch::build(&stopwatch::StopwatchParams::default()),
+            Benchmark::AssocMem => assoc_mem::build(&assoc_mem::AssocMemParams::default()),
+            Benchmark::PriorityQueue => {
+                priority_queue::build(&priority_queue::PriorityQueueParams::default())
+            }
+            Benchmark::RtpChip => rtp::build(&rtp::RtpParams::default()),
+            Benchmark::CrossbarSwitch => crossbar::build(&crossbar::CrossbarParams::default()),
+        }
+    }
+}
+
+/// A built benchmark: the netlist, its measurement stimulus, and its
+/// declared technology/clocking for Table 4.
+#[derive(Debug, Clone)]
+pub struct BenchmarkInstance {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// The stimulus plan used for workload measurement (random vectors
+    /// plus clocks, mirroring the paper's methodology).
+    pub stimulus: StimulusSpec,
+    /// Fabrication technology (Table 4).
+    pub technology: Technology,
+    /// Clocking discipline (Table 4).
+    pub clocking: Clocking,
+    /// Ticks of one "vector period" — the natural unit for choosing
+    /// warm-up and measurement windows.
+    pub vector_period: u64,
+}
+
+impl BenchmarkInstance {
+    /// The Table 4 row for this instance.
+    #[must_use]
+    pub fn characteristics(&self) -> CircuitCharacteristics {
+        CircuitCharacteristics::measure(&self.netlist, self.technology, self.clocking)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build() {
+        for b in Benchmark::ALL {
+            let inst = b.build_default();
+            assert!(
+                inst.netlist.num_simulated_components() > 100,
+                "{}: only {} components",
+                b.paper_name(),
+                inst.netlist.num_simulated_components()
+            );
+        }
+    }
+
+    #[test]
+    fn technology_mix_matches_table4() {
+        use Benchmark::*;
+        let tech = |b: Benchmark| b.build_default().technology;
+        assert_eq!(tech(PriorityQueue), Technology::Cmos);
+        for b in [StopWatch, AssocMem, RtpChip, CrossbarSwitch] {
+            assert_eq!(tech(b), Technology::Nmos, "{}", b.paper_name());
+        }
+        let clk = |b: Benchmark| b.build_default().clocking;
+        assert_eq!(clk(AssocMem), Clocking::Asynchronous);
+        assert_eq!(clk(CrossbarSwitch), Clocking::Asynchronous);
+        assert_eq!(clk(StopWatch), Clocking::Synchronous);
+    }
+
+    #[test]
+    fn crossbar_is_the_only_switchless_design() {
+        for b in Benchmark::ALL {
+            let inst = b.build_default();
+            if b == Benchmark::CrossbarSwitch {
+                assert_eq!(inst.netlist.num_switches(), 0);
+            } else {
+                assert!(
+                    inst.netlist.num_switches() > 0,
+                    "{} should use switches",
+                    b.paper_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stimulus_resolves_against_netlist() {
+        for b in Benchmark::ALL {
+            let inst = b.build_default();
+            assert!(
+                inst.stimulus.build(&inst.netlist, 1).is_ok(),
+                "{}: stimulus references unknown nets",
+                b.paper_name()
+            );
+        }
+    }
+}

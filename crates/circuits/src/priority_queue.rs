@@ -1,0 +1,311 @@
+//! The priority queue benchmark (cmos, synchronous).
+//!
+//! "The priority queue stores 48-bit records, each divided into four
+//! fields, and retrieves the record whose first field contains the
+//! smallest value." Structure: a linear insertion array. Each cell
+//! holds one record in CMOS transmission-gate flip-flops; on insert the
+//! incoming record ripples down the array, displacing the first stored
+//! record it is smaller than (so the array stays sorted, minimum at the
+//! head); on extract every record shifts up by one. The datapath
+//! steering is all TG muxes, which is what makes this the
+//! switch-dominated cmos design of the benchmark (2,960 switches vs 720
+//! gates in the paper's Table 4).
+
+use crate::cells;
+use crate::BenchmarkInstance;
+use logicsim_netlist::{Clocking, NetId, NetlistBuilder, Technology};
+use logicsim_sim::{SignalRole, StimulusSpec};
+
+/// Priority queue generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PriorityQueueParams {
+    /// Number of records stored.
+    pub records: usize,
+    /// Bits per record (the paper's chip used 48, divided into four
+    /// fields; ordering uses the low `bits / fields` field).
+    pub bits: usize,
+    /// Number of fields per record.
+    pub fields: usize,
+    /// Stimulus clock half-period in ticks.
+    pub clock_half_period: u64,
+}
+
+impl Default for PriorityQueueParams {
+    fn default() -> PriorityQueueParams {
+        PriorityQueueParams {
+            records: 8,
+            bits: 20,
+            fields: 4,
+            clock_half_period: 96,
+        }
+    }
+}
+
+/// Builds the priority queue.
+#[must_use]
+pub fn build(params: &PriorityQueueParams) -> BenchmarkInstance {
+    assert!(params.records >= 2, "queue needs at least two records");
+    assert!(
+        params.bits >= params.fields && params.bits.is_multiple_of(params.fields),
+        "bits must be a positive multiple of fields"
+    );
+    let key_bits = params.bits / params.fields;
+    let mut b = NetlistBuilder::new("priority_queue");
+
+    let clk = b.input("clk");
+    let clk_n = cells::inv(&mut b, clk, "clkn");
+    let rst = b.input("rst");
+    let insert = b.input("insert");
+    let extract = b.input("extract");
+    let data: Vec<NetId> = (0..params.bits).map(|i| b.input(format!("data{i}"))).collect();
+
+    // Gate insert/extract so they are mutually exclusive (insert wins).
+    let rst_n = cells::inv(&mut b, rst, "ri");
+    let ins_en = cells::and2(&mut b, insert, rst_n, "ins_en");
+    let not_ins = cells::inv(&mut b, ins_en, "ni");
+    let ext_en = cells::and2(&mut b, extract, not_ins, "ext_en");
+    let ins_n = cells::inv(&mut b, ins_en, "insn");
+
+    // Incoming record for cell 0: the new data when inserting, all-ones
+    // otherwise (all-ones never displaces anything).
+    let mut incoming: Vec<NetId> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            // in = (d AND insert) OR NOT(insert): 1 when idle, d when
+            // inserting.
+            let gated = cells::and2(&mut b, d, ins_en, &format!("ind{i}"));
+            cells::or2(&mut b, gated, ins_n, &format!("in{i}"))
+        })
+        .collect();
+    // Correction: `d AND ins OR NOT ins` = d when ins else 1. Good.
+
+    let mut stored: Vec<Vec<NetId>> = Vec::with_capacity(params.records);
+    // First pass: create storage flip-flops with placeholder D nets so
+    // the shift-up path (which needs the *next* record's outputs) can be
+    // wired after all records exist.
+    let mut d_nets: Vec<Vec<NetId>> = Vec::with_capacity(params.records);
+    for r in 0..params.records {
+        let mut qs = Vec::with_capacity(params.bits);
+        let mut ds = Vec::with_capacity(params.bits);
+        for i in 0..params.bits {
+            let d = b.net(format!("d_{r}_{i}"));
+            let q = cells::tg_dff(&mut b, clk, clk_n, d, &format!("q{r}_{i}"));
+            ds.push(d);
+            qs.push(q);
+        }
+        d_nets.push(ds);
+        stored.push(qs);
+    }
+
+    // Second pass: insertion ripple and extraction shift.
+    for r in 0..params.records {
+        let hint = format!("cell{r}");
+        // Compare the incoming record's key field (low key_bits) with
+        // the stored record's.
+        let lt = cells::lt_comparator(
+            &mut b,
+            &incoming[..key_bits],
+            &stored[r][..key_bits],
+            &hint,
+        );
+        let lt_n = cells::inv(&mut b, lt, &hint);
+        let mut next_incoming = Vec::with_capacity(params.bits);
+        for i in 0..params.bits {
+            // Keep the smaller record: new stored = lt ? incoming : stored.
+            let kept = cells::tg_mux2_buf(&mut b, lt, lt_n, stored[r][i], incoming[i], &hint);
+            // Pass the larger one down: out = lt ? stored : incoming.
+            let passed = cells::tg_mux2_buf(&mut b, lt, lt_n, incoming[i], stored[r][i], &hint);
+            // Extraction shift: pull from the record below (all-ones at
+            // the tail).
+            let from_below = if r + 1 < params.records {
+                stored[r + 1][i]
+            } else {
+                // Tail refills with all-ones = NOT rst OR rst = const 1.
+                // Reuse ins_n's complement trick: OR(rst, NOT rst).
+                let rn = cells::inv(&mut b, rst, &hint);
+                cells::or2(&mut b, rst, rn, &hint)
+            };
+            let ext_n = cells::inv(&mut b, ext_en, &hint);
+            let shifted = cells::tg_mux2_buf(&mut b, ext_en, ext_n, kept, from_below, &hint);
+            // Reset forces all-ones (also flushes power-up X).
+            let d = cells::or2(&mut b, shifted, rst, &hint);
+            b.gate(logicsim_netlist::GateKind::Buf, &[d], d_nets[r][i], cells::d1());
+            next_incoming.push(passed);
+        }
+        incoming = next_incoming;
+    }
+
+    // Head record is the retrieval port.
+    for i in 0..params.bits {
+        b.mark_output(stored[0][i]);
+    }
+
+    let hp = params.clock_half_period;
+    let mut stimulus = StimulusSpec::new()
+        .with("clk", SignalRole::Clock { half_period: hp, phase: 0 })
+        .with(
+            "rst",
+            SignalRole::Pulse {
+                active: logicsim_netlist::Level::One,
+                width: 6 * hp,
+            },
+        )
+        .with("insert", SignalRole::Random { period: 2 * hp, phase: 1, toggle_prob: 0.6 })
+        .with("extract", SignalRole::Random { period: 2 * hp, phase: 1, toggle_prob: 0.4 });
+    for i in 0..params.bits {
+        stimulus = stimulus.with(
+            format!("data{i}"),
+            SignalRole::Random { period: 2 * hp, phase: 1, toggle_prob: 0.3 },
+        );
+    }
+
+    BenchmarkInstance {
+        netlist: b.finish().expect("priority queue netlist is valid"),
+        stimulus,
+        technology: Technology::Cmos,
+        clocking: Clocking::Synchronous,
+        vector_period: 2 * hp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_netlist::Level;
+    use logicsim_sim::Simulator;
+
+    struct Pq<'a> {
+        sim: Simulator<'a>,
+        n: &'a logicsim_netlist::Netlist,
+        bits: usize,
+    }
+
+    impl<'a> Pq<'a> {
+        fn net(&self, s: &str) -> NetId {
+            self.n.find_net(s).unwrap()
+        }
+        fn settle(&mut self) {
+            let t = self.sim.now();
+            self.sim.run_until(t + 200);
+        }
+        fn clock(&mut self) {
+            self.sim.set_input(self.net("clk"), Level::One);
+            self.settle();
+            self.sim.set_input(self.net("clk"), Level::Zero);
+            self.settle();
+        }
+        fn head(&self) -> Option<u32> {
+            let mut v = 0;
+            for (i, &o) in self.n.outputs().iter().enumerate() {
+                match self.sim.level(o).to_bool() {
+                    Some(true) => v |= 1 << i,
+                    Some(false) => {}
+                    None => return None,
+                }
+            }
+            Some(v)
+        }
+        fn insert(&mut self, value: u32) {
+            for i in 0..self.bits {
+                self.sim.set_input(
+                    self.net(&format!("data{i}")),
+                    Level::from_bool(value >> i & 1 == 1),
+                );
+            }
+            self.sim.set_input(self.net("insert"), Level::One);
+            self.settle();
+            self.clock();
+            self.sim.set_input(self.net("insert"), Level::Zero);
+            self.settle();
+        }
+        fn extract(&mut self) {
+            self.sim.set_input(self.net("extract"), Level::One);
+            self.settle();
+            self.clock();
+            self.sim.set_input(self.net("extract"), Level::Zero);
+            self.settle();
+        }
+    }
+
+    fn setup(params: &PriorityQueueParams, n: &'static logicsim_netlist::Netlist) -> Pq<'static> {
+        let mut pq = Pq {
+            sim: Simulator::new(n),
+            n,
+            bits: params.bits,
+        };
+        for name in ["insert", "extract", "clk"] {
+            let net = pq.net(name);
+            pq.sim.set_input(net, Level::Zero);
+        }
+        let rst = pq.net("rst");
+        pq.sim.set_input(rst, Level::One);
+        pq.settle();
+        for _ in 0..2 {
+            pq.clock();
+        }
+        pq.sim.set_input(rst, Level::Zero);
+        pq.settle();
+        pq
+    }
+
+    #[test]
+    fn returns_minimum_first() {
+        let params = PriorityQueueParams {
+            records: 4,
+            bits: 4,
+            fields: 1,
+            clock_half_period: 64,
+        };
+        let netlist = Box::leak(Box::new(build(&params).netlist));
+        let mut pq = setup(&params, netlist);
+        // Empty queue reads all-ones.
+        assert_eq!(pq.head(), Some(0b1111));
+        pq.insert(9);
+        assert_eq!(pq.head(), Some(9));
+        pq.insert(3);
+        assert_eq!(pq.head(), Some(3), "smaller record displaces head");
+        pq.insert(5);
+        assert_eq!(pq.head(), Some(3), "larger record files behind");
+        pq.extract();
+        assert_eq!(pq.head(), Some(5));
+        pq.extract();
+        assert_eq!(pq.head(), Some(9));
+        pq.extract();
+        assert_eq!(pq.head(), Some(0b1111), "queue drains to all-ones");
+    }
+
+    #[test]
+    fn ordering_uses_first_field_only() {
+        // Two fields: key is the low 2 bits; payload the high 2.
+        let params = PriorityQueueParams {
+            records: 3,
+            bits: 4,
+            fields: 2,
+            clock_half_period: 64,
+        };
+        let netlist = Box::leak(Box::new(build(&params).netlist));
+        let mut pq = setup(&params, netlist);
+        pq.insert(0b11_01); // key 1, payload 3
+        pq.insert(0b00_10); // key 2, payload 0
+        // Head must be the key-1 record even though its full value is
+        // numerically larger.
+        assert_eq!(pq.head(), Some(0b1101));
+    }
+
+    #[test]
+    fn default_size_in_paper_range() {
+        let inst = build(&PriorityQueueParams::default());
+        let nl = &inst.netlist;
+        // Paper: 3,680 components (2,960 switches + 720 gates) —
+        // switch-dominated.
+        assert!(
+            nl.num_switches() > nl.num_gates(),
+            "switches {} should dominate gates {}",
+            nl.num_switches(),
+            nl.num_gates()
+        );
+        let total = nl.num_simulated_components();
+        assert!((1_500..=6_000).contains(&total), "total={total}");
+    }
+}

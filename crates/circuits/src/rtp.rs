@@ -1,0 +1,369 @@
+//! The Radiation Treatment Planning (RTP) chip benchmark (nmos, sync).
+//!
+//! "The RTP chip implements an algorithm used in cancer treatment
+//! planning which calculates the radiation dosage at a specified
+//! point." The dominant computation is multiply-accumulate: the dose at
+//! a point is a weighted sum of per-beam contributions. This generator
+//! builds a serial-parallel shift-add multiplier with a dose
+//! accumulator and a small control FSM — registers and operand steering
+//! use nmos pass-transistor muxes (the switch-level part), while the
+//! adders and control are gate-level, giving the mixed switch/gate
+//! profile of the paper's chip (1,422 switches / 1,746 gates).
+
+use crate::cells::{self, Rails};
+use crate::BenchmarkInstance;
+use logicsim_netlist::{Clocking, GateKind, Level, NetId, NetlistBuilder, Technology};
+use logicsim_sim::{SignalRole, StimulusSpec};
+
+/// RTP chip generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpParams {
+    /// Operand width in bits (the multiplier runs `bits` cycles).
+    pub bits: usize,
+    /// Width of the dose accumulator.
+    pub accum_bits: usize,
+    /// Stimulus clock half-period in ticks.
+    pub clock_half_period: u64,
+}
+
+impl Default for RtpParams {
+    fn default() -> RtpParams {
+        RtpParams {
+            bits: 14,
+            accum_bits: 28,
+            clock_half_period: 26,
+        }
+    }
+}
+
+/// An nmos pass-transistor 2:1 mux with restored output:
+/// `sel ? a1 : a0`. Two pass switches plus a two-inverter buffer.
+fn nmos_mux2(
+    b: &mut NetlistBuilder,
+    rails: Rails,
+    sel: NetId,
+    sel_n: NetId,
+    a0: NetId,
+    a1: NetId,
+    hint: &str,
+) -> NetId {
+    let junction = b.fresh(hint);
+    b.switch(logicsim_netlist::SwitchKind::Nmos, sel, a1, junction);
+    b.switch(logicsim_netlist::SwitchKind::Nmos, sel_n, a0, junction);
+    let inv1 = cells::nmos_inv(b, rails, junction, hint);
+    cells::nmos_inv(b, rails, inv1, hint)
+}
+
+/// Builds the RTP chip.
+#[must_use]
+pub fn build(params: &RtpParams) -> BenchmarkInstance {
+    assert!(params.bits >= 2, "multiplier needs at least 2 bits");
+    assert!(
+        params.accum_bits >= 2 * params.bits,
+        "accumulator must hold a full product"
+    );
+    let mut b = NetlistBuilder::new("rtp");
+    let rails = Rails::new(&mut b);
+    let bits = params.bits;
+
+    let clk = b.input("clk");
+    let rst = b.input("rst");
+    let load = b.input("load"); // start a new beam: load W and D
+    let w_in: Vec<NetId> = (0..bits).map(|i| b.input(format!("w{i}"))).collect();
+    let d_in: Vec<NetId> = (0..bits).map(|i| b.input(format!("dist{i}"))).collect();
+
+    let rst_n = cells::inv(&mut b, rst, "rstn");
+    let load_gated = cells::and2(&mut b, load, rst_n, "ld");
+    let load_n = cells::inv(&mut b, load_gated, "ldn");
+
+    // Cycle counter: counts `bits` multiply steps after a load. It
+    // resets on chip reset too, so the power-up X state flushes (the
+    // dry run it triggers multiplies 0*0 and accumulates nothing).
+    let step_bits = bits.next_power_of_two().trailing_zeros() as usize + 1;
+    let busy = b.net("busy");
+    let step_rst = cells::or2(&mut b, load_gated, rst, "srst");
+    let steps = cells::counter(&mut b, clk, busy, step_rst, step_bits, "step");
+    // busy while step < bits: compare against the constant `bits`.
+    let const_bits: Vec<NetId> = (0..step_bits)
+        .map(|i| {
+            let n = b.fresh("cb");
+            if bits >> i & 1 == 1 {
+                // Constant one: OR(rst, NOT rst).
+                let rn = cells::inv(&mut b, rst, "c1");
+                b.gate(GateKind::Or, &[rst, rn], n, cells::d1());
+            } else {
+                b.gate(GateKind::Xor, &[rst, rst], n, cells::d1());
+            }
+            n
+        })
+        .collect();
+    let running = cells::lt_comparator(&mut b, &steps, &const_bits, "run");
+    let not_rst_busy = cells::and2(&mut b, running, rst_n, "busy_and");
+    b.gate(GateKind::Buf, &[not_rst_busy], busy, cells::d1());
+    let done = cells::inv(&mut b, running, "done");
+    b.mark_output(done);
+
+    // Multiplicand register M (loaded on `load`, held otherwise) using
+    // nmos mux feedback into gate DFFs.
+    let mut m_q = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let d = b.net(format!("m_d{i}"));
+        let q = cells::dff(&mut b, clk, d, &format!("m{i}"));
+        let next = nmos_mux2(&mut b, rails, load_gated, load_n, q, w_in[i], &format!("mx{i}"));
+        // Reset clears (AND with rst_n) so power-up X flushes.
+        let cleared = cells::and2(&mut b, next, rst_n, &format!("mc{i}"));
+        b.gate(GateKind::Buf, &[cleared], d, cells::d1());
+        m_q.push(q);
+    }
+
+    // Multiplier register Q (loaded with the distance operand, shifts
+    // right each busy cycle). q0 selects the addend.
+    let mut q_q: Vec<NetId> = Vec::with_capacity(bits);
+    let mut q_d: Vec<NetId> = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let d = b.net(format!("q_d{i}"));
+        let q = cells::dff(&mut b, clk, d, &format!("qr{i}"));
+        q_d.push(d);
+        q_q.push(q);
+    }
+
+    // Accumulator register A (bits+1 wide working register).
+    let mut a_q: Vec<NetId> = Vec::with_capacity(bits + 1);
+    let mut a_d: Vec<NetId> = Vec::with_capacity(bits + 1);
+    for i in 0..=bits {
+        let d = b.net(format!("a_d{i}"));
+        let q = cells::dff(&mut b, clk, d, &format!("ar{i}"));
+        a_d.push(d);
+        a_q.push(q);
+    }
+
+    // Addend = q0 ? M : 0, with nmos pass transistors and pull-downs.
+    let q0 = q_q[0];
+    let addend: Vec<NetId> = (0..bits)
+        .map(|i| {
+            let n = cells::nmos_pass(&mut b, q0, m_q[i], &format!("ad{i}"));
+            b.pull(n, Level::Zero);
+            n
+        })
+        .collect();
+
+    // Sum = A[0..bits] + addend.
+    let zero = b.fresh("c0");
+    b.gate(GateKind::Xor, &[rst, rst], zero, cells::d1());
+    let (sum, carry) = cells::ripple_adder(&mut b, &a_q[..bits], &addend, zero, "add");
+
+    // Next state (shift right): A' = (carry, sum) >> 1, Q' = (sum0, Q>>1).
+    for i in 0..=bits {
+        let shifted = if i < bits - 1 {
+            sum[i + 1]
+        } else if i == bits - 1 {
+            carry
+        } else {
+            zero
+        };
+        // Hold when not busy, clear on load (new product starts at 0).
+        let bn = cells::inv(&mut b, busy, &format!("bn{i}"));
+        let held = nmos_mux2(&mut b, rails, busy, bn, a_q[i], shifted, &format!("as{i}"));
+        let not_load = cells::and2(&mut b, held, load_n, &format!("al{i}"));
+        let cleared = cells::and2(&mut b, not_load, rst_n, &format!("ac{i}"));
+        b.gate(GateKind::Buf, &[cleared], a_d[i], cells::d1());
+    }
+    for i in 0..bits {
+        let shifted = if i < bits - 1 { q_q[i + 1] } else { sum[0] };
+        let busy_n = cells::inv(&mut b, busy, &format!("qbn{i}"));
+        let held = nmos_mux2(&mut b, rails, busy, busy_n, q_q[i], shifted, &format!("qs{i}"));
+        let loaded = nmos_mux2(&mut b, rails, load_gated, load_n, held, d_in[i], &format!("ql{i}"));
+        let cleared = cells::and2(&mut b, loaded, rst_n, &format!("qc{i}"));
+        b.gate(GateKind::Buf, &[cleared], q_d[i], cells::d1());
+    }
+
+    // Product = (A[0..bits], Q) when done. Dose accumulator adds the
+    // product's low accum_bits on the `done` edge (enable = done rising:
+    // approximate with done AND previous-not-done DFF).
+    let done_d = cells::dff(&mut b, clk, done, "done_d");
+    let done_d_n = cells::inv(&mut b, done_d, "done_dn");
+    let accum_en = cells::and2(&mut b, done, done_d_n, "acc_en");
+
+    let mut product = q_q.clone();
+    product.extend_from_slice(&a_q[..bits]);
+    // Zero-extend product to accum width.
+    while product.len() < params.accum_bits {
+        product.push(zero);
+    }
+    product.truncate(params.accum_bits);
+
+    let mut dose_q = Vec::with_capacity(params.accum_bits);
+    let mut dose_d = Vec::with_capacity(params.accum_bits);
+    for i in 0..params.accum_bits {
+        let d = b.net(format!("dose_d{i}"));
+        let q = cells::dff(&mut b, clk, d, &format!("dose{i}"));
+        dose_d.push(d);
+        dose_q.push(q);
+    }
+    let (dose_sum, _) = cells::ripple_adder(&mut b, &dose_q, &product, zero, "dacc");
+    for i in 0..params.accum_bits {
+        let en_n = cells::inv(&mut b, accum_en, &format!("den{i}"));
+        let held = nmos_mux2(&mut b, rails, accum_en, en_n, dose_q[i], dose_sum[i], &format!("dm{i}"));
+        let cleared = cells::and2(&mut b, held, rst_n, &format!("dc{i}"));
+        b.gate(GateKind::Buf, &[cleared], dose_d[i], cells::d1());
+        b.mark_output(dose_q[i]);
+    }
+
+    let hp = params.clock_half_period;
+    let mut stimulus = StimulusSpec::new()
+        .with("clk", SignalRole::Clock { half_period: hp, phase: 0 })
+        .with(
+            "rst",
+            SignalRole::Pulse {
+                active: Level::One,
+                width: 6 * hp,
+            },
+        )
+        .with(
+            "load",
+            SignalRole::Random {
+                period: 2 * hp * (params.bits as u64 + 4),
+                phase: 1,
+                toggle_prob: 0.8,
+            },
+        );
+    for i in 0..params.bits {
+        let period = 2 * hp * (params.bits as u64 + 4);
+        stimulus = stimulus
+            .with(format!("w{i}"), SignalRole::Random { period, phase: 1, toggle_prob: 0.5 })
+            .with(format!("dist{i}"), SignalRole::Random { period, phase: 1, toggle_prob: 0.5 });
+    }
+
+    BenchmarkInstance {
+        netlist: b.finish().expect("rtp netlist is valid"),
+        stimulus,
+        technology: Technology::Nmos,
+        clocking: Clocking::Synchronous,
+        vector_period: 2 * hp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_sim::Simulator;
+
+    struct Rig<'a> {
+        sim: Simulator<'a>,
+        n: &'a logicsim_netlist::Netlist,
+        bits: usize,
+    }
+
+    impl<'a> Rig<'a> {
+        fn net(&self, s: &str) -> NetId {
+            self.n.find_net(s).unwrap()
+        }
+        fn settle(&mut self) {
+            let t = self.sim.now();
+            self.sim.run_until(t + 200);
+        }
+        fn clock(&mut self) {
+            self.sim.set_input(self.net("clk"), Level::One);
+            self.settle();
+            self.sim.set_input(self.net("clk"), Level::Zero);
+            self.settle();
+        }
+        fn read_reg(&self, prefix: &str, width: usize) -> Option<u64> {
+            let mut v = 0u64;
+            for i in 0..width {
+                let q = self.n.find_net(&format!("{prefix}{i}"))?;
+                // Registers named via fresh nets; read the DFF q by
+                // searching the d-net driver is complex — instead the
+                // test reads the marked outputs (dose) and named d nets.
+                match self.sim.level(q).to_bool() {
+                    Some(true) => v |= 1 << i,
+                    Some(false) => {}
+                    None => return None,
+                }
+            }
+            Some(v)
+        }
+        fn dose(&self) -> Option<u64> {
+            let mut v = 0u64;
+            for (i, &o) in self.n.outputs().iter().skip(1).enumerate() {
+                match self.sim.level(o).to_bool() {
+                    Some(true) => v |= 1 << i,
+                    Some(false) => {}
+                    None => return None,
+                }
+            }
+            Some(v)
+        }
+    }
+
+    fn mac_once(rig: &mut Rig<'_>, w: u64, d: u64) {
+        for i in 0..rig.bits {
+            let wi = rig.net(&format!("w{i}"));
+            let di = rig.net(&format!("dist{i}"));
+            rig.sim.set_input(wi, Level::from_bool(w >> i & 1 == 1));
+            rig.sim.set_input(di, Level::from_bool(d >> i & 1 == 1));
+        }
+        let load = rig.net("load");
+        rig.sim.set_input(load, Level::One);
+        rig.settle();
+        rig.clock();
+        rig.sim.set_input(load, Level::Zero);
+        rig.settle();
+        // Run the multiply: bits cycles plus slack.
+        for _ in 0..(rig.bits + 3) {
+            rig.clock();
+        }
+        // One more clock so the accumulator latches the product.
+        rig.clock();
+    }
+
+    #[test]
+    fn dose_accumulates_products() {
+        let params = RtpParams {
+            bits: 4,
+            accum_bits: 8,
+            clock_half_period: 64,
+        };
+        let inst = build(&params);
+        let netlist = Box::leak(Box::new(inst.netlist));
+        let mut rig = Rig {
+            sim: Simulator::new(netlist),
+            n: netlist,
+            bits: 4,
+        };
+        // Reset.
+        for s in ["clk", "load"] {
+            let net = rig.net(s);
+            rig.sim.set_input(net, Level::Zero);
+        }
+        let rst = rig.net("rst");
+        rig.sim.set_input(rst, Level::One);
+        rig.settle();
+        for _ in 0..2 {
+            rig.clock();
+        }
+        rig.sim.set_input(rst, Level::Zero);
+        rig.settle();
+        rig.clock();
+        assert_eq!(rig.dose(), Some(0), "dose cleared by reset");
+
+        // 5 * 3 = 15.
+        mac_once(&mut rig, 5, 3);
+        assert_eq!(rig.dose(), Some(15), "first beam: 5*3");
+        // Accumulate 2 * 6 = 12 -> 27.
+        mac_once(&mut rig, 2, 6);
+        assert_eq!(rig.dose(), Some(27), "second beam accumulates");
+        let _ = rig.read_reg("nonexistent", 0);
+    }
+
+    #[test]
+    fn default_size_in_paper_range() {
+        let inst = build(&RtpParams::default());
+        let nl = &inst.netlist;
+        // Paper: 3,169 components (1,422 switches + 1,746 gates).
+        let total = nl.num_simulated_components();
+        assert!((1_200..=6_000).contains(&total), "total={total}");
+        assert!(nl.num_switches() > 200, "switches={}", nl.num_switches());
+        assert!(nl.num_gates() > 400, "gates={}", nl.num_gates());
+    }
+}

@@ -1,0 +1,219 @@
+//! The stop watch benchmark (nmos, synchronous).
+//!
+//! "The stop watch circuit determines the elapsed time between a start
+//! and a stop signal." Structure: a start/stop control latch, a
+//! prescaler, a chain of synchronous counter stages, and an nmos
+//! dynamic display latch that freezes the count when the watch stops.
+//! The paper notes its clock period "was much larger than necessary and
+//! led to a large number of idle time points" — the default stimulus
+//! reproduces that (a slow clock relative to gate delays), which is what
+//! makes its `B/(B+I)` an order of magnitude below the other circuits.
+
+use crate::cells::{self, Rails};
+use crate::BenchmarkInstance;
+use logicsim_netlist::{Clocking, GateKind, NetlistBuilder, Technology};
+use logicsim_sim::{SignalRole, StimulusSpec};
+
+/// Stop watch generator parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StopwatchParams {
+    /// Prescaler bits (divides the input clock).
+    pub prescaler_bits: usize,
+    /// Number of cascaded count stages.
+    pub stages: usize,
+    /// Bits per count stage.
+    pub bits_per_stage: usize,
+    /// Stimulus clock half-period in ticks (large, per the paper's
+    /// remark about the oversized clock period).
+    pub clock_half_period: u64,
+}
+
+impl Default for StopwatchParams {
+    fn default() -> StopwatchParams {
+        StopwatchParams {
+            prescaler_bits: 4,
+            stages: 4,
+            bits_per_stage: 4,
+            clock_half_period: 320,
+        }
+    }
+}
+
+/// Builds the stop watch.
+#[must_use]
+pub fn build(params: &StopwatchParams) -> BenchmarkInstance {
+    let mut b = NetlistBuilder::new("stopwatch");
+    let rails = Rails::new(&mut b);
+    let clk = b.input("clk");
+    let start = b.input("start");
+    let stop = b.input("stop");
+    let reset = b.input("reset");
+
+    // Start/stop control: NAND SR latch; `run` is set by start, cleared
+    // by stop or reset.
+    let start_n = cells::inv(&mut b, start, "ctl");
+    let stop_or_rst = cells::or2(&mut b, stop, reset, "ctl");
+    let clr_n = cells::inv(&mut b, stop_or_rst, "ctl");
+    let run = b.net("run");
+    let run_n = b.net("run_n");
+    b.gate(GateKind::Nand, &[start_n, run_n], run, cells::d1());
+    b.gate(GateKind::Nand, &[clr_n, run], run_n, cells::d1());
+
+    // Prescaler: free-running counter; its terminal count enables the
+    // elapsed-time chain once per 2^prescaler_bits clocks.
+    let always = cells::inv(&mut b, reset, "en"); // enable unless reset
+    let pre = cells::counter(&mut b, clk, always, reset, params.prescaler_bits, "pre");
+    let tick = cells::and_n(&mut b, &pre, "tick");
+
+    // Elapsed-time counter chain, gated by `run`.
+    let mut enable = cells::and2(&mut b, run, tick, "chain_en");
+    let mut count_bits = Vec::new();
+    for s in 0..params.stages {
+        let stage = cells::counter(
+            &mut b,
+            clk,
+            enable,
+            reset,
+            params.bits_per_stage,
+            &format!("st{s}"),
+        );
+        // Next stage counts when this one rolls over.
+        let tc = cells::and_n(&mut b, &stage, &format!("tc{s}"));
+        enable = cells::and2(&mut b, enable, tc, &format!("en{s}"));
+        count_bits.extend(stage);
+    }
+
+    // Display: nmos dynamic latches freeze the count while stopped
+    // (latch transparent while running). This is the switch-level part
+    // of the design.
+    let mut display = Vec::new();
+    for (i, &bit) in count_bits.iter().enumerate() {
+        let q = cells::nmos_dyn_latch(&mut b, rails, run, bit, &format!("disp{i}"));
+        // nmos inverter inverts; invert back at switch level.
+        let qq = cells::nmos_inv(&mut b, rails, q, &format!("disp{i}"));
+        display.push(qq);
+    }
+    for &d in &display {
+        b.mark_output(d);
+    }
+    b.mark_output(run);
+
+    let hp = params.clock_half_period;
+    let stimulus = StimulusSpec::new()
+        .with("clk", SignalRole::Clock { half_period: hp, phase: 0 })
+        .with(
+            "reset",
+            SignalRole::Pulse {
+                active: logicsim_netlist::Level::One,
+                width: 4 * hp,
+            },
+        )
+        .with("start", SignalRole::Random { period: 64 * hp, phase: 17, toggle_prob: 0.7 })
+        .with("stop", SignalRole::Random { period: 96 * hp, phase: 41, toggle_prob: 0.5 });
+
+    BenchmarkInstance {
+        netlist: b.finish().expect("stopwatch netlist is valid"),
+        stimulus,
+        technology: Technology::Nmos,
+        clocking: Clocking::Synchronous,
+        vector_period: 2 * hp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_netlist::Level;
+    use logicsim_sim::Simulator;
+
+    fn clock_cycle(sim: &mut Simulator<'_>, clk: logicsim_netlist::NetId) {
+        sim.set_input(clk, Level::One);
+        let t = sim.now();
+        sim.run_until(t + 64);
+        sim.set_input(clk, Level::Zero);
+        let t = sim.now();
+        sim.run_until(t + 64);
+    }
+
+    #[test]
+    fn counts_only_while_running() {
+        let params = StopwatchParams {
+            prescaler_bits: 1,
+            stages: 1,
+            bits_per_stage: 3,
+            clock_half_period: 8,
+        };
+        let inst = build(&params);
+        let n = &inst.netlist;
+        let nets = |s: &str| n.find_net(s).unwrap();
+        let (clk, start, stop, reset) =
+            (nets("clk"), nets("start"), nets("stop"), nets("reset"));
+        let run = nets("run");
+        let mut sim = Simulator::new(n);
+        // Reset with a few clocks.
+        for (net, l) in [
+            (reset, Level::One),
+            (start, Level::Zero),
+            (stop, Level::Zero),
+            (clk, Level::Zero),
+        ] {
+            sim.set_input(net, l);
+        }
+        let t = sim.now();
+        sim.run_until(t + 64);
+        for _ in 0..3 {
+            clock_cycle(&mut sim, clk);
+        }
+        sim.set_input(reset, Level::Zero);
+        let t = sim.now();
+        sim.run_until(t + 64);
+        assert_eq!(sim.level(run), Level::Zero, "not running after reset");
+
+        // Press start: run latch sets.
+        sim.set_input(start, Level::One);
+        let t = sim.now();
+        sim.run_until(t + 64);
+        assert_eq!(sim.level(run), Level::One);
+        sim.set_input(start, Level::Zero);
+
+        // Clock while running: display eventually becomes known and
+        // changes (prescaler_bits=1 -> chain enabled every other clock).
+        let read_display = |sim: &Simulator<'_>| -> Vec<Level> {
+            n.outputs()
+                .iter()
+                .take(3)
+                .map(|&o| sim.level(o))
+                .collect()
+        };
+        for _ in 0..6 {
+            clock_cycle(&mut sim, clk);
+        }
+        let d1 = read_display(&sim);
+        for _ in 0..4 {
+            clock_cycle(&mut sim, clk);
+        }
+        let d2 = read_display(&sim);
+        assert!(d1.iter().all(|l| l.is_known()), "display known: {d1:?}");
+        assert_ne!(d1, d2, "display advances while running");
+
+        // Press stop: run clears, display freezes.
+        sim.set_input(stop, Level::One);
+        let t = sim.now();
+        sim.run_until(t + 64);
+        assert_eq!(sim.level(run), Level::Zero);
+        let frozen = read_display(&sim);
+        for _ in 0..4 {
+            clock_cycle(&mut sim, clk);
+        }
+        assert_eq!(read_display(&sim), frozen, "display frozen after stop");
+    }
+
+    #[test]
+    fn default_size_in_paper_range() {
+        let inst = build(&StopwatchParams::default());
+        let total = inst.netlist.num_simulated_components();
+        // Paper: 347 components (216 switches + 131 gates).
+        assert!((150..=900).contains(&total), "total={total}");
+        assert!(inst.netlist.num_switches() > 30);
+    }
+}

@@ -1,0 +1,233 @@
+//! Behavioral property tests: the benchmark circuits against software
+//! reference models — the priority queue against a sorted list, the
+//! RTP multiplier against `u64` arithmetic, the CAM against a `Vec`,
+//! and the crossbar's data plane against direct routing.
+
+use logicsim_circuits::assoc_mem::{build as build_am, AssocMemParams};
+use logicsim_circuits::crossbar::{build as build_cb, CrossbarParams};
+use logicsim_circuits::priority_queue::{build as build_pq, PriorityQueueParams};
+use logicsim_circuits::rtp::{build as build_rtp, RtpParams};
+use logicsim_netlist::{Level, NetId, Netlist};
+use logicsim_sim::Simulator;
+use proptest::prelude::*;
+
+fn settle(sim: &mut Simulator<'_>, ticks: u64) {
+    let t = sim.now();
+    sim.run_until(t + ticks);
+}
+
+fn set_bits(sim: &mut Simulator<'_>, n: &Netlist, prefix: &str, width: usize, value: u64) {
+    for i in 0..width {
+        let net = n.find_net(&format!("{prefix}{i}")).expect("data net");
+        sim.set_input(net, Level::from_bool(value >> i & 1 == 1));
+    }
+}
+
+fn read_bits(sim: &Simulator<'_>, nets: &[NetId]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, &net) in nets.iter().enumerate() {
+        match sim.level(net).to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}
+
+proptest! {
+    // These drive full circuits; keep the case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The hardware priority queue returns the same heads as a software
+    /// sorted list, for arbitrary insert/extract scripts.
+    #[test]
+    fn priority_queue_matches_reference(
+        script in proptest::collection::vec((any::<bool>(), 0u64..15), 1..10)
+    ) {
+        let params = PriorityQueueParams {
+            records: 4,
+            bits: 4,
+            fields: 1,
+            clock_half_period: 64,
+        };
+        let inst = build_pq(&params);
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        let clock = |sim: &mut Simulator<'_>| {
+            sim.set_input(net("clk"), Level::One);
+            settle(sim, 200);
+            sim.set_input(net("clk"), Level::Zero);
+            settle(sim, 200);
+        };
+        // Reset.
+        for s in ["insert", "extract", "clk"] {
+            sim.set_input(net(s), Level::Zero);
+        }
+        sim.set_input(net("rst"), Level::One);
+        settle(&mut sim, 200);
+        clock(&mut sim);
+        clock(&mut sim);
+        sim.set_input(net("rst"), Level::Zero);
+        settle(&mut sim, 200);
+
+        let mut reference: Vec<u64> = Vec::new();
+        for (is_insert, value) in script {
+            if is_insert && reference.len() < 4 {
+                set_bits(&mut sim, n, "data", 4, value);
+                sim.set_input(net("insert"), Level::One);
+                settle(&mut sim, 200);
+                clock(&mut sim);
+                sim.set_input(net("insert"), Level::Zero);
+                settle(&mut sim, 200);
+                reference.push(value);
+                reference.sort_unstable();
+            } else if !reference.is_empty() {
+                sim.set_input(net("extract"), Level::One);
+                settle(&mut sim, 200);
+                clock(&mut sim);
+                sim.set_input(net("extract"), Level::Zero);
+                settle(&mut sim, 200);
+                reference.remove(0);
+            }
+            let expect = reference.first().copied().unwrap_or(0b1111);
+            let head = read_bits(&sim, n.outputs());
+            prop_assert_eq!(head, Some(expect), "reference {:?}", reference);
+        }
+    }
+
+    /// The RTP chip's dose accumulator equals the software sum of
+    /// products for arbitrary beam lists.
+    #[test]
+    fn rtp_dose_matches_reference(
+        beams in proptest::collection::vec((0u64..16, 0u64..16), 1..4)
+    ) {
+        let params = RtpParams {
+            bits: 4,
+            accum_bits: 10,
+            clock_half_period: 64,
+        };
+        let inst = build_rtp(&params);
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        let clock = |sim: &mut Simulator<'_>| {
+            sim.set_input(net("clk"), Level::One);
+            settle(sim, 200);
+            sim.set_input(net("clk"), Level::Zero);
+            settle(sim, 200);
+        };
+        for s in ["clk", "load"] {
+            sim.set_input(net(s), Level::Zero);
+        }
+        sim.set_input(net("rst"), Level::One);
+        settle(&mut sim, 200);
+        clock(&mut sim);
+        clock(&mut sim);
+        sim.set_input(net("rst"), Level::Zero);
+        settle(&mut sim, 200);
+        clock(&mut sim);
+
+        let mut expected: u64 = 0;
+        for (w, d) in beams {
+            set_bits(&mut sim, n, "w", 4, w);
+            set_bits(&mut sim, n, "dist", 4, d);
+            sim.set_input(net("load"), Level::One);
+            settle(&mut sim, 200);
+            clock(&mut sim);
+            sim.set_input(net("load"), Level::Zero);
+            settle(&mut sim, 200);
+            for _ in 0..8 {
+                clock(&mut sim);
+            }
+            expected = (expected + w * d) % (1 << 10);
+            // Dose register outputs are outputs[1..] (output[0] = done).
+            let dose = read_bits(&sim, &n.outputs()[1..]);
+            prop_assert_eq!(dose, Some(expected), "after beam {}x{}", w, d);
+        }
+    }
+
+    /// CAM: after writing distinct values to all words, searching for
+    /// each value matches exactly its word.
+    #[test]
+    fn cam_matches_reference(perm in Just(()).prop_perturb(|(), mut rng| {
+        // A random permutation of 4 distinct 4-bit values.
+        let mut vals = [0b0001u64, 0b0110, 0b1010, 0b1111];
+        for i in (1..4).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            vals.swap(i, j);
+        }
+        vals
+    })) {
+        let params = AssocMemParams {
+            words: 4,
+            bits: 4,
+            vector_period: 32,
+        };
+        let inst = build_am(&params);
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        sim.set_input(net("write_en"), Level::Zero);
+        sim.set_input(net("search_req"), Level::Zero);
+        for (w, &value) in perm.iter().enumerate() {
+            set_bits(&mut sim, n, "addr", 2, w as u64);
+            set_bits(&mut sim, n, "data", 4, value);
+            settle(&mut sim, 96);
+            sim.set_input(net("write_en"), Level::One);
+            settle(&mut sim, 96);
+            sim.set_input(net("write_en"), Level::Zero);
+            settle(&mut sim, 96);
+        }
+        for (w, &value) in perm.iter().enumerate() {
+            set_bits(&mut sim, n, "key", 4, value);
+            settle(&mut sim, 96);
+            for (other, _) in perm.iter().enumerate() {
+                let ml = net(&format!("match{other}"));
+                let expect = Level::from_bool(other == w);
+                prop_assert_eq!(sim.level(ml), expect,
+                    "search {:#06b}: match line {}", value, other);
+            }
+        }
+    }
+
+    /// Crossbar: a single requester always gets its data to the
+    /// requested output, for arbitrary (input, output, data) triples.
+    #[test]
+    fn crossbar_routes_arbitrary_requests(
+        input in 0u32..4,
+        output in 0u32..4,
+        data in 0u64..256,
+    ) {
+        let inst = build_cb(&CrossbarParams {
+            ports: 4,
+            width: 8,
+            vector_period: 32,
+        });
+        let n = &inst.netlist;
+        let net = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(n);
+        for i in 0..4 {
+            sim.set_input(net(&format!("req{i}")), Level::Zero);
+            sim.set_input(net(&format!("ack_out{i}")), Level::Zero);
+            set_bits(&mut sim, n, &format!("dst{i}_"), 2, 0);
+            set_bits(&mut sim, n, &format!("data{i}_"), 8, 0);
+        }
+        settle(&mut sim, 128);
+        set_bits(&mut sim, n, &format!("data{input}_"), 8, data);
+        set_bits(&mut sim, n, &format!("dst{input}_"), 2, u64::from(output));
+        settle(&mut sim, 128);
+        sim.set_input(net(&format!("req{input}")), Level::One);
+        settle(&mut sim, 128);
+        let out_nets: Vec<NetId> = (0..8)
+            .map(|k| net(&format!("out{output}_{k}")))
+            .collect();
+        prop_assert_eq!(read_bits(&sim, &out_nets), Some(data));
+        prop_assert_eq!(sim.level(net(&format!("req_out{output}"))), Level::One);
+        // Handshake completes.
+        sim.set_input(net(&format!("ack_out{output}")), Level::One);
+        settle(&mut sim, 128);
+        prop_assert_eq!(sim.level(net(&format!("ack_in{input}"))), Level::One);
+    }
+}

@@ -1,0 +1,157 @@
+//! Closed-form speed-up bounds (paper Eq. 14-16, Section 6).
+
+use crate::partition_model::messages_approx;
+use logicsim_stats::Workload;
+
+/// Idealized speed-up when evaluation time dominates and the load is
+/// balanced (Eq. 14):
+///
+/// ```text
+/// S*_P = H*N*L / (N/P + L - 1)   for P <= N
+///      = H*N                     for P >= N
+/// ```
+///
+/// `n_simultaneity` is `N = E/B`. The heavy-load limit is `H*L*P`; the
+/// light-load limit (pipeline fill/drain effects) is `H*N`.
+///
+/// ```
+/// use logicsim_core::bounds::ideal_speedup;
+/// // The paper's crossbar example: H=100, N=80 caps at 8,000.
+/// assert_eq!(ideal_speedup(100.0, 80.0, 5, 500), 8_000.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+#[must_use]
+pub fn ideal_speedup(h: f64, n_simultaneity: f64, stages: u32, processors: u32) -> f64 {
+    assert!(h > 0.0 && n_simultaneity > 0.0, "H and N must be positive");
+    assert!(stages >= 1 && processors >= 1, "L and P are at least 1");
+    let n = n_simultaneity;
+    let l = f64::from(stages);
+    let p = f64::from(processors);
+    if p >= n {
+        h * n
+    } else {
+        h * n * l / (n / p + l - 1.0)
+    }
+}
+
+/// Communication-dominated speed-up (Eq. 15):
+///
+/// ```text
+/// S†_P = E * W * (tE_B / tM) / (M_inf * (1 - 1/P))
+/// ```
+///
+/// Decreases with `P` (more partitioning means more messages over a
+/// saturated network) toward the limit of [`comm_limit`].
+///
+/// Returns infinity for `P = 1` (no communication at all).
+///
+/// # Panics
+///
+/// Panics if `processors == 0` or the workload has no messages.
+#[must_use]
+pub fn comm_bound_speedup(
+    workload: &Workload,
+    comm_width: f64,
+    t_eval_base: f64,
+    t_msg: f64,
+    processors: u32,
+) -> f64 {
+    assert!(workload.messages_inf > 0.0, "workload has no messages");
+    let m_p = messages_approx(workload.messages_inf, processors);
+    if m_p == 0.0 {
+        return f64::INFINITY;
+    }
+    workload.events * comm_width * (t_eval_base / t_msg) / m_p
+}
+
+/// The `P -> inf` limit of the communication-dominated speed-up
+/// (Eq. 16): `E * W * (tE_B / tM) / M_inf`.
+///
+/// # Panics
+///
+/// Panics if the workload has no messages.
+#[must_use]
+pub fn comm_limit(workload: &Workload, comm_width: f64, t_eval_base: f64, t_msg: f64) -> f64 {
+    assert!(workload.messages_inf > 0.0, "workload has no messages");
+    workload.events * comm_width * (t_eval_base / t_msg) / workload.messages_inf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_data::average_workload_table8;
+
+    #[test]
+    fn crossbar_switch_limit_is_hn() {
+        // Paper Section 6: crossbar switch with N=80, H=100 -> bound
+        // HN = 8,000 for P >= 80.
+        assert!((ideal_speedup(100.0, 80.0, 5, 80) - 8_000.0).abs() < 1e-9);
+        assert!((ideal_speedup(100.0, 80.0, 5, 500) - 8_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_load_approximates_hlp() {
+        // N >> P*L: S* ~ H*L*P = 500P for H=100, L=5 (paper Figure 2).
+        let s = ideal_speedup(100.0, 100_000.0, 5, 10);
+        assert!((s - 5_000.0).abs() / 5_000.0 < 0.001, "S = {s}");
+    }
+
+    #[test]
+    fn uniprocessor_pipeline_bound_hl() {
+        // Section 6: S_1* ~ H*L when heavily loaded: H=10, L=5 -> ~50.
+        let s = ideal_speedup(10.0, 10_000.0, 5, 1);
+        assert!((s - 50.0).abs() / 50.0 < 0.001, "S = {s}");
+    }
+
+    #[test]
+    fn monotone_nondecreasing_in_p() {
+        let mut prev = 0.0;
+        for p in 1..2000 {
+            let s = ideal_speedup(100.0, 1_279.0, 5, p);
+            assert!(s >= prev - 1e-9, "P={p}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn continuous_at_p_equals_n() {
+        // At P = N the two branches of Eq. 14 agree: N/P = 1 gives
+        // H*N*L/L = H*N.
+        let n = 500.0;
+        let below = ideal_speedup(10.0, n, 5, 500);
+        assert!((below - 10.0 * n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_bound_decreases_with_p_to_limit() {
+        let w = average_workload_table8();
+        let limit = comm_limit(&w, 1.0, 4_000.0, 3.0);
+        let mut prev = f64::INFINITY;
+        for p in 2..100 {
+            let s = comm_bound_speedup(&w, 1.0, 4_000.0, 3.0, p);
+            assert!(s <= prev);
+            assert!(s >= limit);
+            prev = s;
+        }
+        // Within 2% of the limit by P = 50.
+        let s50 = comm_bound_speedup(&w, 1.0, 4_000.0, 3.0, 50);
+        assert!((s50 - limit) / limit < 0.021);
+    }
+
+    #[test]
+    fn comm_limit_value_for_average_workload() {
+        // E*W*(tEB/tM)/M_inf = 10.37e6 * 1 * (4000/3) / 21.77e6 ~ 635.
+        let w = average_workload_table8();
+        let limit = comm_limit(&w, 1.0, 4_000.0, 3.0);
+        assert!((limit - 635.0).abs() < 15.0, "limit = {limit}");
+    }
+
+    #[test]
+    fn p1_comm_bound_is_infinite() {
+        let w = average_workload_table8();
+        assert!(comm_bound_speedup(&w, 1.0, 4_000.0, 3.0, 1).is_infinite());
+    }
+}

@@ -1,0 +1,218 @@
+//! Minimum-cost design selection.
+//!
+//! Section 3.2 states the design problem: "when synchronization is
+//! fast, the design problem is to balance the number and speed of the
+//! event/function evaluators with the communication network so that
+//! most of the hardware is utilized near its capacity at minimum
+//! cost." The paper never formalizes cost; this module supplies the
+//! obvious linear model — a price per processor (scaling with its
+//! specialization factor `H` and pipeline depth `L`) and a price per
+//! bus — and searches the design space for the cheapest configuration
+//! reaching a target speed-up, reporting its utilization balance.
+
+use crate::design::design_for;
+use crate::params::BaseMachine;
+use crate::runtime::{max_useful_processors, run_time};
+use crate::speedup::speedup;
+use logicsim_stats::Workload;
+use serde::{Deserialize, Serialize};
+
+/// A linear hardware cost model in arbitrary cost units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of one baseline (H = 1, L = 1) evaluator.
+    pub processor_base: f64,
+    /// Exponent on `H`: a 10x-faster evaluator costs
+    /// `processor_base * 10^h_exponent` (sublinear exponents model the
+    /// microcode-vs-custom-silicon spectrum; the paper's H=1000 remark
+    /// "larger speed-ups can be obtained at higher costs" motivates a
+    /// superlinear choice).
+    pub h_exponent: f64,
+    /// Additional cost per pipeline stage beyond the first, as a
+    /// fraction of the evaluator's cost.
+    pub stage_fraction: f64,
+    /// Cost of one bus of the communication network.
+    pub bus: f64,
+}
+
+impl CostModel {
+    /// A reasonable default: a specialized evaluator costs `H^1.2`
+    /// baseline units, each extra pipeline stage 15% more, and a bus
+    /// costs as much as four baseline evaluators.
+    #[must_use]
+    pub fn default_1987() -> CostModel {
+        CostModel {
+            processor_base: 1.0,
+            h_exponent: 1.2,
+            stage_fraction: 0.15,
+            bus: 4.0,
+        }
+    }
+
+    /// Cost of a full machine.
+    #[must_use]
+    pub fn machine_cost(&self, processors: u32, h: f64, stages: u32, buses: u32) -> f64 {
+        let evaluator = self.processor_base
+            * h.powf(self.h_exponent)
+            * (1.0 + self.stage_fraction * f64::from(stages - 1));
+        f64::from(processors) * evaluator + f64::from(buses) * self.bus
+    }
+}
+
+/// A costed design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostedDesign {
+    /// Processors.
+    pub processors: u32,
+    /// Specialization factor.
+    pub h: f64,
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Buses.
+    pub buses: u32,
+    /// Predicted speed-up.
+    pub speedup: f64,
+    /// Cost in the model's units.
+    pub cost: f64,
+    /// Communication/evaluation time ratio (1.0 = the paper's balanced
+    /// system).
+    pub balance: f64,
+}
+
+/// Searches a discrete design space for the cheapest machine reaching
+/// `target_speedup`, returning `None` when nothing in the space does.
+///
+/// The candidate grid is the paper's Table 7 axes extended with the
+/// H values given; `P` sweeps `1..=max_p` clamped to `N`.
+#[must_use]
+pub fn cheapest_design(
+    workload: &Workload,
+    base: &BaseMachine,
+    cost: &CostModel,
+    target_speedup: f64,
+    h_values: &[f64],
+    max_p: u32,
+    t_m: f64,
+) -> Option<CostedDesign> {
+    let mut best: Option<CostedDesign> = None;
+    let p_cap = max_p.min(max_useful_processors(workload)).max(1);
+    for &h in h_values {
+        for stages in [1u32, 5] {
+            for buses in 1u32..=4 {
+                for p in 1..=p_cap {
+                    let d = design_for(base, h, f64::from(buses), stages, t_m, 1.0, p);
+                    let s = speedup(workload, &d, base, 1.0);
+                    if s < target_speedup {
+                        continue;
+                    }
+                    let c = cost.machine_cost(p, h, stages, buses);
+                    if best.is_none_or(|b| c < b.cost) {
+                        let rt = run_time(workload, &d, 1.0);
+                        best = Some(CostedDesign {
+                            processors: p,
+                            h,
+                            stages,
+                            buses,
+                            speedup: s,
+                            cost: c,
+                            balance: rt.balance(),
+                        });
+                    }
+                    // Larger P at the same (h, stages, buses) only costs
+                    // more once the target is reached.
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_data::average_workload_table8;
+
+    fn setup() -> (Workload, BaseMachine, CostModel) {
+        (
+            average_workload_table8(),
+            BaseMachine::vax_11_750(),
+            CostModel::default_1987(),
+        )
+    }
+
+    #[test]
+    fn machine_cost_components() {
+        let c = CostModel {
+            processor_base: 2.0,
+            h_exponent: 1.0,
+            stage_fraction: 0.5,
+            bus: 10.0,
+        };
+        // 4 processors at H=10, L=3 (2 extra stages -> x2), 2 buses:
+        // 4 * (2*10*2) + 2*10 = 160 + 20.
+        assert!((c.machine_cost(4, 10.0, 3, 2) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheapest_design_meets_target() {
+        let (w, base, cost) = setup();
+        let d = cheapest_design(&w, &base, &cost, 500.0, &[1.0, 10.0, 100.0], 50, 3.0)
+            .expect("target reachable");
+        assert!(d.speedup >= 500.0);
+        // Every other candidate meeting the target costs at least as much.
+        for h in [1.0, 10.0, 100.0] {
+            for stages in [1u32, 5] {
+                for buses in 1u32..=4 {
+                    for p in 1..=50u32 {
+                        let dd = design_for(&base, h, f64::from(buses), stages, 3.0, 1.0, p);
+                        let s = crate::speedup::speedup(&w, &dd, &base, 1.0);
+                        if s >= 500.0 {
+                            let c = cost.machine_cost(p, h, stages, buses);
+                            assert!(c >= d.cost - 1e-9, "missed cheaper {h}/{stages}/{buses}/{p}");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let (w, base, cost) = setup();
+        // The communication cap is ~3.3k; 50k is unreachable in-space.
+        assert!(cheapest_design(&w, &base, &cost, 50_000.0, &[1.0, 10.0, 100.0], 50, 3.0)
+            .is_none());
+    }
+
+    #[test]
+    fn higher_targets_cost_more() {
+        let (w, base, cost) = setup();
+        let mut prev = 0.0;
+        for target in [50.0, 200.0, 500.0, 1_000.0, 2_000.0] {
+            let d = cheapest_design(&w, &base, &cost, target, &[1.0, 10.0, 100.0], 50, 3.0)
+                .expect("reachable");
+            assert!(d.cost >= prev, "target {target}: cost {} < {prev}", d.cost);
+            prev = d.cost;
+        }
+    }
+
+    #[test]
+    fn expensive_buses_shift_choice_toward_fewer_buses() {
+        let (w, base, _) = setup();
+        let cheap_bus = CostModel {
+            bus: 0.1,
+            ..CostModel::default_1987()
+        };
+        let dear_bus = CostModel {
+            bus: 500.0,
+            ..CostModel::default_1987()
+        };
+        let a = cheapest_design(&w, &base, &cheap_bus, 1_500.0, &[10.0, 100.0], 50, 3.0)
+            .expect("reachable");
+        let b = cheapest_design(&w, &base, &dear_bus, 1_500.0, &[10.0, 100.0], 50, 3.0)
+            .expect("reachable");
+        assert!(b.buses <= a.buses, "dear {} vs cheap {}", b.buses, a.buses);
+    }
+}

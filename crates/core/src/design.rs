@@ -1,0 +1,452 @@
+//! Design-space exploration (paper Section 7, Tables 7 and 9).
+//!
+//! The paper sweeps 36 designs — `H in {1,10,100}`, `W in {1,2,3}`,
+//! `L in {1,5}`, `t_M in {2,3}` syncs — over processor populations 1-50
+//! and reports, per design, the population maximizing speed-up (Table 9)
+//! plus the speed-up curves (Figures 3-5). This module reproduces that
+//! search and adds the "rules of thumb" the model supports: bottleneck
+//! classification and balanced-design sizing.
+
+use crate::params::{BaseMachine, MachineDesign};
+use crate::runtime::{max_useful_processors, run_time, Bottleneck};
+use crate::speedup::speedup;
+use logicsim_stats::Workload;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table 7 design space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Pipeline depths `L` to explore.
+    pub pipeline_depths: Vec<u32>,
+    /// Message transmission times `t_M` (syncs).
+    pub t_msgs: Vec<f64>,
+    /// Communication widths `W`.
+    pub comm_widths: Vec<f64>,
+    /// Technology/specialization factors `H`.
+    pub h_factors: Vec<f64>,
+    /// Largest processor population considered.
+    pub max_processors: u32,
+    /// Synchronization time (syncs).
+    pub t_sync: f64,
+}
+
+impl DesignSpace {
+    /// Exactly the paper's Table 7.
+    #[must_use]
+    pub fn paper_table7() -> DesignSpace {
+        DesignSpace {
+            pipeline_depths: vec![1, 5],
+            t_msgs: vec![2.0, 3.0],
+            comm_widths: vec![1.0, 2.0, 3.0],
+            h_factors: vec![1.0, 10.0, 100.0],
+            max_processors: 50,
+            t_sync: 1.0,
+        }
+    }
+
+    /// Number of `(H, W, L, t_M)` combinations.
+    #[must_use]
+    pub fn num_designs(&self) -> usize {
+        self.pipeline_depths.len() * self.t_msgs.len() * self.comm_widths.len() * self.h_factors.len()
+    }
+
+    /// Iterates all `(h, w, l, t_m)` combinations in Table 9 order
+    /// (grouped by `H`, then `W`, then `L`, with `t_M` innermost).
+    pub fn combinations(&self) -> impl Iterator<Item = (f64, f64, u32, f64)> + '_ {
+        self.h_factors.iter().flat_map(move |&h| {
+            self.comm_widths.iter().flat_map(move |&w| {
+                self.pipeline_depths.iter().flat_map(move |&l| {
+                    self.t_msgs.iter().map(move |&tm| (h, w, l, tm))
+                })
+            })
+        })
+    }
+}
+
+/// The best operating point of one design: the processor population
+/// (up to the sweep bound) that maximizes speed-up.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Processor count achieving the maximum.
+    pub processors: u32,
+    /// The speed-up there.
+    pub speedup: f64,
+    /// The bottleneck at that point.
+    pub bottleneck: Bottleneck,
+}
+
+/// One row of the reproduced Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table9Row {
+    /// Technology/specialization factor `H`.
+    pub h: f64,
+    /// Communication width `W`.
+    pub w: f64,
+    /// Pipeline depth `L`.
+    pub l: u32,
+    /// Best point with `t_M = 3` syncs.
+    pub tm3: OperatingPoint,
+    /// Best point with `t_M = 2` syncs.
+    pub tm2: OperatingPoint,
+}
+
+/// Builds the design for given sweep coordinates.
+#[must_use]
+pub fn design_for(
+    base: &BaseMachine,
+    h: f64,
+    w: f64,
+    l: u32,
+    t_m: f64,
+    t_sync: f64,
+    processors: u32,
+) -> MachineDesign {
+    MachineDesign::new(processors, l, w, base.t_eval / h, t_m, t_sync)
+}
+
+/// Finds the processor population in `1..=max_p` maximizing speed-up
+/// for fixed `(H, W, L, t_M)`. Ties favor the larger population, which
+/// matches the paper's convention of printing `P = 50` for designs
+/// whose speed-up is still rising (or flat) at the sweep bound.
+///
+/// The sweep is clamped to `N = E/B`: "designs with more than N
+/// processors are not considered" (paper Section 3.2) — beyond it the
+/// pipeline term's per-processor load drops below one event per tick
+/// and the model is no longer valid.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (H, W, L, tM, ...) parameterization
+pub fn best_operating_point(
+    workload: &Workload,
+    base: &BaseMachine,
+    h: f64,
+    w: f64,
+    l: u32,
+    t_m: f64,
+    t_sync: f64,
+    max_p: u32,
+    beta: f64,
+) -> OperatingPoint {
+    let max_p = max_p.min(max_useful_processors(workload)).max(1);
+    let mut best_p = 1;
+    let mut best_s = f64::MIN;
+    for p in 1..=max_p {
+        let d = design_for(base, h, w, l, t_m, t_sync, p);
+        let s = speedup(workload, &d, base, beta);
+        // ">= best_s * (1+eps)" would under-report plateaus; use >= with
+        // a tolerance so flat curves report the largest P, like Table 9.
+        if s >= best_s - best_s.abs() * 1e-9 {
+            if s > best_s {
+                best_s = s;
+            }
+            best_p = p;
+        }
+    }
+    let d = design_for(base, h, w, l, t_m, t_sync, best_p);
+    OperatingPoint {
+        processors: best_p,
+        speedup: best_s,
+        bottleneck: run_time(workload, &d, beta).bottleneck(),
+    }
+}
+
+/// Reproduces Table 9: for every `(H, W, L)` the best operating points
+/// at `t_M = 3` and `t_M = 2` syncs.
+#[must_use]
+pub fn table9(workload: &Workload, base: &BaseMachine, space: &DesignSpace) -> Vec<Table9Row> {
+    let mut rows = Vec::new();
+    for &h in &space.h_factors {
+        for &w in &space.comm_widths {
+            for &l in &space.pipeline_depths {
+                let mut points = space.t_msgs.iter().map(|&tm| {
+                    best_operating_point(
+                        workload,
+                        base,
+                        h,
+                        w,
+                        l,
+                        tm,
+                        space.t_sync,
+                        space.max_processors,
+                        1.0,
+                    )
+                });
+                // Table 7 lists t_M as {2, 3}; Table 9 prints the 3-sync
+                // column first. `DesignSpace::paper_table7` stores [2,3].
+                let tm2 = points.next().expect("two t_M values");
+                let tm3 = points.next().expect("two t_M values");
+                rows.push(Table9Row { h, w, l, tm3, tm2 });
+            }
+        }
+    }
+    rows
+}
+
+/// A speed-up curve over processor populations (Figures 2-5 series).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupCurve {
+    /// Curve label, e.g. `"L=5 W=2"`.
+    pub label: String,
+    /// `(P, S_P)` samples for `P = 1..=max`.
+    pub points: Vec<(u32, f64)>,
+}
+
+/// Sweeps speed-up over `P = 1..=max_p` for one design family.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (H, W, L, tM, ...) parameterization
+pub fn speedup_curve(
+    workload: &Workload,
+    base: &BaseMachine,
+    h: f64,
+    w: f64,
+    l: u32,
+    t_m: f64,
+    t_sync: f64,
+    max_p: u32,
+    beta: f64,
+) -> SpeedupCurve {
+    let points = (1..=max_p)
+        .map(|p| {
+            let d = design_for(base, h, w, l, t_m, t_sync, p);
+            (p, speedup(workload, &d, base, beta))
+        })
+        .collect();
+    SpeedupCurve {
+        label: format!("H={h} W={w} L={l} tM={t_m}"),
+        points,
+    }
+}
+
+/// The smallest processor population at which the communication network
+/// saturates (communication time first equals or exceeds evaluation
+/// time), or `None` if the design stays evaluation-limited through
+/// `max_p`. The paper's balanced designs sit exactly at this knee.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the paper's (H, W, L, tM, ...) parameterization
+pub fn saturation_knee(
+    workload: &Workload,
+    base: &BaseMachine,
+    h: f64,
+    w: f64,
+    l: u32,
+    t_m: f64,
+    t_sync: f64,
+    max_p: u32,
+) -> Option<u32> {
+    (1..=max_p).find(|&p| {
+        let d = design_for(base, h, w, l, t_m, t_sync, p);
+        let rt = run_time(workload, &d, 1.0);
+        rt.comm >= rt.eval
+    })
+}
+
+/// Closed-form saturation knee: the processor count at which
+/// communication time first equals evaluation time.
+///
+/// Setting Eq. 10's two arms equal with `beta = 1`:
+///
+/// ```text
+/// E*tE/(L*P) + B*tE*(L-1)/L  =  M_inf*(1 - 1/P)*tM/W
+/// ```
+///
+/// and solving for `P` (let `A = E*tE/L`, `C = B*tE*(L-1)/L`,
+/// `D = M_inf*tM/W`):
+///
+/// ```text
+/// P* = (A + D) / (D - C)
+/// ```
+///
+/// For `L = 1` this reduces to `E*tE*W/(M_inf*tM) + 1`. Returns
+/// infinity when the design never saturates (`D <= C`: the network
+/// outruns even the pipeline's fill/drain floor).
+#[must_use]
+pub fn analytic_knee(
+    workload: &Workload,
+    base: &BaseMachine,
+    h: f64,
+    w: f64,
+    l: u32,
+    t_m: f64,
+) -> f64 {
+    let t_e = base.t_eval / h;
+    let l_f = f64::from(l);
+    let a = workload.events * t_e / l_f;
+    let c = workload.busy_ticks * t_e * (l_f - 1.0) / l_f;
+    let d = workload.messages_inf * t_m / w;
+    if d <= c {
+        f64::INFINITY
+    } else {
+        (a + d) / (d - c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_data::average_workload_table8;
+
+    fn setup() -> (Workload, BaseMachine, DesignSpace) {
+        (
+            average_workload_table8(),
+            BaseMachine::vax_11_750(),
+            DesignSpace::paper_table7(),
+        )
+    }
+
+    #[test]
+    fn table7_has_36_designs() {
+        let space = DesignSpace::paper_table7();
+        assert_eq!(space.num_designs(), 36);
+        assert_eq!(space.combinations().count(), 36);
+    }
+
+    #[test]
+    fn table9_row_count_and_grouping() {
+        let (w, base, space) = setup();
+        let rows = table9(&w, &base, &space);
+        assert_eq!(rows.len(), 18); // 3 H x 3 W x 2 L, two t_M per row
+        assert_eq!(rows[0].h, 1.0);
+        assert_eq!(rows[17].h, 100.0);
+    }
+
+    /// Full reproduction of Table 9's H=1 and H=100 blocks (the H=10
+    /// L=1 rows are the paper's typo; see EXPERIMENTS.md).
+    #[test]
+    fn table9_values_match_paper() {
+        let (w, base, space) = setup();
+        let rows = table9(&w, &base, &space);
+        let find = |h: f64, ww: f64, l: u32| {
+            *rows
+                .iter()
+                .find(|r| r.h == h && r.w == ww && r.l == l)
+                .unwrap()
+        };
+        // H=1: all designs evaluation-limited, best at P=50.
+        for ww in [1.0, 2.0, 3.0] {
+            let r1 = find(1.0, ww, 1);
+            assert_eq!(r1.tm3.processors, 50);
+            assert!((r1.tm3.speedup - 50.0).abs() < 1.0);
+            let r5 = find(1.0, ww, 5);
+            assert_eq!(r5.tm3.processors, 50);
+            assert!((r5.tm3.speedup - 216.0).abs() < 4.0);
+        }
+        // H=10, L=5: communication knee inside the sweep.
+        let r = find(10.0, 1.0, 5);
+        assert_eq!(r.tm3.processors, 15);
+        assert!((r.tm3.speedup - 680.0).abs() / 680.0 < 0.01);
+        // The paper prints (P=50, S=970) here, but exact optimization of
+        // its own model peaks at the eval/comm crossover P ~ 21 with
+        // S ~ 987 (the curve then sags ~2% by P=50). We assert the model
+        // truth; EXPERIMENTS.md records the printed-value deviation.
+        assert!((20..=23).contains(&r.tm2.processors), "P={}", r.tm2.processors);
+        assert!((r.tm2.speedup - 970.0).abs() / 970.0 < 0.03);
+        let r = find(10.0, 3.0, 5);
+        assert_eq!(r.tm3.processors, 45);
+        assert!((r.tm3.speedup - 1_943.0).abs() / 1_943.0 < 0.01);
+        // H=100 block.
+        let r = find(100.0, 1.0, 1);
+        assert_eq!(r.tm3.processors, 8);
+        assert!((r.tm3.speedup - 725.0).abs() / 725.0 < 0.01);
+        assert_eq!(r.tm2.processors, 11);
+        assert!((r.tm2.speedup - 1_046.0).abs() / 1_046.0 < 0.01);
+        let r = find(100.0, 3.0, 5);
+        assert_eq!(r.tm3.processors, 5);
+        assert!((r.tm3.speedup - 2_373.0).abs() / 2_373.0 < 0.01);
+        assert_eq!(r.tm2.processors, 7);
+        assert!((r.tm2.speedup - 3_317.0).abs() / 3_317.0 < 0.01);
+    }
+
+    #[test]
+    fn paper_h10_l1_rows_are_typos() {
+        // The printed Table 9 shows S=50 for H=10, L=1 designs; the
+        // model (and the printed tM=2/W=1 cell of 500) give ~500.
+        let (w, base, space) = setup();
+        let rows = table9(&w, &base, &space);
+        let r = rows
+            .iter()
+            .find(|r| r.h == 10.0 && r.w == 1.0 && r.l == 1)
+            .unwrap();
+        assert_eq!(r.tm2.processors, 50);
+        assert!((r.tm2.speedup - 500.0).abs() < 5.0);
+        assert!((r.tm3.speedup - 500.0).abs() < 5.0); // paper prints 50
+    }
+
+    #[test]
+    fn figure4_shape_pipelined_curves_saturate() {
+        // H=10, L=5, tM=3: the knee is ~P=15 for W=1 and ~2x for W=2
+        // (the paper: "approximately twice as many processors to
+        // saturate ... with W=2").
+        let (w, base, _) = setup();
+        let k1 = saturation_knee(&w, &base, 10.0, 1.0, 5, 3.0, 1.0, 50).unwrap();
+        let k2 = saturation_knee(&w, &base, 10.0, 2.0, 5, 3.0, 1.0, 50).unwrap();
+        assert!((14..=16).contains(&k1), "k1={k1}");
+        assert!(
+            (f64::from(k2) / f64::from(k1) - 2.0).abs() < 0.2,
+            "k1={k1} k2={k2}"
+        );
+    }
+
+    #[test]
+    fn figure3_curves_separated_by_factor_l() {
+        // H=1: pipelined vs non-pipelined curves differ by ~L=5 and are
+        // insensitive to W (excess communication capacity).
+        let (w, base, _) = setup();
+        let c_l1 = speedup_curve(&w, &base, 1.0, 1.0, 1, 3.0, 1.0, 50, 1.0);
+        let c_l5 = speedup_curve(&w, &base, 1.0, 1.0, 5, 3.0, 1.0, 50, 1.0);
+        let c_l5_w3 = speedup_curve(&w, &base, 1.0, 3.0, 5, 3.0, 1.0, 50, 1.0);
+        let (_, s1) = c_l1.points[49];
+        let (_, s5) = c_l5.points[49];
+        assert!((s5 / s1 - 4.3).abs() < 0.5, "ratio {}", s5 / s1);
+        for (a, b) in c_l5.points.iter().zip(&c_l5_w3.points) {
+            assert!((a.1 - b.1).abs() < 1e-9, "W matters at P={}", a.0);
+        }
+    }
+
+    #[test]
+    fn figure5_small_p_w_insensitive_large_p_l_insensitive() {
+        // Paper: for P<3 speed-up is insensitive to W; for P>10 it is
+        // insensitive to L (H=100 designs).
+        let (w, base, _) = setup();
+        let at = |ww: f64, l: u32, p: usize| {
+            speedup_curve(&w, &base, 100.0, ww, l, 3.0, 1.0, 50, 1.0).points[p - 1].1
+        };
+        assert!((at(1.0, 5, 2) - at(3.0, 5, 2)).abs() / at(1.0, 5, 2) < 0.01);
+        assert!((at(1.0, 1, 20) - at(1.0, 5, 20)).abs() / at(1.0, 1, 20) < 0.01);
+    }
+
+    #[test]
+    fn tm2_accelerates_comm_limited_designs_by_1_5x() {
+        // Paper Section 7.2: tM=2 accelerates communication-limited
+        // designs by ~1.5x at ~1.5x the population.
+        let (w, base, _) = setup();
+        let p3 = best_operating_point(&w, &base, 100.0, 2.0, 1, 3.0, 1.0, 50, 1.0);
+        let p2 = best_operating_point(&w, &base, 100.0, 2.0, 1, 2.0, 1.0, 50, 1.0);
+        assert!((p2.speedup / p3.speedup - 1.5).abs() < 0.05);
+        assert!((f64::from(p2.processors) / f64::from(p3.processors) - 1.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn analytic_knee_matches_numeric_search() {
+        let (w, base, _) = setup();
+        for (h, ww, l) in [(10.0, 1.0, 5u32), (10.0, 2.0, 5), (10.0, 3.0, 5), (100.0, 3.0, 1)] {
+            let exact = saturation_knee(&w, &base, h, ww, l, 3.0, 1.0, 500)
+                .expect("these designs saturate");
+            let est = analytic_knee(&w, &base, h, ww, l, 3.0);
+            assert!(
+                (est - f64::from(exact)).abs() <= 2.0,
+                "H={h} W={ww} L={l}: est {est:.1} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bottleneck_reported_at_best_point() {
+        let (w, base, _) = setup();
+        // H=1 designs never saturate the network within P <= 50.
+        let op = best_operating_point(&w, &base, 1.0, 1.0, 1, 3.0, 1.0, 50, 1.0);
+        assert_eq!(op.bottleneck, Bottleneck::Evaluation);
+        // At the optimum the machine sits at the eval/comm crossover, so
+        // either may nominally dominate; past it, communication must.
+        let d = design_for(&base, 100.0, 1.0, 5, 3.0, 1.0, 20);
+        assert_eq!(run_time(&w, &d, 1.0).bottleneck(), Bottleneck::Communication);
+    }
+}

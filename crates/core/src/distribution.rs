@@ -1,0 +1,181 @@
+//! Distribution-aware run-time model.
+//!
+//! The paper closes with "work on more accurate models which include
+//! statistical distributions ... are underway". This module is that
+//! next model: instead of assuming events and messages are *evenly
+//! distributed over the B busy ticks* (the mean-value model's first
+//! simplifying assumption), it evaluates the per-tick cost
+//!
+//! ```text
+//! R = I*tSYNC + sum_t [ tSYNC + max( pipe(tE, L, beta*n_t/P),
+//!                                    m_t*(1-1/P)*tM/W ) ]
+//! ```
+//!
+//! over the actual per-tick event/message counts `(n_t, m_t)` — which
+//! can come from a measured trace or from a synthetic distribution.
+//! By Jensen's inequality (the per-tick cost is convex in `n_t`), the
+//! mean-value model is a lower bound on this one; the gap measures how
+//! much the "evenly distributed" assumption hides.
+
+use crate::params::MachineDesign;
+use crate::partition_model::messages_approx;
+use crate::pipeline::pipeline_time;
+use logicsim_stats::Workload;
+
+/// Per-busy-tick load: events applied and messages generated (in the
+/// fully partitioned limit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickLoad {
+    /// Events at this tick (`n_t`).
+    pub events: f64,
+    /// `M_inf` contribution of this tick (`m_t`, before the `1 - 1/P`
+    /// random-partitioning factor).
+    pub messages_inf: f64,
+}
+
+/// Run time under the distribution-aware model.
+///
+/// # Panics
+///
+/// Panics if `beta < 1`.
+#[must_use]
+pub fn run_time_distribution(
+    ticks: &[TickLoad],
+    idle_ticks: f64,
+    design: &MachineDesign,
+    beta: f64,
+) -> f64 {
+    assert!(beta >= 1.0, "beta is at least 1, got {beta}");
+    let p = f64::from(design.processors);
+    let mut total = idle_ticks * design.t_sync;
+    for t in ticks {
+        let n = beta * t.events / p;
+        let eval = if t.events == 0.0 {
+            0.0
+        } else {
+            pipeline_time(design.t_eval, design.pipeline_depth, n)
+        };
+        let comm =
+            messages_approx(t.messages_inf, design.processors) * design.t_msg / design.comm_width;
+        total += design.t_sync + eval.max(comm);
+    }
+    total
+}
+
+/// The mean-value (Eq. 10) prediction for the same aggregate workload,
+/// for gap computation.
+#[must_use]
+pub fn run_time_mean_value(ticks: &[TickLoad], idle_ticks: f64, design: &MachineDesign, beta: f64) -> f64 {
+    let workload = aggregate(ticks, idle_ticks);
+    crate::runtime::run_time(&workload, design, beta).total
+}
+
+/// Folds per-tick loads into the aggregate `(B, I, E, M_inf)` tuple.
+#[must_use]
+pub fn aggregate(ticks: &[TickLoad], idle_ticks: f64) -> Workload {
+    Workload::new(
+        ticks.len() as f64,
+        idle_ticks,
+        ticks.iter().map(|t| t.events).sum(),
+        ticks.iter().map(|t| t.messages_inf).sum(),
+    )
+}
+
+/// The distribution penalty: the ratio of the distribution-aware run
+/// time to the mean-value run time (>= 1 up to pipeline end effects;
+/// exactly 1 for perfectly even loads in the linear regime).
+#[must_use]
+pub fn distribution_penalty(
+    ticks: &[TickLoad],
+    idle_ticks: f64,
+    design: &MachineDesign,
+    beta: f64,
+) -> f64 {
+    let dist = run_time_distribution(ticks, idle_ticks, design, beta);
+    let mean = run_time_mean_value(ticks, idle_ticks, design, beta);
+    dist / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BaseMachine;
+
+    fn design(p: u32, l: u32, w: f64, h: f64) -> MachineDesign {
+        let base = BaseMachine::vax_11_750();
+        MachineDesign::new(p, l, w, base.t_eval / h, 3.0, 1.0)
+    }
+
+    fn even_ticks(b: usize, n: f64, f: f64) -> Vec<TickLoad> {
+        vec![
+            TickLoad {
+                events: n,
+                messages_inf: n * f,
+            };
+            b
+        ]
+    }
+
+    #[test]
+    fn even_distribution_matches_mean_value_without_pipelining() {
+        // L=1: no fill/drain end effects, so even loads make the two
+        // models agree exactly.
+        let ticks = even_ticks(100, 50.0, 2.0);
+        let d = design(5, 1, 1.0, 10.0);
+        let dist = run_time_distribution(&ticks, 900.0, &d, 1.0);
+        let mean = run_time_mean_value(&ticks, 900.0, &d, 1.0);
+        assert!((dist - mean).abs() / mean < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_end_effects_separate_the_models() {
+        // With L=5 the mean-value model charges the fill/drain overhead
+        // once per *average* tick; per-tick evaluation charges it every
+        // tick — same thing for even loads. They still agree.
+        let ticks = even_ticks(100, 50.0, 2.0);
+        let d = design(5, 5, 1.0, 10.0);
+        let penalty = distribution_penalty(&ticks, 900.0, &d, 1.0);
+        assert!((penalty - 1.0).abs() < 1e-9, "penalty {penalty}");
+    }
+
+    #[test]
+    fn uneven_loads_penalize_via_jensen() {
+        // Same totals, alternating heavy/light ticks: max(eval, comm)
+        // is convex, so the distribution model must be slower.
+        let mut ticks = Vec::new();
+        for i in 0..100 {
+            let n = if i % 2 == 0 { 95.0 } else { 5.0 };
+            ticks.push(TickLoad {
+                events: n,
+                messages_inf: n * 2.0,
+            });
+        }
+        let d = design(5, 5, 1.0, 100.0);
+        let penalty = distribution_penalty(&ticks, 900.0, &d, 1.0);
+        // The per-tick cost max(eval, comm) is piecewise linear with a
+        // kink at the crossover; alternating loads straddling the kink
+        // cost a few percent more than their mean.
+        assert!(penalty > 1.02, "penalty {penalty}");
+    }
+
+    #[test]
+    fn aggregate_reconstructs_workload() {
+        let ticks = even_ticks(10, 7.0, 3.0);
+        let w = aggregate(&ticks, 90.0);
+        assert_eq!(w.busy_ticks, 10.0);
+        assert_eq!(w.idle_ticks, 90.0);
+        assert_eq!(w.events, 70.0);
+        assert_eq!(w.messages_inf, 210.0);
+    }
+
+    #[test]
+    fn empty_tick_costs_only_sync() {
+        let ticks = vec![TickLoad {
+            events: 0.0,
+            messages_inf: 0.0,
+        }];
+        let d = design(4, 5, 1.0, 10.0);
+        let r = run_time_distribution(&ticks, 0.0, &d, 1.0);
+        assert!((r - d.t_sync).abs() < 1e-12);
+    }
+}

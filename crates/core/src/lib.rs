@@ -1,0 +1,58 @@
+//! Analytical performance model of multiprocessor logic simulation
+//! machines — the primary contribution of Wong & Franklin, *Performance
+//! Analysis and Design of a Logic Simulation Machine* (WUCS-86-19 /
+//! ISCA 1987).
+//!
+//! The modeled machine class is `UI/GC/Q=P/P/L` in the paper's taxonomy
+//! ([`taxonomy`]): a **U**nit-**I**ncrement, **G**lobal-**C**lock
+//! multiprocessor with one event list per processor, `P` event/function
+//! evaluators each built as an `L`-stage pipeline, and a communication
+//! network that can carry `W` concurrent messages. A master processor
+//! opens every simulated tick with a START broadcast and closes it when
+//! all slaves reply DONE.
+//!
+//! Given a circuit workload `(B, I, E, M_inf)` (measured by
+//! `logicsim-sim` or taken from the paper's published tables in
+//! [`paper_data`]), the model predicts run time (Eq. 1-10, [`runtime`]),
+//! speed-up over a uniprocessor base machine (Eq. 11-13, [`speedup`][mod@speedup]),
+//! and closed-form bounds (Eq. 14-16, [`bounds`]). The [`design`]
+//! module sweeps the paper's Table 7 design space to regenerate the
+//! Table 9 comparison of 36 designs and classify bottlenecks.
+//!
+//! # Example
+//!
+//! Predict the speed-up of the paper's fastest design (H=100, W=3, L=5,
+//! `t_M` = 2 syncs) on the average workload:
+//!
+//! ```
+//! use logicsim_core::{MachineDesign, BaseMachine, speedup::speedup};
+//! use logicsim_core::paper_data::average_workload_table8;
+//!
+//! let workload = average_workload_table8();
+//! let base = BaseMachine::vax_11_750();
+//! let design = MachineDesign::new(7, 5, 3.0, base.t_eval / 100.0, 2.0, 1.0);
+//! let s = speedup(&workload, &design, &base, 1.0);
+//! assert!((s - 3317.0).abs() / 3317.0 < 0.01, "S = {s}");
+//! ```
+
+pub mod bounds;
+pub mod cost;
+pub mod design;
+pub mod distribution;
+pub mod paper_data;
+pub mod params;
+pub mod partition_model;
+pub mod pipeline;
+pub mod runtime;
+pub mod sensitivity;
+pub mod speedup;
+pub mod taxonomy;
+pub mod variants;
+
+pub use params::{BaseMachine, MachineDesign};
+pub use runtime::{run_time, Bottleneck, RunTime};
+pub use speedup::speedup;
+pub use taxonomy::{ArchClass, TimeAdvance, TimeSync};
+
+// Re-export the workload type so downstream users need only this crate.
+pub use logicsim_stats::Workload;

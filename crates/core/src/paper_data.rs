@@ -1,0 +1,199 @@
+//! The paper's published benchmark data (Tables 4, 5, 6, and 8).
+//!
+//! Shipping the published numbers as constants lets every downstream
+//! table and figure be regenerated in two modes: *exact reproduction*
+//! (from this data) and *end-to-end reproduction* (from circuits built
+//! and measured by `logicsim-circuits` + `logicsim-sim`).
+
+use logicsim_stats::{NatureRow, Workload};
+use serde::{Deserialize, Serialize};
+
+/// One benchmark circuit as published: Table 4 structure plus the
+/// Table 5 workload normalized to 100,000 components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperCircuit {
+    /// Circuit name as printed.
+    pub name: &'static str,
+    /// Technology ("nmos"/"cmos").
+    pub technology: &'static str,
+    /// Clocking ("sync"/"async").
+    pub clocking: &'static str,
+    /// Bidirectional switch count (Table 4).
+    pub switches: u32,
+    /// Unidirectional gate count (Table 4).
+    pub gates: u32,
+    /// Approximate transistors (Table 4).
+    pub approx_transistors: u32,
+    /// Normalization factor `X = 100,000 / components` (Table 5).
+    pub scale_x: f64,
+    /// Workload at 100,000 components (Table 5).
+    pub workload: Workload,
+}
+
+impl PaperCircuit {
+    /// Total simulated components (Table 4 "Total").
+    #[must_use]
+    pub fn total_components(&self) -> u32 {
+        self.switches + self.gates
+    }
+
+    /// The Table 6 row derived from the Table 5 workload at 100,000
+    /// components.
+    #[must_use]
+    pub fn nature(&self) -> NatureRow {
+        self.workload.nature(100_000)
+    }
+}
+
+/// The five benchmark circuits exactly as published.
+#[must_use]
+pub fn five_circuits() -> Vec<PaperCircuit> {
+    vec![
+        PaperCircuit {
+            name: "Stop Watch",
+            technology: "nmos",
+            clocking: "sync",
+            switches: 216,
+            gates: 131,
+            approx_transistors: 650,
+            scale_x: 288.2,
+            workload: Workload::new(4_587.0, 515_414.0, 15.1e6, 33.3e6),
+        },
+        PaperCircuit {
+            name: "Assoc. Mem.",
+            technology: "nmos",
+            clocking: "async",
+            switches: 296,
+            gates: 454,
+            approx_transistors: 1_700,
+            scale_x: 133.3,
+            workload: Workload::new(3_140.0, 25_061.0, 2.9e6, 11.0e6),
+        },
+        PaperCircuit {
+            name: "Priority Q.",
+            technology: "cmos",
+            clocking: "sync",
+            switches: 2_960,
+            gates: 720,
+            approx_transistors: 5_100,
+            scale_x: 27.2,
+            workload: Workload::new(10_620.0, 57_631.0, 16.1e6, 24.5e6),
+        },
+        PaperCircuit {
+            name: "RTP Chip",
+            technology: "nmos",
+            clocking: "sync",
+            switches: 1_422,
+            gates: 1_746,
+            approx_transistors: 6_100,
+            scale_x: 31.6,
+            workload: Workload::new(10_225.0, 55_274.0, 5.8e6, 7.8e6),
+        },
+        PaperCircuit {
+            name: "CB Switch",
+            technology: "nmos",
+            clocking: "async",
+            switches: 0,
+            gates: 2_648,
+            approx_transistors: 8_000,
+            scale_x: 37.8,
+            workload: Workload::new(155_000.0, 480_189.0, 12.5e6, 25.1e6),
+        },
+    ]
+}
+
+/// The Table 6 rows exactly as printed (the paper rounded them from the
+/// Table 5 data; [`PaperCircuit::nature`] recomputes them).
+#[must_use]
+pub fn table6_as_printed() -> Vec<NatureRow> {
+    let mk = |bf, n, act, f| NatureRow {
+        busy_fraction: bf,
+        simultaneity: n,
+        activity: act,
+        fanout: f,
+    };
+    vec![
+        mk(0.0088, 3_294.0, 0.033, 2.2),
+        mk(0.1113, 938.0, 0.009, 3.7),
+        mk(0.1556, 1_517.0, 0.015, 1.5),
+        mk(0.1561, 567.0, 0.006, 1.3),
+        mk(0.2440, 80.0, 0.001, 2.0),
+    ]
+}
+
+/// The Table 8 average workload exactly as printed: `B = 8,106`,
+/// `I = 51,894`, `E = 10,367,574`, `M_inf = 21,771,905` over a 60,000
+/// tick run.
+#[must_use]
+pub fn average_workload_table8() -> Workload {
+    Workload::new(8_106.0, 51_894.0, 10_367_574.0, 21_771_905.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_circuits_published_totals() {
+        let cs = five_circuits();
+        assert_eq!(cs.len(), 5);
+        let totals: Vec<u32> = cs.iter().map(PaperCircuit::total_components).collect();
+        assert_eq!(totals, vec![347, 750, 3_680, 3_168, 2_648]);
+        // (The paper prints the RTP total as 3,169 against its own
+        // 1,422 + 1,746 = 3,168 — another small typo.)
+    }
+
+    #[test]
+    fn scale_factor_consistent_with_totals() {
+        for c in five_circuits() {
+            let x = 100_000.0 / f64::from(c.total_components());
+            assert!(
+                (x - c.scale_x).abs() / c.scale_x < 0.01,
+                "{}: X={x} vs printed {}",
+                c.name,
+                c.scale_x
+            );
+        }
+    }
+
+    #[test]
+    fn derived_nature_matches_table6() {
+        let printed = table6_as_printed();
+        for (c, t6) in five_circuits().iter().zip(&printed) {
+            let n = c.nature();
+            assert!(
+                (n.busy_fraction - t6.busy_fraction).abs() < 0.002,
+                "{}: B/(B+I) {} vs {}",
+                c.name,
+                n.busy_fraction,
+                t6.busy_fraction
+            );
+            assert!(
+                (n.simultaneity - t6.simultaneity).abs() / t6.simultaneity < 0.02,
+                "{}: N {} vs {}",
+                c.name,
+                n.simultaneity,
+                t6.simultaneity
+            );
+            assert!(
+                (n.fanout - t6.fanout).abs() < 0.1,
+                "{}: F {} vs {}",
+                c.name,
+                n.fanout,
+                t6.fanout
+            );
+            assert!((n.activity - t6.activity).abs() < 0.002, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn table8_matches_averaging_procedure() {
+        let derived = logicsim_stats::average_workload(&table6_as_printed(), 60_000.0);
+        let printed = average_workload_table8();
+        assert!((derived.busy_ticks - printed.busy_ticks).abs() <= 5.0);
+        assert!((derived.events - printed.events).abs() / printed.events < 0.002);
+        assert!(
+            (derived.messages_inf - printed.messages_inf).abs() / printed.messages_inf < 0.025
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! The random-partitioning message-volume model (paper Eq. 6).
+//!
+//! Under random partitioning of `C` components over `P` processors, a
+//! signal propagation from a component reaches a fanout component on a
+//! different processor with probability `(C - C/P) / (C - 1)`, so the
+//! expected message volume is
+//!
+//! ```text
+//! M_P = M_inf * (C - C/P) / (C - 1)  ~=  M_inf * (1 - 1/P)   for C >> 1
+//! ```
+//!
+//! Random partitioning is an upper bound for any sensible partitioning
+//! strategy; the `logicsim-partition` crate measures how far heuristics
+//! (the paper's "related research in progress") fall below it.
+
+/// Exact expected message volume for `C` components on `P` processors
+/// (Eq. 6 before the large-`C` approximation).
+///
+/// # Panics
+///
+/// Panics if `components < 2` or `processors == 0`.
+#[must_use]
+pub fn messages_exact(m_inf: f64, components: u64, processors: u32) -> f64 {
+    assert!(components >= 2, "need at least two components");
+    assert!(processors >= 1, "need at least one processor");
+    let c = components as f64;
+    let p = f64::from(processors);
+    m_inf * (c - c / p) / (c - 1.0)
+}
+
+/// Large-circuit approximation `M_P = M_inf (1 - 1/P)` used throughout
+/// the paper's evaluation.
+///
+/// # Panics
+///
+/// Panics if `processors == 0`.
+#[must_use]
+pub fn messages_approx(m_inf: f64, processors: u32) -> f64 {
+    assert!(processors >= 1, "need at least one processor");
+    m_inf * (1.0 - 1.0 / f64::from(processors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_processor_sends_nothing() {
+        assert_eq!(messages_approx(1e6, 1), 0.0);
+        assert!(messages_exact(1e6, 1000, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_partitioned_sends_everything() {
+        // P = C: exact model gives M_inf.
+        let m = messages_exact(1e6, 1000, 1000);
+        assert!((m - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approx_converges_to_exact_for_large_c() {
+        for p in [2, 5, 17, 50] {
+            let exact = messages_exact(1.0, 1_000_000, p);
+            let approx = messages_approx(1.0, p);
+            assert!(
+                (exact - approx).abs() < 1e-5,
+                "P={p}: exact={exact} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_in_processors() {
+        let mut prev = -1.0;
+        for p in 1..100 {
+            let m = messages_approx(1e6, p);
+            assert!(m >= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn bounded_by_m_inf() {
+        for p in 1..200 {
+            assert!(messages_approx(42.0, p) <= 42.0);
+        }
+    }
+}

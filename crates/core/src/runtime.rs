@@ -1,0 +1,220 @@
+//! The run-time model (paper Eq. 1-10).
+//!
+//! Per simulated busy tick the machine pays the synchronization cost and
+//! the larger of the evaluation and communication times (they overlap);
+//! idle ticks cost only synchronization:
+//!
+//! ```text
+//! R_P = (B+I)(tS+tD) + max( B * tE/L * (n+L-1),  M_inf(1-1/P)/W * tM )
+//! n   = beta * E / (B * P)
+//! ```
+
+use crate::params::MachineDesign;
+use crate::partition_model::messages_approx;
+use crate::pipeline::pipeline_time;
+use logicsim_stats::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which physical resource limits the machine (Section 3.2's three
+/// candidate bottlenecks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// The slave processors saturate (evaluation dominates).
+    Evaluation,
+    /// The communication network saturates.
+    Communication,
+    /// START/DONE synchronization dominates (mostly-idle workloads on
+    /// very fast hardware).
+    Synchronization,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Bottleneck::Evaluation => "evaluation",
+            Bottleneck::Communication => "communication",
+            Bottleneck::Synchronization => "synchronization",
+        })
+    }
+}
+
+/// A run-time prediction broken into its components (all in syncs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunTime {
+    /// Total predicted run time (Eq. 10).
+    pub total: f64,
+    /// Aggregate event/function evaluation time over all busy ticks.
+    pub eval: f64,
+    /// Aggregate message transmission time.
+    pub comm: f64,
+    /// Aggregate synchronization time `(B+I) * t_SYNC`.
+    pub sync: f64,
+}
+
+impl RunTime {
+    /// The dominant time component.
+    #[must_use]
+    pub fn bottleneck(&self) -> Bottleneck {
+        if self.sync >= self.eval.max(self.comm) {
+            Bottleneck::Synchronization
+        } else if self.eval >= self.comm {
+            Bottleneck::Evaluation
+        } else {
+            Bottleneck::Communication
+        }
+    }
+
+    /// Ratio of communication to evaluation time; 1.0 is the paper's
+    /// "balanced system" where neither resource idles.
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        if self.eval == 0.0 {
+            f64::INFINITY
+        } else {
+            self.comm / self.eval
+        }
+    }
+}
+
+/// Evaluation time over the whole run (the first argument of Eq. 10's
+/// `max`): `B * pipeline_time(tE, L, n)` with `n = beta*E/(B*P)`.
+///
+/// # Panics
+///
+/// Panics if `beta < 1` (by definition `1 <= beta <= P`).
+#[must_use]
+pub fn eval_time(workload: &Workload, design: &MachineDesign, beta: f64) -> f64 {
+    assert!(beta >= 1.0, "beta is at least 1, got {beta}");
+    if workload.busy_ticks == 0.0 {
+        return 0.0;
+    }
+    let n = beta * workload.events / (workload.busy_ticks * f64::from(design.processors));
+    workload.busy_ticks * pipeline_time(design.t_eval, design.pipeline_depth, n)
+}
+
+/// Communication time over the whole run (the second argument of Eq.
+/// 10's `max`): `M_inf (1 - 1/P) * tM / W`, assuming random
+/// partitioning (Eq. 6) and `W`-wide concurrent transmission (Eq. 3).
+#[must_use]
+pub fn comm_time(workload: &Workload, design: &MachineDesign) -> f64 {
+    messages_approx(workload.messages_inf, design.processors) * design.t_msg / design.comm_width
+}
+
+/// Synchronization time over the whole run: `(B + I) * t_SYNC` (Eq. 4).
+#[must_use]
+pub fn sync_time(workload: &Workload, design: &MachineDesign) -> f64 {
+    workload.total_ticks() * design.t_sync
+}
+
+/// The full run-time model (Eq. 10).
+///
+/// The model is valid for `P <= N = E/B` (more processors than
+/// simultaneous events cannot help; see
+/// [`max_useful_processors`]); callers sweeping `P` should clamp there.
+/// The function itself does not reject larger `P` — `n` simply drops
+/// below one event per processor per tick, which the paper's bound
+/// (Eq. 14) caps at `H*N`.
+///
+/// # Panics
+///
+/// Panics if `beta < 1`.
+#[must_use]
+pub fn run_time(workload: &Workload, design: &MachineDesign, beta: f64) -> RunTime {
+    let eval = eval_time(workload, design, beta);
+    let comm = comm_time(workload, design);
+    let sync = sync_time(workload, design);
+    RunTime {
+        total: sync + eval.max(comm),
+        eval,
+        comm,
+        sync,
+    }
+}
+
+/// The largest processor count the model considers useful:
+/// `N = E/B` rounded down (one event per processor per busy tick).
+#[must_use]
+pub fn max_useful_processors(workload: &Workload) -> u32 {
+    workload.simultaneity().floor().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_data::average_workload_table8;
+    use crate::params::BaseMachine;
+
+    fn design(p: u32, l: u32, w: f64, h: f64, tm: f64) -> MachineDesign {
+        let base = BaseMachine::vax_11_750();
+        MachineDesign::new(p, l, w, base.t_eval / h, tm, 1.0)
+    }
+
+    #[test]
+    fn hand_checked_h1_l1_p50() {
+        // H=1, L=1, P=50, tM=3, W=1 on the Table 8 workload:
+        // eval = E*4000/50 = 8.294e8 dominates comm = 6.4e7.
+        let w = average_workload_table8();
+        let rt = run_time(&w, &design(50, 1, 1.0, 1.0, 3.0), 1.0);
+        assert!((rt.eval - w.events * 4_000.0 / 50.0).abs() < 1.0);
+        assert_eq!(rt.bottleneck(), Bottleneck::Evaluation);
+        assert!((rt.total - (rt.sync + rt.eval)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hand_checked_h100_w1_l5_is_comm_limited() {
+        let w = average_workload_table8();
+        let rt = run_time(&w, &design(10, 5, 1.0, 100.0, 3.0), 1.0);
+        assert_eq!(rt.bottleneck(), Bottleneck::Communication);
+        // comm = M_inf * 0.9 * 3.
+        let expected = w.messages_inf * 0.9 * 3.0;
+        assert!((rt.comm - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn sync_dominates_trivial_workload() {
+        // Almost no events, fast hardware: synchronization rules.
+        let w = Workload::new(10.0, 990_000.0, 10.0, 20.0);
+        let rt = run_time(&w, &design(2, 1, 1.0, 100.0, 2.0), 1.0);
+        assert_eq!(rt.bottleneck(), Bottleneck::Synchronization);
+    }
+
+    #[test]
+    fn single_processor_has_no_comm() {
+        let w = average_workload_table8();
+        let rt = run_time(&w, &design(1, 5, 1.0, 10.0, 3.0), 1.0);
+        assert_eq!(rt.comm, 0.0);
+    }
+
+    #[test]
+    fn eval_scales_inversely_with_p_when_heavily_loaded() {
+        let w = average_workload_table8();
+        let e10 = eval_time(&w, &design(10, 1, 1.0, 1.0, 3.0), 1.0);
+        let e20 = eval_time(&w, &design(20, 1, 1.0, 1.0, 3.0), 1.0);
+        assert!((e10 / e20 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_inflates_eval_time() {
+        let w = average_workload_table8();
+        let d = design(10, 1, 1.0, 1.0, 3.0);
+        let balanced = eval_time(&w, &d, 1.0);
+        let skewed = eval_time(&w, &d, 2.0);
+        assert!((skewed / balanced - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_useful_processors_is_n() {
+        let w = average_workload_table8();
+        // N = E/B ~ 1279.
+        let n = max_useful_processors(&w);
+        assert!((1_270..=1_290).contains(&n), "N = {n}");
+    }
+
+    #[test]
+    fn balance_ratio() {
+        let w = average_workload_table8();
+        let rt = run_time(&w, &design(10, 5, 1.0, 100.0, 3.0), 1.0);
+        assert!(rt.balance() > 1.0); // comm-limited design
+    }
+}

@@ -1,0 +1,317 @@
+//! Sensitivity of the model to variations in circuit characteristics.
+//!
+//! The paper's abstract promises to "examine the sensitivity of the
+//! model to variations in circuit characteristics"; this module
+//! provides that analysis: how does the predicted speed-up of a design
+//! respond to changes in the workload parameters — event simultaneity
+//! `N`, fanout `F`, busy fraction `B/(B+I)`, and load imbalance `beta`?
+//!
+//! Two tools are provided: parameter *sweeps* ([`sweep`]) that rescale
+//! one characteristic while holding the others fixed, and normalized
+//! *elasticities* ([`elasticity`]) — `d ln S / d ln x` — which identify
+//! the regime a design operates in: an evaluation-limited design has
+//! speed-up elasticity ~0 in `F` and ~-1 in `beta`, while a
+//! communication-limited one has elasticity ~-1 in `F` and ~0 in
+//! `beta`.
+
+use crate::params::{BaseMachine, MachineDesign};
+use crate::speedup::speedup;
+use logicsim_stats::Workload;
+use serde::{Deserialize, Serialize};
+
+/// A circuit characteristic the model can be perturbed along.
+///
+/// Each variation rescales one derived characteristic by a factor
+/// while holding the others fixed:
+///
+/// * `Simultaneity` — scales `E` (and `M_inf` with it, preserving `F`)
+///   at fixed `B`, `I`: a bigger circuit of the same kind.
+/// * `Fanout` — scales `M_inf` at fixed `E`: denser interconnect.
+/// * `BusyFraction` — moves ticks between busy and idle at fixed
+///   `B + I` and fixed `E` (events concentrate on fewer ticks as the
+///   fraction shrinks, raising `N`): more/less synchronous clocking.
+/// * `Imbalance` — scales `beta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Characteristic {
+    /// Event simultaneity `N = E/B`.
+    Simultaneity,
+    /// Average fanout `F = M_inf/E`.
+    Fanout,
+    /// Busy fraction `B/(B+I)`.
+    BusyFraction,
+    /// Load imbalance `beta`.
+    Imbalance,
+}
+
+impl Characteristic {
+    /// All characteristics.
+    pub const ALL: [Characteristic; 4] = [
+        Characteristic::Simultaneity,
+        Characteristic::Fanout,
+        Characteristic::BusyFraction,
+        Characteristic::Imbalance,
+    ];
+
+    /// A short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Characteristic::Simultaneity => "N",
+            Characteristic::Fanout => "F",
+            Characteristic::BusyFraction => "B/(B+I)",
+            Characteristic::Imbalance => "beta",
+        }
+    }
+}
+
+/// Applies a multiplicative perturbation of one characteristic to a
+/// `(workload, beta)` pair, returning the perturbed pair.
+///
+/// # Panics
+///
+/// Panics if `factor` is not positive and finite, or if a
+/// `BusyFraction` perturbation would push the fraction outside `(0, 1]`.
+#[must_use]
+pub fn perturb(
+    workload: &Workload,
+    beta: f64,
+    characteristic: Characteristic,
+    factor: f64,
+) -> (Workload, f64) {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "perturbation factor must be positive, got {factor}"
+    );
+    match characteristic {
+        Characteristic::Simultaneity => (
+            Workload::new(
+                workload.busy_ticks,
+                workload.idle_ticks,
+                workload.events * factor,
+                workload.messages_inf * factor,
+            ),
+            beta,
+        ),
+        Characteristic::Fanout => (
+            Workload::new(
+                workload.busy_ticks,
+                workload.idle_ticks,
+                workload.events,
+                workload.messages_inf * factor,
+            ),
+            beta,
+        ),
+        Characteristic::BusyFraction => {
+            let total = workload.total_ticks();
+            let new_busy = workload.busy_ticks * factor;
+            assert!(
+                new_busy > 0.0 && new_busy <= total,
+                "busy fraction perturbation out of range: {new_busy} of {total}"
+            );
+            (
+                Workload::new(
+                    new_busy,
+                    total - new_busy,
+                    workload.events,
+                    workload.messages_inf,
+                ),
+                beta,
+            )
+        }
+        Characteristic::Imbalance => (*workload, (beta * factor).max(1.0)),
+    }
+}
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The multiplicative factor applied.
+    pub factor: f64,
+    /// Speed-up at that factor.
+    pub speedup: f64,
+}
+
+/// Sweeps one characteristic over multiplicative `factors` and returns
+/// the speed-up at each point.
+#[must_use]
+pub fn sweep(
+    workload: &Workload,
+    design: &MachineDesign,
+    base: &BaseMachine,
+    beta: f64,
+    characteristic: Characteristic,
+    factors: &[f64],
+) -> Vec<SweepPoint> {
+    factors
+        .iter()
+        .map(|&factor| {
+            let (w, b) = perturb(workload, beta, characteristic, factor);
+            SweepPoint {
+                factor,
+                speedup: speedup(&w, design, base, b),
+            }
+        })
+        .collect()
+}
+
+/// The normalized elasticity `d ln S / d ln x` of the speed-up with
+/// respect to one characteristic, estimated by central differences at
+/// +-`h` (relative).
+///
+/// # Panics
+///
+/// Panics if `h` is not in `(0, 0.5)`.
+#[must_use]
+pub fn elasticity(
+    workload: &Workload,
+    design: &MachineDesign,
+    base: &BaseMachine,
+    beta: f64,
+    characteristic: Characteristic,
+    h: f64,
+) -> f64 {
+    assert!(h > 0.0 && h < 0.5, "step must be in (0, 0.5), got {h}");
+    let up = {
+        let (w, b) = perturb(workload, beta, characteristic, 1.0 + h);
+        speedup(&w, design, base, b)
+    };
+    let down = {
+        let (w, b) = perturb(workload, beta, characteristic, 1.0 - h);
+        speedup(&w, design, base, b)
+    };
+    (up.ln() - down.ln()) / ((1.0 + h).ln() - (1.0 - h).ln())
+}
+
+/// A full sensitivity report for one design: the elasticity along every
+/// characteristic.
+#[must_use]
+pub fn report(
+    workload: &Workload,
+    design: &MachineDesign,
+    base: &BaseMachine,
+    beta: f64,
+) -> Vec<(Characteristic, f64)> {
+    Characteristic::ALL
+        .iter()
+        .map(|&c| (c, elasticity(workload, design, base, beta, c, 0.05)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_data::average_workload_table8;
+
+    fn setup(p: u32, l: u32, w: f64, h: f64) -> (Workload, MachineDesign, BaseMachine) {
+        let base = BaseMachine::vax_11_750();
+        let d = MachineDesign::new(p, l, w, base.t_eval / h, 3.0, 1.0);
+        (average_workload_table8(), d, base)
+    }
+
+    #[test]
+    fn perturbations_change_only_their_characteristic() {
+        let w = average_workload_table8();
+        let (wn, _) = perturb(&w, 1.0, Characteristic::Simultaneity, 2.0);
+        assert!((wn.simultaneity() - 2.0 * w.simultaneity()).abs() < 1e-6);
+        assert!((wn.average_fanout() - w.average_fanout()).abs() < 1e-9);
+        let (wf, _) = perturb(&w, 1.0, Characteristic::Fanout, 2.0);
+        assert!((wf.average_fanout() - 2.0 * w.average_fanout()).abs() < 1e-9);
+        assert_eq!(wf.events, w.events);
+        let (wb, _) = perturb(&w, 1.0, Characteristic::BusyFraction, 0.5);
+        assert!((wb.total_ticks() - w.total_ticks()).abs() < 1e-9);
+        assert!((wb.busy_ticks - w.busy_ticks * 0.5).abs() < 1e-9);
+        let (_, b) = perturb(&w, 2.0, Characteristic::Imbalance, 1.5);
+        assert!((b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_never_perturbs_below_one() {
+        let w = average_workload_table8();
+        let (_, b) = perturb(&w, 1.0, Characteristic::Imbalance, 0.5);
+        assert_eq!(b, 1.0);
+    }
+
+    #[test]
+    fn eval_limited_design_is_beta_sensitive_fanout_insensitive() {
+        // H=1 designs never saturate the bus: evaluation dominates.
+        let (w, d, base) = setup(20, 1, 1.0, 1.0);
+        let e_beta = elasticity(&w, &d, &base, 2.0, Characteristic::Imbalance, 0.05);
+        let e_fan = elasticity(&w, &d, &base, 2.0, Characteristic::Fanout, 0.05);
+        assert!((e_beta + 1.0).abs() < 0.05, "beta elasticity {e_beta}");
+        assert!(e_fan.abs() < 0.01, "fanout elasticity {e_fan}");
+    }
+
+    #[test]
+    fn comm_limited_design_is_fanout_sensitive_beta_insensitive() {
+        // H=100, W=1, many processors: the bus saturates.
+        let (w, d, base) = setup(20, 5, 1.0, 100.0);
+        let e_beta = elasticity(&w, &d, &base, 1.5, Characteristic::Imbalance, 0.05);
+        let e_fan = elasticity(&w, &d, &base, 1.5, Characteristic::Fanout, 0.05);
+        assert!((e_fan + 1.0).abs() < 0.05, "fanout elasticity {e_fan}");
+        assert!(e_beta.abs() < 0.01, "beta elasticity {e_beta}");
+    }
+
+    #[test]
+    fn simultaneity_elasticity_is_positive_when_eval_limited() {
+        // More events at fixed B raise per-tick work; run time grows
+        // slower than E because sync amortizes -> S rises slightly, and
+        // in the heavily loaded region elasticity ~ 0 (S ~ HLP flat in
+        // N). In the lightly loaded region (P ~ N) raising N raises S.
+        let (w, d, base) = setup(1_000, 5, 3.0, 1.0);
+        let e = elasticity(&w, &d, &base, 1.0, Characteristic::Simultaneity, 0.05);
+        assert!(e > 0.2, "elasticity {e}");
+    }
+
+    #[test]
+    fn busy_fraction_acts_through_pipeline_end_effects() {
+        // In a unit-increment machine, sync time is (B+I)*tSYNC — it
+        // does not depend on how ticks split between busy and idle. The
+        // busy fraction matters only through the pipeline fill/drain
+        // overhead charged once per busy tick: spreading the same E
+        // events over more busy ticks multiplies that (L-1)-stage tax.
+        let base = BaseMachine::vax_11_750();
+        let d = MachineDesign::new(50, 5, 3.0, base.t_eval / 1_000.0, 0.001, 1.0);
+        let tiny = Workload::new(8_106.0, 51_894.0, 50_000.0, 105_000.0);
+        let e = elasticity(&tiny, &d, &base, 1.0, Characteristic::BusyFraction, 0.05);
+        assert!(
+            (-1.0..=-0.1).contains(&e),
+            "end-effect elasticity {e} out of expected band"
+        );
+        // Without pipelining (L=1) the dependence disappears entirely
+        // in the heavily loaded regime.
+        let d1 = MachineDesign::new(50, 1, 3.0, base.t_eval / 1_000.0, 0.001, 1.0);
+        let e1 = elasticity(&tiny, &d1, &base, 1.0, Characteristic::BusyFraction, 0.05);
+        assert!(e1.abs() < 0.05, "L=1 elasticity {e1}");
+    }
+
+    #[test]
+    fn sweep_is_monotone_for_fanout_in_comm_regime() {
+        let (w, d, base) = setup(20, 5, 1.0, 100.0);
+        let pts = sweep(
+            &w,
+            &d,
+            &base,
+            1.0,
+            Characteristic::Fanout,
+            &[0.5, 0.75, 1.0, 1.5, 2.0],
+        );
+        for pair in pts.windows(2) {
+            assert!(pair[1].speedup < pair[0].speedup);
+        }
+    }
+
+    #[test]
+    fn report_covers_all_characteristics() {
+        let (w, d, base) = setup(10, 5, 1.0, 10.0);
+        let r = report(&w, &d, &base, 1.0);
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|(_, e)| e.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_factor_rejected() {
+        let w = average_workload_table8();
+        let _ = perturb(&w, 1.0, Characteristic::Fanout, 0.0);
+    }
+}

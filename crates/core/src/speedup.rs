@@ -1,0 +1,124 @@
+//! Speed-up over the base machine (paper Eq. 11-13).
+
+use crate::params::{BaseMachine, MachineDesign, SECONDS_PER_SYNC};
+use crate::runtime::run_time;
+use logicsim_stats::Workload;
+
+/// Run time of the base machine for the same simulation (Eq. 12):
+/// `R_B = E * t_E,B`. The base machine is event-driven, so idle ticks
+/// cost it nothing.
+#[must_use]
+pub fn base_run_time(workload: &Workload, base: &BaseMachine) -> f64 {
+    workload.events * base.t_eval
+}
+
+/// Speed-up of a design over the base machine (Eq. 11):
+/// `S_P = R_B / R_P` with `R_P` from the full run-time model (Eq. 10).
+///
+/// # Panics
+///
+/// Panics if `beta < 1`.
+#[must_use]
+pub fn speedup(workload: &Workload, design: &MachineDesign, base: &BaseMachine, beta: f64) -> f64 {
+    let rp = run_time(workload, design, beta).total;
+    base_run_time(workload, base) / rp
+}
+
+/// Absolute evaluation speed of a design in events per second
+/// (equivalently the paper's Table 9 speed-up times the base machine's
+/// 2,500 events/second, but computed directly from the predicted run
+/// time, so no base machine is needed).
+#[must_use]
+pub fn events_per_second(workload: &Workload, design: &MachineDesign, beta: f64) -> f64 {
+    let rp = run_time(workload, design, beta).total;
+    workload.events / (rp * SECONDS_PER_SYNC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_data::average_workload_table8;
+
+    fn design(p: u32, l: u32, w: f64, h: f64, tm: f64) -> MachineDesign {
+        let base = BaseMachine::vax_11_750();
+        MachineDesign::new(p, l, w, base.t_eval / h, tm, 1.0)
+    }
+
+    /// Spot checks against the paper's Table 9 (tM = 3 syncs column).
+    #[test]
+    fn table9_spot_checks_tm3() {
+        let w = average_workload_table8();
+        let base = BaseMachine::vax_11_750();
+        let cases = [
+            // (H, W, L, P, expected S_P)
+            (1.0, 1.0, 1, 50, 50.0),
+            (1.0, 1.0, 5, 50, 216.0),
+            (10.0, 1.0, 5, 15, 680.0),
+            (10.0, 2.0, 5, 29, 1_313.0),
+            (10.0, 3.0, 5, 45, 1_943.0),
+            (100.0, 1.0, 1, 8, 725.0),
+            (100.0, 1.0, 5, 2, 992.0),
+            (100.0, 2.0, 1, 14, 1_365.0),
+            (100.0, 3.0, 5, 5, 2_373.0),
+        ];
+        for (h, ww, l, p, expected) in cases {
+            let s = speedup(&w, &design(p, l, ww, h, 3.0), &base, 1.0);
+            assert!(
+                (s - expected).abs() / expected < 0.015,
+                "H={h} W={ww} L={l} P={p}: S={s} expected {expected}"
+            );
+        }
+    }
+
+    /// Spot checks against Table 9's tM = 2 syncs column.
+    #[test]
+    fn table9_spot_checks_tm2() {
+        let w = average_workload_table8();
+        let base = BaseMachine::vax_11_750();
+        let cases = [
+            (10.0, 1.0, 5, 50, 970.0),
+            (10.0, 3.0, 5, 50, 2_155.0),
+            (100.0, 1.0, 1, 11, 1_046.0),
+            (100.0, 3.0, 1, 30, 2_943.0),
+            (100.0, 3.0, 5, 7, 3_317.0),
+        ];
+        for (h, ww, l, p, expected) in cases {
+            let s = speedup(&w, &design(p, l, ww, h, 2.0), &base, 1.0);
+            assert!(
+                (s - expected).abs() / expected < 0.015,
+                "H={h} W={ww} L={l} P={p}: S={s} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fastest_design_reaches_8m_events_per_second() {
+        // Paper Section 7.2: the fastest machine (H=100, W=3, L=5,
+        // tM=2) runs at about 8.3M events/sec.
+        let w = average_workload_table8();
+        let base = BaseMachine::vax_11_750();
+        let _ = &base;
+        let eps = events_per_second(&w, &design(7, 5, 3.0, 100.0, 2.0), 1.0);
+        assert!(
+            (eps - 8.3e6).abs() / 8.3e6 < 0.02,
+            "events/sec = {eps:.3e}"
+        );
+    }
+
+    #[test]
+    fn base_run_time_is_e_times_teb() {
+        let w = average_workload_table8();
+        let base = BaseMachine::vax_11_750();
+        assert!((base_run_time(&w, &base) - w.events * 4_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn speedup_of_base_equivalent_uniprocessor_near_one() {
+        // H=1, L=1, P=1: same evaluator as the base machine, but pays
+        // synchronization on every tick -> speed-up slightly below 1.
+        let w = average_workload_table8();
+        let base = BaseMachine::vax_11_750();
+        let s = speedup(&w, &design(1, 1, 1.0, 1.0, 3.0), &base, 1.0);
+        assert!(s < 1.0 && s > 0.99, "S = {s}");
+    }
+}

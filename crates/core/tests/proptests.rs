@@ -1,0 +1,143 @@
+//! Property tests for the analytical model: monotonicities, bounds,
+//! and cross-model orderings that must hold over the whole parameter
+//! space.
+
+use logicsim_core::bounds::{comm_bound_speedup, comm_limit, ideal_speedup};
+use logicsim_core::distribution::{
+    distribution_penalty, run_time_distribution, run_time_mean_value, TickLoad,
+};
+use logicsim_core::partition_model::{messages_approx, messages_exact};
+use logicsim_core::pipeline::pipeline_time;
+use logicsim_core::runtime::run_time;
+use logicsim_core::speedup::speedup;
+use logicsim_core::variants::{
+    run_time_event_increment, run_time_unit_increment, SyncModel,
+};
+use logicsim_core::{BaseMachine, MachineDesign, Workload};
+use proptest::prelude::*;
+
+fn any_workload() -> impl Strategy<Value = Workload> {
+    (
+        1.0f64..1e5,    // busy
+        0.0f64..1e6,    // idle
+        1.0f64..1e8,    // events
+        1.0f64..3e8,    // messages
+    )
+        .prop_map(|(b, i, e, m)| Workload::new(b, i, e.max(b), m))
+}
+
+fn any_design() -> impl Strategy<Value = MachineDesign> {
+    (
+        1u32..200,        // P
+        1u32..8,          // L
+        1.0f64..8.0,      // W
+        1.0f64..5_000.0,  // tE
+        0.5f64..5.0,      // tM
+    )
+        .prop_map(|(p, l, w, te, tm)| MachineDesign::new(p, l, w, te, tm, 1.0))
+}
+
+proptest! {
+    #[test]
+    fn run_time_exceeds_each_component(w in any_workload(), d in any_design()) {
+        let rt = run_time(&w, &d, 1.0);
+        prop_assert!(rt.total >= rt.sync);
+        prop_assert!(rt.total >= rt.eval);
+        prop_assert!(rt.total >= rt.comm);
+        prop_assert!((rt.total - (rt.sync + rt.eval.max(rt.comm))).abs() < 1e-6 * rt.total);
+    }
+
+    #[test]
+    fn speedup_monotone_in_h(w in any_workload(), d in any_design()) {
+        let base = BaseMachine::vax_11_750();
+        let faster = MachineDesign::new(
+            d.processors, d.pipeline_depth, d.comm_width, d.t_eval / 2.0, d.t_msg, d.t_sync,
+        );
+        prop_assert!(
+            speedup(&w, &faster, &base, 1.0) >= speedup(&w, &d, &base, 1.0) - 1e-9
+        );
+    }
+
+    #[test]
+    fn beta_only_hurts(w in any_workload(), d in any_design(), beta in 1.0f64..8.0) {
+        let rt1 = run_time(&w, &d, 1.0);
+        let rtb = run_time(&w, &d, beta);
+        prop_assert!(rtb.total >= rt1.total - 1e-9);
+    }
+
+    #[test]
+    fn eq6_bounds_and_monotonicity(m_inf in 1.0f64..1e9, p in 1u32..500, c in 2u64..2_000_000) {
+        let approx = messages_approx(m_inf, p);
+        prop_assert!(approx >= 0.0 && approx <= m_inf);
+        if u64::from(p) <= c {
+            let exact = messages_exact(m_inf, c, p);
+            prop_assert!(exact <= m_inf * (1.0 + 1e-12));
+            // Exact >= approx: (C - C/P)/(C-1) >= 1 - 1/P for finite C.
+            prop_assert!(exact >= approx - 1e-9 * m_inf);
+        }
+    }
+
+    #[test]
+    fn pipeline_time_bounds(te in 0.1f64..1e4, l in 1u32..10, n in 0.0f64..1e6) {
+        let t = pipeline_time(te, l, n);
+        // Never faster than the rate limit, never slower than serial.
+        prop_assert!(t >= n * te / f64::from(l) - 1e-9);
+        prop_assert!(t <= n * te + te + 1e-9);
+    }
+
+    #[test]
+    fn ideal_speedup_bounds(h in 1.0f64..1e3, n in 1.0f64..1e6, l in 1u32..8, p in 1u32..10_000) {
+        let s = ideal_speedup(h, n, l, p);
+        prop_assert!(s <= h * n * (1.0 + 1e-12), "S exceeds HN");
+        prop_assert!(
+            s <= h * f64::from(l) * f64::from(p) * (1.0 + 1e-12),
+            "S exceeds HLP"
+        );
+        prop_assert!(s > 0.0);
+    }
+
+    #[test]
+    fn comm_bound_approaches_limit(w in any_workload(), width in 1.0f64..4.0, tm in 1.0f64..4.0) {
+        let limit = comm_limit(&w, width, 4_000.0, tm);
+        let s1000 = comm_bound_speedup(&w, width, 4_000.0, tm, 1_000);
+        prop_assert!(s1000 >= limit);
+        prop_assert!((s1000 - limit) / limit < 2e-3);
+    }
+
+    #[test]
+    fn ei_never_slower_than_ui(w in any_workload(), d in any_design()) {
+        for sync in [SyncModel::Constant, SyncModel::Logarithmic, SyncModel::Linear] {
+            let ui = run_time_unit_increment(&w, &d, 1.0, sync);
+            let ei = run_time_event_increment(&w, &d, 1.0, sync);
+            prop_assert!(ei.total <= ui.total + 1e-9);
+        }
+    }
+
+    #[test]
+    fn distribution_model_jensen_bound(
+        loads in proptest::collection::vec((0.0f64..500.0, 1.0f64..4.0), 1..50),
+        idle in 0.0f64..1e4,
+        d in any_design(),
+    ) {
+        // For L=1 (no end effects) the mean-value model lower-bounds the
+        // distribution model: per-tick cost is convex in (n_t, m_t).
+        let d1 = MachineDesign::new(d.processors, 1, d.comm_width, d.t_eval, d.t_msg, d.t_sync);
+        let ticks: Vec<TickLoad> = loads
+            .iter()
+            .map(|&(n, f)| TickLoad { events: n, messages_inf: n * f })
+            .collect();
+        let mean = run_time_mean_value(&ticks, idle, &d1, 1.0);
+        let dist = run_time_distribution(&ticks, idle, &d1, 1.0);
+        prop_assert!(dist >= mean - 1e-6 * mean, "dist {dist} < mean {mean}");
+        prop_assert!(distribution_penalty(&ticks, idle, &d1, 1.0) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn sync_models_ordered(d in any_design()) {
+        let c = SyncModel::Constant.t_sync(&d);
+        let log = SyncModel::Logarithmic.t_sync(&d);
+        let lin = SyncModel::Linear.t_sync(&d);
+        prop_assert!(c <= log + 1e-12);
+        prop_assert!(log <= lin + 1e-12);
+    }
+}

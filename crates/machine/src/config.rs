@@ -1,0 +1,167 @@
+//! Machine configuration.
+
+use logicsim_core::taxonomy::{ArchClass, TimeAdvance};
+use logicsim_core::{BaseMachine, MachineDesign};
+
+/// The communication network backing the machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkKind {
+    /// `width` time-shared buses; any message may use any free bus.
+    /// This is the paper's model (`W` concurrent messages).
+    BusSet {
+        /// Number of buses.
+        width: u32,
+    },
+    /// A full crossbar: a message occupies its source and destination
+    /// ports for its whole transmission; distinct (src, dst) pairs
+    /// transfer concurrently.
+    Crossbar,
+    /// A binary delta (butterfly) network with `log2(P)` stages;
+    /// messages contend for internal links along their bit-routed path.
+    Delta,
+}
+
+impl NetworkKind {
+    /// The effective peak width `W` of this network for `processors`
+    /// slaves, as the analytical model defines it (average number of
+    /// concurrently transmissible messages at saturation).
+    #[must_use]
+    pub fn model_width(&self, processors: u32) -> f64 {
+        match *self {
+            NetworkKind::BusSet { width } => f64::from(width),
+            // A P-port crossbar can move up to P messages at once; under
+            // uniform random traffic the expected matching is ~P(1-1/e),
+            // but the model's W is the *peak* concurrency.
+            NetworkKind::Crossbar => f64::from(processors),
+            // A binary delta sustains roughly P/2 under uniform traffic
+            // due to internal blocking.
+            NetworkKind::Delta => f64::from(processors.max(2)) / 2.0,
+        }
+    }
+}
+
+/// Configuration of the simulated machine. Times are in syncs (one
+/// sync = `t_S + t_D`, the per-tick synchronization cost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of slave processors `P`.
+    pub processors: u32,
+    /// Evaluation pipeline depth `L`.
+    pub pipeline_depth: u32,
+    /// Time for one event/function evaluation `t_E` (full pipeline
+    /// latency), in syncs.
+    pub t_eval: f64,
+    /// Time to transmit one message `t_M`, in syncs.
+    pub t_msg: f64,
+    /// START broadcast time `t_S`, in syncs.
+    pub t_start: f64,
+    /// DONE collection time `t_D`, in syncs.
+    pub t_done: f64,
+    /// Network model.
+    pub network: NetworkKind,
+    /// Time-advance mechanism: unit increment visits every tick
+    /// (paying synchronization on idle ones); event-based increment
+    /// jumps the global clock to the next scheduled event time.
+    pub time_advance: TimeAdvance,
+}
+
+impl MachineConfig {
+    /// A design from the paper's Table 7 space: `H` is the
+    /// technology/specialization factor relative to the VAX 11/750
+    /// base machine (`t_E = 4000 / H` syncs), with `t_S = t_D = 0.5`.
+    #[must_use]
+    pub fn paper_design(
+        processors: u32,
+        pipeline_depth: u32,
+        network: NetworkKind,
+        h: f64,
+        t_msg: f64,
+    ) -> MachineConfig {
+        assert!(processors >= 1 && pipeline_depth >= 1);
+        assert!(h > 0.0 && t_msg > 0.0);
+        MachineConfig {
+            processors,
+            pipeline_depth,
+            t_eval: BaseMachine::vax_11_750().t_eval / h,
+            t_msg,
+            t_start: 0.5,
+            t_done: 0.5,
+            network,
+            time_advance: TimeAdvance::UnitIncrement,
+        }
+    }
+
+    /// The same machine with event-based time advance (the `EI/GC`
+    /// taxonomy variant).
+    #[must_use]
+    pub fn with_event_increment(mut self) -> MachineConfig {
+        self.time_advance = TimeAdvance::EventBased;
+        self
+    }
+
+    /// The per-tick synchronization time `t_SYNC = t_S + t_D`.
+    #[must_use]
+    pub fn t_sync(&self) -> f64 {
+        self.t_start + self.t_done
+    }
+
+    /// Per-pipeline-stage service time `t_E / L`.
+    #[must_use]
+    pub fn stage_time(&self) -> f64 {
+        self.t_eval / f64::from(self.pipeline_depth)
+    }
+
+    /// The equivalent analytical-model design (for validation).
+    #[must_use]
+    pub fn as_model_design(&self) -> MachineDesign {
+        MachineDesign::new(
+            self.processors,
+            self.pipeline_depth,
+            self.network.model_width(self.processors),
+            self.t_eval,
+            self.t_msg,
+            self.t_sync(),
+        )
+    }
+
+    /// This machine's point in the paper's taxonomy.
+    #[must_use]
+    pub fn arch_class(&self) -> ArchClass {
+        let mut class = ArchClass::paper_class(self.processors, self.pipeline_depth);
+        class.time_advance = self.time_advance;
+        class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_times() {
+        let c = MachineConfig::paper_design(8, 5, NetworkKind::BusSet { width: 2 }, 100.0, 3.0);
+        assert!((c.t_eval - 40.0).abs() < 1e-12);
+        assert!((c.t_sync() - 1.0).abs() < 1e-12);
+        assert!((c.stage_time() - 8.0).abs() < 1e-12);
+        assert_eq!(c.arch_class().to_string(), "UI/GC/Q=8/P=8/L=5");
+        let ei = c.clone().with_event_increment();
+        assert_eq!(ei.arch_class().to_string(), "EI/GC/Q=8/P=8/L=5");
+    }
+
+    #[test]
+    fn model_design_round_trip() {
+        let c = MachineConfig::paper_design(4, 1, NetworkKind::BusSet { width: 3 }, 10.0, 2.0);
+        let d = c.as_model_design();
+        assert_eq!(d.processors, 4);
+        assert_eq!(d.pipeline_depth, 1);
+        assert!((d.comm_width - 3.0).abs() < 1e-12);
+        assert!((d.t_eval - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_widths() {
+        assert_eq!(NetworkKind::BusSet { width: 2 }.model_width(16), 2.0);
+        assert_eq!(NetworkKind::Crossbar.model_width(16), 16.0);
+        assert_eq!(NetworkKind::Delta.model_width(16), 8.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Cycle-level discrete-event simulator of the `UI/GC/Q=P/P/L` logic
+//! simulation machine (the paper's Figure 1).
+//!
+//! The analytical model of `logicsim-core` predicts run time from four
+//! aggregate workload numbers and several simplifying assumptions (even
+//! distribution over ticks and processors, full evaluation/communication
+//! overlap, instantaneous broadcast). This crate simulates the machine
+//! itself — master processor, `P` slaves with `L`-stage evaluation
+//! pipelines and per-slave event lists, communication buffers, and a
+//! contention-accurate network — so the model can be *validated*: an
+//! experiment the paper could not run.
+//!
+//! The machine executes a [`logicsim_sim::TickTrace`] (real circuit
+//! activity) or a synthetic workload under any
+//! [`logicsim_partition::Partition`], and reports per-tick timing,
+//! utilizations, and the measured bottleneck.
+//!
+//! # Example
+//!
+//! ```
+//! use logicsim_machine::{MachineConfig, NetworkKind, simulate_synthetic};
+//! use logicsim_machine::synthetic::SyntheticWorkload;
+//!
+//! let config = MachineConfig::paper_design(4, 5, NetworkKind::BusSet { width: 1 }, 100.0, 3.0);
+//! let workload = SyntheticWorkload::uniform(100, 600, 40.0, 2.0, 1000);
+//! let report = simulate_synthetic(&config, &workload, 7);
+//! assert!(report.total_cycles > 0.0);
+//! ```
+
+pub mod config;
+pub mod network;
+pub mod report;
+pub mod sim;
+pub mod synthetic;
+pub mod validate;
+
+pub use config::{MachineConfig, NetworkKind};
+pub use report::MachineReport;
+pub use sim::{simulate_synthetic, simulate_trace, MachineSim};
+pub use validate::{validate_against_model, ValidationResult};

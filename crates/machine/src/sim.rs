@@ -1,0 +1,287 @@
+//! The machine simulation proper.
+//!
+//! Per simulated tick the machine pays `t_S` (START broadcast), then
+//! every slave pumps its local events through its `L`-stage pipeline
+//! while the network delivers cross-processor messages as their
+//! producing events retire, and the tick closes with `t_D` once both
+//! the slowest slave and the network are done. Unlike the analytical
+//! model, evaluation/communication overlap here is *partial* — a
+//! message cannot start before its event leaves the pipeline — and
+//! per-tick load imbalance is whatever the trace and partition actually
+//! produce. Those are exactly the second-order effects the model
+//! ignores, so comparing the two quantifies the model's error.
+
+use crate::config::MachineConfig;
+use crate::network;
+use crate::report::MachineReport;
+use crate::synthetic::SyntheticWorkload;
+use logicsim_netlist::CompId;
+use logicsim_partition::Partition;
+use logicsim_sim::TickTrace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A reusable machine simulator bound to a configuration.
+#[derive(Debug, Clone)]
+pub struct MachineSim<'a> {
+    config: &'a MachineConfig,
+}
+
+impl<'a> MachineSim<'a> {
+    /// Creates a simulator for the given machine.
+    #[must_use]
+    pub fn new(config: &'a MachineConfig) -> MachineSim<'a> {
+        MachineSim { config }
+    }
+
+    /// Runs the machine over a trace with an explicit partition.
+    ///
+    /// Events whose source is not assigned by the partition (primary
+    /// inputs) are attributed to slave `source_id % P`, which acts as
+    /// their input handler.
+    #[must_use]
+    pub fn run(&self, trace: &TickTrace, partition: &Partition) -> MachineReport {
+        let cfg = self.config;
+        let p = cfg.processors;
+        let stage = cfg.stage_time();
+        let part_of = |comp: u32| -> u32 {
+            partition
+                .part_of(CompId(comp))
+                .unwrap_or(comp % p)
+                .min(p - 1)
+        };
+
+        let mut report = MachineReport {
+            total_cycles: 0.0,
+            sync_cycles: 0.0,
+            eval_bound_cycles: 0.0,
+            comm_bound_cycles: 0.0,
+            ticks: trace.end - trace.start,
+            busy_ticks: trace.busy_ticks(),
+            events: 0,
+            messages: 0,
+            slave_busy: 0.0,
+            per_slave_busy: vec![0.0; p as usize],
+            network_busy: 0.0,
+            processors: p,
+        };
+
+        // Idle ticks cost one synchronization each on a unit-increment
+        // machine; an event-increment machine skips them entirely.
+        if cfg.time_advance == logicsim_core::taxonomy::TimeAdvance::UnitIncrement {
+            let idle = trace.idle_ticks() as f64;
+            report.sync_cycles += idle * cfg.t_sync();
+            report.total_cycles += idle * cfg.t_sync();
+        }
+
+        let mut counts = vec![0u64; p as usize];
+        for tick in &trace.ticks {
+            counts.fill(0);
+            // Assign events to slaves in trace order; compute message
+            // ready times from pipeline retirement.
+            let mut messages: Vec<network::Message> = Vec::new();
+            for event in &tick.events {
+                let src_part = part_of(event.source);
+                let k = counts[src_part as usize]; // local pipeline slot
+                counts[src_part as usize] += 1;
+                report.events += 1;
+                let ready = cfg.t_eval + k as f64 * stage;
+                for &dst in &event.dests {
+                    let dst_part = part_of(dst);
+                    if dst_part != src_part {
+                        messages.push((ready, src_part, dst_part));
+                    }
+                }
+            }
+            report.messages += messages.len() as u64;
+            messages.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+            let eval_finish = counts
+                .iter()
+                .map(|&n| {
+                    if n == 0 {
+                        0.0
+                    } else {
+                        cfg.t_eval + (n - 1) as f64 * stage
+                    }
+                })
+                .fold(0.0f64, f64::max);
+            let (net_finish, net_busy) =
+                network::drain(cfg.network, p, &messages, cfg.t_msg);
+
+            let body = eval_finish.max(net_finish);
+            report.total_cycles += cfg.t_sync() + body;
+            report.sync_cycles += cfg.t_sync();
+            if eval_finish >= net_finish {
+                report.eval_bound_cycles += body;
+            } else {
+                report.comm_bound_cycles += body;
+            }
+            for (slave, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    let busy = cfg.t_eval + (n - 1) as f64 * stage;
+                    report.slave_busy += busy;
+                    report.per_slave_busy[slave] += busy;
+                }
+            }
+            report.network_busy += net_busy;
+        }
+        report
+    }
+}
+
+/// Convenience: run a trace through a machine.
+#[must_use]
+pub fn simulate_trace(
+    config: &MachineConfig,
+    trace: &TickTrace,
+    partition: &Partition,
+) -> MachineReport {
+    MachineSim::new(config).run(trace, partition)
+}
+
+/// Convenience: generate a synthetic workload, randomly partition its
+/// component space (the paper's random-partitioning assumption), and
+/// run it.
+#[must_use]
+pub fn simulate_synthetic(
+    config: &MachineConfig,
+    workload: &SyntheticWorkload,
+    seed: u64,
+) -> MachineReport {
+    let trace = workload.generate(seed);
+    let partition = random_component_partition(workload.components, config.processors, seed ^ 0x5eed);
+    MachineSim::new(config).run(&trace, &partition)
+}
+
+/// A balanced random assignment of `components` abstract components to
+/// `parts` processors (for synthetic workloads, where there is no
+/// netlist to hand to a [`logicsim_partition::Partitioner`]).
+#[must_use]
+pub fn random_component_partition(components: u32, parts: u32, seed: u64) -> Partition {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..components).map(|i| i % parts).collect();
+    // Fisher-Yates over the assignment vector.
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    Partition::new(v, parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkKind;
+
+    fn bus(width: u32, p: u32, l: u32, h: f64, tm: f64) -> MachineConfig {
+        MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, tm)
+    }
+
+    #[test]
+    fn idle_ticks_cost_only_sync() {
+        let cfg = bus(1, 4, 1, 100.0, 3.0);
+        let w = SyntheticWorkload::uniform(1, 999, 1.0, 1.0, 100);
+        let r = simulate_synthetic(&cfg, &w, 1);
+        // 999 idle ticks * 1 sync + one busy tick (sync + t_eval).
+        assert!(r.total_cycles >= 999.0 + 1.0 + 40.0 - 1e-9);
+        assert!(r.total_cycles < 999.0 + 1.0 + 40.0 + cfg.t_msg * 3.0 + 1.0);
+        assert_eq!(r.busy_ticks, 1);
+    }
+
+    #[test]
+    fn eval_dominated_run_time_matches_hand_computation() {
+        // P=2, L=1, no cross messages possible (single component per
+        // part? use fanout small): force all events on P=1 machine.
+        let cfg = bus(1, 1, 1, 100.0, 3.0);
+        let w = SyntheticWorkload::uniform(10, 0, 8.0, 2.0, 50);
+        let r = simulate_synthetic(&cfg, &w, 2);
+        // One processor: no messages; each busy tick = sync + n*t_eval.
+        assert_eq!(r.messages, 0);
+        let expected: f64 = 10.0 * cfg.t_sync() + r.events as f64 * cfg.t_eval;
+        assert!(
+            (r.total_cycles - expected).abs() < 1e-6,
+            "got {} expected {expected}",
+            r.total_cycles
+        );
+        assert_eq!(r.bottleneck(), logicsim_core::runtime::Bottleneck::Evaluation);
+    }
+
+    #[test]
+    fn pipelining_speeds_up_heavy_ticks() {
+        let w = SyntheticWorkload::uniform(20, 0, 64.0, 1.0, 1_000);
+        let r1 = simulate_synthetic(&bus(3, 4, 1, 10.0, 2.0), &w, 3);
+        let r5 = simulate_synthetic(&bus(3, 4, 5, 10.0, 2.0), &w, 3);
+        assert!(
+            r5.total_cycles < r1.total_cycles / 2.5,
+            "L=5 {} vs L=1 {}",
+            r5.total_cycles,
+            r1.total_cycles
+        );
+    }
+
+    #[test]
+    fn narrow_bus_becomes_the_bottleneck() {
+        // Fast processors, wide fanout, single bus.
+        let cfg = bus(1, 8, 5, 100.0, 3.0);
+        let w = SyntheticWorkload::uniform(50, 0, 200.0, 2.0, 10_000);
+        let r = simulate_synthetic(&cfg, &w, 4);
+        assert_eq!(r.bottleneck(), logicsim_core::runtime::Bottleneck::Communication);
+        assert!(r.messages > 0);
+    }
+
+    #[test]
+    fn more_processors_reduce_eval_time_until_comm_limits() {
+        let w = SyntheticWorkload::uniform(30, 0, 100.0, 2.0, 5_000);
+        let slow = simulate_synthetic(&bus(3, 2, 5, 10.0, 2.0), &w, 5);
+        let fast = simulate_synthetic(&bus(3, 8, 5, 10.0, 2.0), &w, 5);
+        assert!(fast.total_cycles < slow.total_cycles);
+    }
+
+    #[test]
+    fn crossbar_outruns_single_bus() {
+        let w = SyntheticWorkload::uniform(30, 0, 100.0, 2.0, 5_000);
+        let bus_r = simulate_synthetic(&bus(1, 8, 5, 100.0, 3.0), &w, 6);
+        let xbar = MachineConfig::paper_design(8, 5, NetworkKind::Crossbar, 100.0, 3.0);
+        let xbar_r = simulate_synthetic(&xbar, &w, 6);
+        assert!(xbar_r.total_cycles < bus_r.total_cycles);
+    }
+
+    #[test]
+    fn event_increment_skips_idle_sync() {
+        let w = SyntheticWorkload::uniform(5, 995, 10.0, 1.0, 100);
+        let ui = bus(1, 2, 1, 10.0, 2.0);
+        let ei = ui.clone().with_event_increment();
+        let r_ui = simulate_synthetic(&ui, &w, 7);
+        let r_ei = simulate_synthetic(&ei, &w, 7);
+        let saved = r_ui.total_cycles - r_ei.total_cycles;
+        assert!((saved - 995.0 * ui.t_sync()).abs() < 1e-6, "saved {saved}");
+        assert_eq!(r_ei.events, r_ui.events);
+    }
+
+    #[test]
+    fn random_partition_is_balanced_and_deterministic() {
+        let p1 = random_component_partition(1_000, 7, 9);
+        let p2 = random_component_partition(1_000, 7, 9);
+        assert_eq!(p1, p2);
+        let sizes = p1.sizes();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn message_count_tracks_eq6() {
+        // Random partitioning: M_P ~ M_inf (1 - 1/P).
+        let w = SyntheticWorkload::uniform(50, 0, 200.0, 2.0, 10_000);
+        let trace = w.generate(8);
+        let m_inf = trace.total_messages_inf() as f64;
+        for p in [2u32, 4, 10] {
+            let cfg = bus(1, p, 1, 10.0, 2.0);
+            let part = random_component_partition(10_000, p, 11);
+            let r = simulate_trace(&cfg, &trace, &part);
+            let predicted = m_inf * (1.0 - 1.0 / f64::from(p));
+            let err = (r.messages as f64 - predicted).abs() / predicted;
+            assert!(err < 0.05, "P={p}: {} vs {predicted}", r.messages);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Incremental construction and validation of [`Netlist`]s.
+
+use crate::component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
+use crate::netlist::Netlist;
+use crate::value::Level;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected when finalizing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A gate was declared with an input count outside its kind's arity.
+    BadArity {
+        /// The offending component.
+        comp: CompId,
+        /// Gate kind.
+        kind: GateKind,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// A net is read by some component but never driven by any gate,
+    /// switch, input, pull, or supply.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+    /// A net id referenced by a component was never declared.
+    UnknownNet {
+        /// The undeclared net.
+        net: NetId,
+    },
+    /// The netlist has no components.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadArity { comp, kind, got } => {
+                write!(f, "component {comp} ({kind}) has invalid input count {got}")
+            }
+            BuildError::UndrivenNet { net, name } => {
+                write!(f, "net {net} ({name}) is read but never driven")
+            }
+            BuildError::UnknownNet { net } => write!(f, "net {net} was never declared"),
+            BuildError::Empty => write!(f, "netlist has no components"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builder for [`Netlist`].
+///
+/// Nets are declared with [`NetlistBuilder::net`] / [`NetlistBuilder::input`],
+/// components added with [`NetlistBuilder::gate`] /
+/// [`NetlistBuilder::switch`] etc., and the finished circuit is validated
+/// and indexed by [`NetlistBuilder::finish`].
+///
+/// # Example
+///
+/// ```
+/// use logicsim_netlist::{NetlistBuilder, GateKind, Delay};
+/// # fn main() -> Result<(), logicsim_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("and2");
+/// let (a, y) = (b.input("a"), b.net("y"));
+/// let a2 = b.input("a2");
+/// b.gate(GateKind::And, &[a, a2], y, Delay::uniform(2));
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    components: Vec<Component>,
+    net_names: Vec<String>,
+    name_index: HashMap<String, NetId>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    anon_counter: u64,
+}
+
+impl NetlistBuilder {
+    /// Starts a new netlist with the given circuit name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> NetlistBuilder {
+        NetlistBuilder {
+            name: name.into(),
+            ..NetlistBuilder::default()
+        }
+    }
+
+    /// Declares (or retrieves, if the name exists) a named net.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        if let Some(&id) = self.name_index.get(&name) {
+            return id;
+        }
+        let id = NetId(self.net_names.len() as u32);
+        self.name_index.insert(name.clone(), id);
+        self.net_names.push(name);
+        id
+    }
+
+    /// Declares a fresh anonymous net (unique auto-generated name).
+    pub fn fresh(&mut self, hint: &str) -> NetId {
+        self.anon_counter += 1;
+        let name = format!("_{hint}_{}", self.anon_counter);
+        self.net(name)
+    }
+
+    /// Declares a primary input: creates the net and an
+    /// [`Component::Input`] driver for it.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let net = self.net(name);
+        self.components.push(Component::Input { net });
+        self.inputs.push(net);
+        net
+    }
+
+    /// Marks a net as an observable output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Adds a gate; returns its component id.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        output: NetId,
+        delay: Delay,
+    ) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component::Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            delay,
+        });
+        id
+    }
+
+    /// Adds a bidirectional MOS switch; returns its component id.
+    pub fn switch(&mut self, kind: SwitchKind, control: NetId, a: NetId, b: NetId) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component::Switch { kind, control, a, b });
+        id
+    }
+
+    /// Adds a CMOS transmission gate: an NMOS controlled by `control` and
+    /// a PMOS controlled by `control_n`, both bridging `a`-`b`. Returns
+    /// the two switch ids.
+    pub fn transmission_gate(
+        &mut self,
+        control: NetId,
+        control_n: NetId,
+        a: NetId,
+        b: NetId,
+    ) -> (CompId, CompId) {
+        let n = self.switch(SwitchKind::Nmos, control, a, b);
+        let p = self.switch(SwitchKind::Pmos, control_n, a, b);
+        (n, p)
+    }
+
+    /// Adds a resistive pull toward `level` on `net` (nmos depletion load
+    /// when `level` is `One`).
+    pub fn pull(&mut self, net: NetId, level: Level) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component::Pull { net, level });
+        id
+    }
+
+    /// Adds a supply rail at `level` on `net`.
+    pub fn supply(&mut self, net: NetId, level: Level) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component::Supply { net, level });
+        id
+    }
+
+    /// Number of components added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` when no components have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Validates the circuit and builds the indexed [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when a gate violates its kind's arity, a
+    /// referenced net was never declared, a read net has no driver of any
+    /// kind, or the netlist is empty.
+    pub fn finish(self) -> Result<Netlist, BuildError> {
+        if self.components.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let num_nets = self.net_names.len();
+        let check = |net: NetId| -> Result<(), BuildError> {
+            if net.index() >= num_nets {
+                Err(BuildError::UnknownNet { net })
+            } else {
+                Ok(())
+            }
+        };
+        let mut fanout: Vec<Vec<CompId>> = vec![Vec::new(); num_nets];
+        let mut drivers: Vec<Vec<CompId>> = vec![Vec::new(); num_nets];
+        for (i, comp) in self.components.iter().enumerate() {
+            let id = CompId(i as u32);
+            if let Component::Gate { kind, inputs, .. } = comp {
+                let (min, max) = kind.arity();
+                let ok = inputs.len() >= min && max.is_none_or(|m| inputs.len() <= m);
+                if !ok {
+                    return Err(BuildError::BadArity {
+                        comp: id,
+                        kind: *kind,
+                        got: inputs.len(),
+                    });
+                }
+            }
+            for net in comp.read_nets() {
+                check(net)?;
+                fanout[net.index()].push(id);
+            }
+            for net in comp.driven_nets() {
+                check(net)?;
+                drivers[net.index()].push(id);
+            }
+        }
+        // A net that is read must be drivable by something. Switch channel
+        // terminals count both as reads and potential drives, so a pure
+        // switch network never trips this; a gate input left floating does.
+        for i in 0..num_nets {
+            if !fanout[i].is_empty() && drivers[i].is_empty() {
+                return Err(BuildError::UndrivenNet {
+                    net: NetId(i as u32),
+                    name: self.net_names[i].clone(),
+                });
+            }
+        }
+        Ok(Netlist {
+            name: self.name,
+            components: self.components,
+            net_names: self.net_names,
+            fanout,
+            drivers,
+            inputs: self.inputs,
+            outputs: self.outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_net_names_unify() {
+        let mut b = NetlistBuilder::new("t");
+        let a1 = b.net("a");
+        let a2 = b.net("a");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b.net("b"));
+    }
+
+    #[test]
+    fn fresh_nets_are_unique() {
+        let mut b = NetlistBuilder::new("t");
+        let n1 = b.fresh("w");
+        let n2 = b.fresh("w");
+        assert_ne!(n1, n2);
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        assert_eq!(NetlistBuilder::new("t").finish(), Err(BuildError::Empty));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::And, &[a], y, Delay::default());
+        match b.finish() {
+            Err(BuildError::BadArity { kind, got, .. }) => {
+                assert_eq!(kind, GateKind::And);
+                assert_eq!(got, 1);
+            }
+            other => panic!("expected BadArity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undriven_read_net_rejected() {
+        let mut b = NetlistBuilder::new("t");
+        let floating = b.net("floating");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[floating], y, Delay::default());
+        match b.finish() {
+            Err(BuildError::UndrivenNet { name, .. }) => assert_eq!(name, "floating"),
+            other => panic!("expected UndrivenNet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pull_satisfies_driver_requirement() {
+        let mut b = NetlistBuilder::new("t");
+        let n = b.net("pulled");
+        let y = b.net("y");
+        b.pull(n, Level::One);
+        b.gate(GateKind::Not, &[n], y, Delay::default());
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn switch_network_self_driving() {
+        let mut b = NetlistBuilder::new("t");
+        let ctl = b.input("ctl");
+        let a = b.input("a");
+        let shared = b.net("shared");
+        b.switch(SwitchKind::Nmos, ctl, a, shared);
+        let n = b.finish().unwrap();
+        assert_eq!(n.num_switches(), 1);
+    }
+
+    #[test]
+    fn transmission_gate_adds_two_switches() {
+        let mut b = NetlistBuilder::new("t");
+        let c = b.input("c");
+        let cn = b.input("cn");
+        let a = b.input("a");
+        let z = b.net("z");
+        b.transmission_gate(c, cn, a, z);
+        let n = b.finish().unwrap();
+        assert_eq!(n.num_switches(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = BuildError::UndrivenNet {
+            net: NetId(3),
+            name: "foo".into(),
+        };
+        assert!(e.to_string().contains("foo"));
+    }
+}

@@ -1,0 +1,503 @@
+//! Components: unidirectional gates and bidirectional MOS switches.
+//!
+//! The component model mirrors *lsim* \[CH85\]: a circuit is a set of
+//! **gates** (unidirectional, evaluated from a truth table, with a fixed
+//! rise/fall propagation delay) and **switches** (bidirectional MOS pass
+//! transistors whose conduction is controlled by a gate net). Primary
+//! inputs, pull-ups/-downs and supply rails complete the model.
+
+use crate::value::{Level, Signal, Strength};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a net (an electrical node).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NetId(pub u32);
+
+/// Identifier of a component.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CompId(pub u32);
+
+impl NetId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CompId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Fixed low-to-high / high-to-low propagation delay in simulator ticks.
+///
+/// This is the paper's *fixed delay model*: "component delays are modeled
+/// by fixed low-to-high and high-to-low propagation times". Delays are at
+/// least one tick; zero-delay components would break the unit-increment
+/// time advance the modeled machine class relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Delay {
+    /// Low-to-high (rise) delay in ticks, `>= 1`.
+    pub rise: u32,
+    /// High-to-low (fall) delay in ticks, `>= 1`.
+    pub fall: u32,
+}
+
+impl Delay {
+    /// Equal rise and fall delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks == 0`.
+    #[must_use]
+    pub fn uniform(ticks: u32) -> Delay {
+        assert!(ticks >= 1, "delay must be at least one tick");
+        Delay {
+            rise: ticks,
+            fall: ticks,
+        }
+    }
+
+    /// Distinct rise and fall delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either delay is zero.
+    #[must_use]
+    pub fn rise_fall(rise: u32, fall: u32) -> Delay {
+        assert!(rise >= 1 && fall >= 1, "delays must be at least one tick");
+        Delay { rise, fall }
+    }
+
+    /// The delay to apply for a transition to `new_level`.
+    ///
+    /// Rising transitions (to `1`) use the rise delay, falling (to `0`)
+    /// the fall delay; transitions to `X` pessimistically use the shorter
+    /// of the two so the unknown appears as early as possible.
+    #[must_use]
+    pub fn for_transition(self, new_level: Level) -> u32 {
+        match new_level {
+            Level::One => self.rise,
+            Level::Zero => self.fall,
+            Level::X => self.rise.min(self.fall),
+        }
+    }
+}
+
+impl Default for Delay {
+    fn default() -> Delay {
+        Delay::uniform(1)
+    }
+}
+
+/// The kind of a unidirectional logic gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Buffer (1 input).
+    Buf,
+    /// Inverter (1 input).
+    Not,
+    /// AND (>= 2 inputs).
+    And,
+    /// OR (>= 2 inputs).
+    Or,
+    /// NAND (>= 2 inputs).
+    Nand,
+    /// NOR (>= 2 inputs).
+    Nor,
+    /// XOR (>= 2 inputs, parity).
+    Xor,
+    /// XNOR (>= 2 inputs, inverted parity).
+    Xnor,
+    /// Tristate buffer: inputs are `[data, enable]`; output floats when
+    /// `enable` is `0` and is `X`-driven when `enable` is `X`.
+    Tristate,
+}
+
+impl GateKind {
+    /// All gate kinds, for exhaustive iteration in tests.
+    pub const ALL: [GateKind; 9] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Tristate,
+    ];
+
+    /// Inclusive (min, max) input arity; `None` max means unbounded.
+    #[must_use]
+    pub fn arity(self) -> (usize, Option<usize>) {
+        match self {
+            GateKind::Buf | GateKind::Not => (1, Some(1)),
+            GateKind::Tristate => (2, Some(2)),
+            _ => (2, None),
+        }
+    }
+
+    /// Evaluates the gate over input levels, returning the driven output.
+    ///
+    /// All kinds except [`GateKind::Tristate`] always drive strongly;
+    /// tristate drives [`Signal::FLOATING`] when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` violates [`GateKind::arity`]; the builder
+    /// enforces arity so evaluation can assume it.
+    #[must_use]
+    pub fn evaluate(self, inputs: &[Level]) -> Signal {
+        let (min, max) = self.arity();
+        assert!(
+            inputs.len() >= min && max.is_none_or(|m| inputs.len() <= m),
+            "gate {self:?} arity violated: {} inputs",
+            inputs.len()
+        );
+        let level = match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => inputs[0].not(),
+            GateKind::And => inputs.iter().copied().fold(Level::One, Level::and),
+            GateKind::Nand => inputs.iter().copied().fold(Level::One, Level::and).not(),
+            GateKind::Or => inputs.iter().copied().fold(Level::Zero, Level::or),
+            GateKind::Nor => inputs.iter().copied().fold(Level::Zero, Level::or).not(),
+            GateKind::Xor => inputs.iter().copied().fold(Level::Zero, Level::xor),
+            GateKind::Xnor => inputs.iter().copied().fold(Level::Zero, Level::xor).not(),
+            GateKind::Tristate => {
+                return match inputs[1] {
+                    Level::One => Signal::strong(inputs[0]),
+                    Level::Zero => Signal::FLOATING,
+                    Level::X => Signal::strong(Level::X),
+                }
+            }
+        };
+        Signal::strong(level)
+    }
+
+    /// Approximate CMOS transistor cost of the gate, used to reproduce the
+    /// paper's Table 4 "Approx. Trans." column.
+    #[must_use]
+    pub fn approx_transistors(self, num_inputs: usize) -> u32 {
+        let n = num_inputs as u32;
+        match self {
+            GateKind::Buf => 4,
+            GateKind::Not => 2,
+            GateKind::Nand | GateKind::Nor => 2 * n,
+            GateKind::And | GateKind::Or => 2 * n + 2,
+            GateKind::Xor | GateKind::Xnor => 4 + 6 * (n - 1),
+            GateKind::Tristate => 6,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Tristate => "TRI",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The kind of a bidirectional MOS switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// N-channel: conducts when the control net is `1`; passes a degraded
+    /// (weak) high level.
+    Nmos,
+    /// P-channel: conducts when the control net is `0`; passes a degraded
+    /// (weak) low level.
+    Pmos,
+}
+
+impl SwitchKind {
+    /// Whether the switch conducts for a given control level. `X` control
+    /// returns `None` (unknown conduction, handled pessimistically by the
+    /// solver).
+    #[must_use]
+    pub fn conducts(self, control: Level) -> Option<bool> {
+        match (self, control) {
+            (SwitchKind::Nmos, Level::One) | (SwitchKind::Pmos, Level::Zero) => Some(true),
+            (SwitchKind::Nmos, Level::Zero) | (SwitchKind::Pmos, Level::One) => Some(false),
+            (_, Level::X) => None,
+        }
+    }
+}
+
+impl fmt::Display for SwitchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SwitchKind::Nmos => "NMOS",
+            SwitchKind::Pmos => "PMOS",
+        })
+    }
+}
+
+/// A circuit component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Component {
+    /// A unidirectional logic gate.
+    Gate {
+        /// Truth-table kind.
+        kind: GateKind,
+        /// Input nets (order matters for [`GateKind::Tristate`]).
+        inputs: Vec<NetId>,
+        /// Output net.
+        output: NetId,
+        /// Fixed rise/fall delay.
+        delay: Delay,
+    },
+    /// A bidirectional MOS pass transistor between `a` and `b`,
+    /// controlled by `control`.
+    Switch {
+        /// Transistor polarity.
+        kind: SwitchKind,
+        /// Control (gate terminal) net.
+        control: NetId,
+        /// One channel terminal.
+        a: NetId,
+        /// The other channel terminal.
+        b: NetId,
+    },
+    /// A primary input driving `net`.
+    Input {
+        /// The net this input drives.
+        net: NetId,
+    },
+    /// A resistive pull to a fixed level on `net` (depletion load or
+    /// resistor), driving [`Strength::Weak`].
+    Pull {
+        /// The pulled net.
+        net: NetId,
+        /// The level pulled toward.
+        level: Level,
+    },
+    /// A supply rail holding `net` at a fixed level with
+    /// [`Strength::Supply`].
+    Supply {
+        /// The rail net.
+        net: NetId,
+        /// Rail level (`One` for VDD, `Zero` for GND).
+        level: Level,
+    },
+}
+
+impl Component {
+    /// The nets this component reads (changes on these require
+    /// re-evaluation).
+    #[must_use]
+    pub fn read_nets(&self) -> Vec<NetId> {
+        match self {
+            Component::Gate { inputs, .. } => inputs.clone(),
+            Component::Switch { control, a, b, .. } => vec![*control, *a, *b],
+            Component::Input { .. } | Component::Pull { .. } | Component::Supply { .. } => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// The nets this component can drive.
+    #[must_use]
+    pub fn driven_nets(&self) -> Vec<NetId> {
+        match self {
+            Component::Gate { output, .. } => vec![*output],
+            Component::Switch { a, b, .. } => vec![*a, *b],
+            Component::Input { net }
+            | Component::Pull { net, .. }
+            | Component::Supply { net, .. } => vec![*net],
+        }
+    }
+
+    /// Returns `true` for a gate.
+    #[must_use]
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Component::Gate { .. })
+    }
+
+    /// Returns `true` for a switch.
+    #[must_use]
+    pub fn is_switch(&self) -> bool {
+        matches!(self, Component::Switch { .. })
+    }
+
+    /// Approximate transistor cost (Table 4 reproduction).
+    #[must_use]
+    pub fn approx_transistors(&self) -> u32 {
+        match self {
+            Component::Gate { kind, inputs, .. } => kind.approx_transistors(inputs.len()),
+            Component::Switch { .. } => 1,
+            Component::Pull { .. } => 1,
+            Component::Input { .. } | Component::Supply { .. } => 0,
+        }
+    }
+
+    /// The weak signal contributed by a pull or supply, if any.
+    #[must_use]
+    pub fn static_drive(&self) -> Option<Signal> {
+        match self {
+            Component::Pull { level, .. } => Some(Signal::new(*level, Strength::Resistive)),
+            Component::Supply { level, .. } => Some(Signal::new(*level, Strength::Supply)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lv(bits: &[u8]) -> Vec<Level> {
+        bits.iter()
+            .map(|&b| if b == 1 { Level::One } else { Level::Zero })
+            .collect()
+    }
+
+    #[test]
+    fn gate_truth_tables_known_inputs() {
+        assert_eq!(GateKind::And.evaluate(&lv(&[1, 1])).level, Level::One);
+        assert_eq!(GateKind::And.evaluate(&lv(&[1, 0])).level, Level::Zero);
+        assert_eq!(GateKind::Nand.evaluate(&lv(&[1, 1])).level, Level::Zero);
+        assert_eq!(GateKind::Or.evaluate(&lv(&[0, 0])).level, Level::Zero);
+        assert_eq!(GateKind::Nor.evaluate(&lv(&[0, 0])).level, Level::One);
+        assert_eq!(GateKind::Xor.evaluate(&lv(&[1, 0, 1])).level, Level::Zero);
+        assert_eq!(GateKind::Xnor.evaluate(&lv(&[1, 0])).level, Level::Zero);
+        assert_eq!(GateKind::Not.evaluate(&lv(&[0])).level, Level::One);
+        assert_eq!(GateKind::Buf.evaluate(&lv(&[1])).level, Level::One);
+    }
+
+    #[test]
+    fn wide_gates_fold() {
+        let inputs = lv(&[1, 1, 1, 1, 1, 0]);
+        assert_eq!(GateKind::And.evaluate(&inputs).level, Level::Zero);
+        assert_eq!(GateKind::Or.evaluate(&inputs).level, Level::One);
+    }
+
+    #[test]
+    fn x_propagation_is_pessimistic_but_dominant_values_win() {
+        assert_eq!(
+            GateKind::And.evaluate(&[Level::Zero, Level::X]).level,
+            Level::Zero
+        );
+        assert_eq!(
+            GateKind::Or.evaluate(&[Level::One, Level::X]).level,
+            Level::One
+        );
+        assert_eq!(
+            GateKind::And.evaluate(&[Level::One, Level::X]).level,
+            Level::X
+        );
+    }
+
+    #[test]
+    fn tristate_drives_and_floats() {
+        let on = GateKind::Tristate.evaluate(&[Level::One, Level::One]);
+        assert_eq!(on, Signal::strong(Level::One));
+        let off = GateKind::Tristate.evaluate(&[Level::One, Level::Zero]);
+        assert!(off.is_floating());
+        let unk = GateKind::Tristate.evaluate(&[Level::One, Level::X]);
+        assert_eq!(unk.level, Level::X);
+        assert_eq!(unk.strength, Strength::Strong);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_enforced() {
+        let _ = GateKind::Not.evaluate(&lv(&[1, 0]));
+    }
+
+    #[test]
+    fn delay_selection_by_transition() {
+        let d = Delay::rise_fall(3, 2);
+        assert_eq!(d.for_transition(Level::One), 3);
+        assert_eq!(d.for_transition(Level::Zero), 2);
+        assert_eq!(d.for_transition(Level::X), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_delay_rejected() {
+        let _ = Delay::uniform(0);
+    }
+
+    #[test]
+    fn switch_conduction() {
+        assert_eq!(SwitchKind::Nmos.conducts(Level::One), Some(true));
+        assert_eq!(SwitchKind::Nmos.conducts(Level::Zero), Some(false));
+        assert_eq!(SwitchKind::Pmos.conducts(Level::Zero), Some(true));
+        assert_eq!(SwitchKind::Pmos.conducts(Level::One), Some(false));
+        assert_eq!(SwitchKind::Nmos.conducts(Level::X), None);
+        assert_eq!(SwitchKind::Pmos.conducts(Level::X), None);
+    }
+
+    #[test]
+    fn component_net_listing() {
+        let g = Component::Gate {
+            kind: GateKind::And,
+            inputs: vec![NetId(0), NetId(1)],
+            output: NetId(2),
+            delay: Delay::default(),
+        };
+        assert_eq!(g.read_nets(), vec![NetId(0), NetId(1)]);
+        assert_eq!(g.driven_nets(), vec![NetId(2)]);
+        let s = Component::Switch {
+            kind: SwitchKind::Nmos,
+            control: NetId(3),
+            a: NetId(4),
+            b: NetId(5),
+        };
+        assert_eq!(s.read_nets(), vec![NetId(3), NetId(4), NetId(5)]);
+        assert_eq!(s.driven_nets(), vec![NetId(4), NetId(5)]);
+    }
+
+    #[test]
+    fn transistor_estimates_are_sane() {
+        assert_eq!(GateKind::Not.approx_transistors(1), 2);
+        assert_eq!(GateKind::Nand.approx_transistors(2), 4);
+        assert_eq!(GateKind::And.approx_transistors(2), 6);
+        assert!(GateKind::Xor.approx_transistors(2) >= 8);
+    }
+
+    #[test]
+    fn static_drive_of_pulls_and_supplies() {
+        let p = Component::Pull {
+            net: NetId(0),
+            level: Level::One,
+        };
+        assert_eq!(p.static_drive(), Some(Signal::resistive(Level::One)));
+        let s = Component::Supply {
+            net: NetId(0),
+            level: Level::Zero,
+        };
+        assert_eq!(s.static_drive(), Some(Signal::GND));
+    }
+}

@@ -1,0 +1,355 @@
+//! Structural analyses: channel-connected components and the
+//! component-connectivity graph used by partitioners.
+
+use crate::component::{CompId, Component, NetId};
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+
+/// Channel-connected groups of nets.
+///
+/// Two nets belong to the same group when a bidirectional switch bridges
+/// them. The switch-level solver must resolve each group as a unit
+/// (conduction can carry a value either way), while nets connected only
+/// through gates are evaluated independently. Gate-only circuits have one
+/// singleton group per net.
+#[derive(Debug, Clone)]
+pub struct ChannelGroups {
+    /// For each net index, the id of its group.
+    group_of: Vec<u32>,
+    /// For each group, the member nets.
+    members: Vec<Vec<NetId>>,
+    /// For each group, the switches whose channels lie inside it.
+    switches: Vec<Vec<CompId>>,
+}
+
+impl ChannelGroups {
+    /// Computes the channel-connected groups of a netlist by union-find
+    /// over switch channel terminals.
+    #[must_use]
+    pub fn compute(netlist: &Netlist) -> ChannelGroups {
+        let n = netlist.num_nets();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for (_, comp) in netlist.iter() {
+            if let Component::Switch { a, b, .. } = comp {
+                let ra = find(&mut parent, a.0);
+                let rb = find(&mut parent, b.0);
+                if ra != rb {
+                    parent[ra as usize] = rb;
+                }
+            }
+        }
+        let mut group_ids: HashMap<u32, u32> = HashMap::new();
+        let mut group_of = vec![0u32; n];
+        let mut members: Vec<Vec<NetId>> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let root = find(&mut parent, i as u32);
+            let gid = *group_ids.entry(root).or_insert_with(|| {
+                members.push(Vec::new());
+                (members.len() - 1) as u32
+            });
+            group_of[i] = gid;
+            members[gid as usize].push(NetId(i as u32));
+        }
+        let mut switches: Vec<Vec<CompId>> = vec![Vec::new(); members.len()];
+        for (id, comp) in netlist.iter() {
+            if let Component::Switch { a, .. } = comp {
+                switches[group_of[a.index()] as usize].push(id);
+            }
+        }
+        ChannelGroups {
+            group_of,
+            members,
+            switches,
+        }
+    }
+
+    /// The group containing `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn group_of(&self, net: NetId) -> u32 {
+        self.group_of[net.index()]
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Member nets of a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn members(&self, group: u32) -> &[NetId] {
+        &self.members[group as usize]
+    }
+
+    /// Switches whose channels lie inside a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[must_use]
+    pub fn switches(&self, group: u32) -> &[CompId] {
+        &self.switches[group as usize]
+    }
+
+    /// Returns `true` when the group has more than one net, i.e. actually
+    /// needs switch-level resolution.
+    #[must_use]
+    pub fn is_nontrivial(&self, group: u32) -> bool {
+        self.members[group as usize].len() > 1
+    }
+}
+
+/// Undirected weighted graph over simulated components (gates and
+/// switches), with edge weight = number of net connections between the
+/// two components. This is the object partitioners cut: an edge crossing
+/// a partition boundary becomes inter-processor message traffic.
+#[derive(Debug, Clone)]
+pub struct ConnectivityGraph {
+    /// Simulated components in netlist order.
+    nodes: Vec<CompId>,
+    /// Position of each component id in `nodes` (u32::MAX for
+    /// non-simulated components).
+    node_index: Vec<u32>,
+    /// Adjacency: for node `i`, list of `(neighbor_node, weight)`.
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl ConnectivityGraph {
+    /// Builds the graph from a netlist: for every net, the driving and
+    /// reading simulated components are pairwise connected.
+    ///
+    /// To avoid quadratic blowup on very-high-fanout nets (clocks,
+    /// resets), fanout lists longer than `fanout_clique_limit` connect
+    /// reader components to the driver only (a star instead of a clique),
+    /// which is exactly the message pattern the machine sees.
+    #[must_use]
+    pub fn build(netlist: &Netlist, fanout_clique_limit: usize) -> ConnectivityGraph {
+        let nodes: Vec<CompId> = netlist
+            .iter()
+            .filter(|(_, c)| c.is_gate() || c.is_switch())
+            .map(|(id, _)| id)
+            .collect();
+        let mut node_index = vec![u32::MAX; netlist.num_components()];
+        for (i, id) in nodes.iter().enumerate() {
+            node_index[id.index()] = i as u32;
+        }
+        let mut weights: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut bump = |a: u32, b: u32| {
+            if a == b {
+                return;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            *weights.entry(key).or_insert(0) += 1;
+        };
+        for net_idx in 0..netlist.num_nets() {
+            let net = NetId(net_idx as u32);
+            let sim = |ids: &[CompId]| -> Vec<u32> {
+                ids.iter()
+                    .map(|c| node_index[c.index()])
+                    .filter(|&i| i != u32::MAX)
+                    .collect()
+            };
+            let drivers = sim(netlist.drivers(net));
+            let readers = sim(netlist.fanout(net));
+            if readers.len() <= fanout_clique_limit {
+                // Clique over everything touching the net.
+                let mut all = drivers.clone();
+                all.extend_from_slice(&readers);
+                all.sort_unstable();
+                all.dedup();
+                for i in 0..all.len() {
+                    for j in (i + 1)..all.len() {
+                        bump(all[i], all[j]);
+                    }
+                }
+            } else {
+                // Star: driver to each reader.
+                for &d in &drivers {
+                    for &r in &readers {
+                        bump(d, r);
+                    }
+                }
+            }
+        }
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nodes.len()];
+        for ((a, b), w) in weights {
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        ConnectivityGraph {
+            nodes,
+            node_index,
+            adj,
+        }
+    }
+
+    /// Number of nodes (simulated components).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The component at graph node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn component(&self, i: u32) -> CompId {
+        self.nodes[i as usize]
+    }
+
+    /// The graph node for a component, if it is simulated.
+    #[must_use]
+    pub fn node_of(&self, comp: CompId) -> Option<u32> {
+        match self.node_index.get(comp.index()) {
+            Some(&i) if i != u32::MAX => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Neighbors of node `i` as `(node, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, i: u32) -> &[(u32, u32)] {
+        &self.adj[i as usize]
+    }
+
+    /// Total edge weight of the graph.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.adj
+            .iter()
+            .flat_map(|l| l.iter().map(|&(_, w)| u64::from(w)))
+            .sum::<u64>()
+            / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delay, GateKind, NetlistBuilder, SwitchKind};
+
+    fn switch_chain(k: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let ctl = b.input("ctl");
+        let mut prev = b.input("a0");
+        for i in 1..=k {
+            let next = b.net(format!("a{i}"));
+            b.switch(SwitchKind::Nmos, ctl, prev, next);
+            prev = next;
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn switch_chain_is_one_group() {
+        let n = switch_chain(4);
+        let g = ChannelGroups::compute(&n);
+        let first = n.find_net("a0").unwrap();
+        let last = n.find_net("a4").unwrap();
+        assert_eq!(g.group_of(first), g.group_of(last));
+        let gid = g.group_of(first);
+        assert_eq!(g.members(gid).len(), 5);
+        assert_eq!(g.switches(gid).len(), 4);
+        assert!(g.is_nontrivial(gid));
+        // ctl is not channel-connected.
+        assert_ne!(g.group_of(n.find_net("ctl").unwrap()), gid);
+    }
+
+    #[test]
+    fn gate_only_circuit_has_singleton_groups() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        let n = b.finish().unwrap();
+        let g = ChannelGroups::compute(&n);
+        assert_eq!(g.num_groups(), n.num_nets());
+        for gid in 0..g.num_groups() as u32 {
+            assert!(!g.is_nontrivial(gid));
+        }
+    }
+
+    #[test]
+    fn connectivity_graph_links_driver_to_readers() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let y = b.net("y");
+        let z1 = b.net("z1");
+        let z2 = b.net("z2");
+        let inv = b.gate(GateKind::Not, &[a], y, Delay::default());
+        let g1 = b.gate(GateKind::Not, &[y], z1, Delay::default());
+        let g2 = b.gate(GateKind::Not, &[y], z2, Delay::default());
+        let n = b.finish().unwrap();
+        let g = ConnectivityGraph::build(&n, 16);
+        assert_eq!(g.num_nodes(), 3);
+        let ni = g.node_of(inv).unwrap();
+        let n1 = g.node_of(g1).unwrap();
+        let n2 = g.node_of(g2).unwrap();
+        let neigh: Vec<u32> = g.neighbors(ni).iter().map(|&(x, _)| x).collect();
+        assert!(neigh.contains(&n1) && neigh.contains(&n2));
+        // Clique mode also links the two sibling readers.
+        assert!(g.neighbors(n1).iter().any(|&(x, _)| x == n2));
+    }
+
+    #[test]
+    fn star_mode_skips_reader_clique() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        let mut readers = Vec::new();
+        for i in 0..8 {
+            let z = b.net(format!("z{i}"));
+            readers.push(b.gate(GateKind::Not, &[y], z, Delay::default()));
+        }
+        let n = b.finish().unwrap();
+        let g = ConnectivityGraph::build(&n, 4);
+        let r0 = g.node_of(readers[0]).unwrap();
+        let r1 = g.node_of(readers[1]).unwrap();
+        assert!(!g.neighbors(r0).iter().any(|&(x, _)| x == r1));
+    }
+
+    #[test]
+    fn non_simulated_components_have_no_node() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        let n = b.finish().unwrap();
+        let g = ConnectivityGraph::build(&n, 16);
+        // Component 0 is the Input for `a`.
+        assert_eq!(g.node_of(CompId(0)), None);
+    }
+}

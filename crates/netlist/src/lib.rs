@@ -1,0 +1,45 @@
+//! Gate/switch-level circuit representation.
+//!
+//! This crate is the structural substrate for the WUCS-86-19 reproduction:
+//! it defines the four-valued logic system with drive strengths used by the
+//! event-driven simulator (`logicsim-sim`), the component model
+//! (unidirectional gates and bidirectional MOS switches, mirroring the
+//! *lsim* simulator the paper's data was collected with), the [`Netlist`]
+//! container with fanout/driver indices, and analysis passes
+//! (channel-connected components, connectivity graphs, circuit
+//! characteristics for the paper's Table 4).
+//!
+//! # Example
+//!
+//! Build a NAND latch and inspect its structure:
+//!
+//! ```
+//! use logicsim_netlist::{NetlistBuilder, GateKind, Delay};
+//!
+//! let mut b = NetlistBuilder::new("latch");
+//! let set = b.input("set_n");
+//! let reset = b.input("reset_n");
+//! let q = b.net("q");
+//! let qn = b.net("qn");
+//! b.gate(GateKind::Nand, &[set, qn], q, Delay::uniform(1));
+//! b.gate(GateKind::Nand, &[reset, q], qn, Delay::uniform(1));
+//! let netlist = b.finish().expect("valid netlist");
+//! assert_eq!(netlist.num_gates(), 2);
+//! assert_eq!(netlist.fanout(q).len(), 1);
+//! ```
+
+pub mod builder;
+pub mod component;
+pub mod dot;
+pub mod graph;
+pub mod netlist;
+pub mod stats;
+pub mod text;
+pub mod value;
+
+pub use builder::{BuildError, NetlistBuilder};
+pub use component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
+pub use graph::{ChannelGroups, ConnectivityGraph};
+pub use netlist::Netlist;
+pub use stats::{CircuitCharacteristics, Clocking, Technology};
+pub use value::{Level, Signal, Strength};

@@ -1,0 +1,222 @@
+//! The [`Netlist`] container: components, nets, and derived indices.
+
+use crate::component::{CompId, Component, NetId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, validated circuit.
+///
+/// Construct through [`crate::NetlistBuilder`], which checks arity and
+/// connectivity and precomputes the fanout/driver indices the simulator
+/// and the paper's message-volume model depend on (a *message* in the
+/// paper is the propagation of one output change to one fanout component).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) components: Vec<Component>,
+    pub(crate) net_names: Vec<String>,
+    /// For each net: components that read it (fanout).
+    pub(crate) fanout: Vec<Vec<CompId>>,
+    /// For each net: components that can drive it.
+    pub(crate) drivers: Vec<Vec<CompId>>,
+    /// Primary input nets in declaration order.
+    pub(crate) inputs: Vec<NetId>,
+    /// Nets marked as observable outputs.
+    pub(crate) outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of components of every kind (gates + switches + inputs +
+    /// pulls + supplies).
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of unidirectional gates (the paper's "Gates" column).
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.components.iter().filter(|c| c.is_gate()).count()
+    }
+
+    /// Number of bidirectional switches (the paper's "Switches" column).
+    #[must_use]
+    pub fn num_switches(&self) -> usize {
+        self.components.iter().filter(|c| c.is_switch()).count()
+    }
+
+    /// Simulated component count in the paper's sense: gates + switches
+    /// (inputs, pulls and rails are not evaluation units).
+    #[must_use]
+    pub fn num_simulated_components(&self) -> usize {
+        self.num_gates() + self.num_switches()
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn component(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// All components, indexable by [`CompId::index`].
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Iterates over `(CompId, &Component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CompId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompId(i as u32), c))
+    }
+
+    /// The name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Looks up a net by name (linear scan; intended for tests and small
+    /// interactive use, not inner loops).
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Components that read `net` — the fanout list whose length is the
+    /// per-event message count in the paper's model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn fanout(&self, net: NetId) -> &[CompId] {
+        &self.fanout[net.index()]
+    }
+
+    /// Components that can drive `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn drivers(&self, net: NetId) -> &[CompId] {
+        &self.drivers[net.index()]
+    }
+
+    /// Primary input nets in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Observable output nets in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Average structural fanout over gate output nets: the paper's
+    /// `F = M_inf / E` corresponds to the mean number of fanout components
+    /// per signal change, which for uniform activity equals the mean
+    /// fanout-list length over driven nets.
+    #[must_use]
+    pub fn average_fanout(&self) -> f64 {
+        let driven: Vec<usize> = (0..self.num_nets())
+            .filter(|&i| !self.drivers[i].is_empty())
+            .map(|i| self.fanout[i].len())
+            .collect();
+        if driven.is_empty() {
+            return 0.0;
+        }
+        driven.iter().sum::<usize>() as f64 / driven.len() as f64
+    }
+
+    /// Total approximate transistor count (Table 4's right column).
+    #[must_use]
+    pub fn approx_transistors(&self) -> u64 {
+        self.components
+            .iter()
+            .map(|c| u64::from(c.approx_transistors()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Delay, GateKind, NetlistBuilder};
+
+    #[test]
+    fn counting_and_lookup() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        assert_eq!(n.name(), "c");
+        assert_eq!(n.num_gates(), 1);
+        assert_eq!(n.num_switches(), 0);
+        assert_eq!(n.num_simulated_components(), 1);
+        assert_eq!(n.find_net("y"), Some(y));
+        assert_eq!(n.find_net("zzz"), None);
+        assert_eq!(n.inputs(), &[a]);
+        assert_eq!(n.outputs(), &[y]);
+        assert_eq!(n.net_name(y), "y");
+    }
+
+    #[test]
+    fn fanout_and_drivers_indexed() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let y1 = b.net("y1");
+        let y2 = b.net("y2");
+        b.gate(GateKind::Not, &[a], y1, Delay::default());
+        b.gate(GateKind::Not, &[a], y2, Delay::default());
+        let n = b.finish().unwrap();
+        assert_eq!(n.fanout(a).len(), 2);
+        assert_eq!(n.drivers(y1).len(), 1);
+        // `a` is driven by its Input component.
+        assert_eq!(n.drivers(a).len(), 1);
+    }
+
+    #[test]
+    fn average_fanout_counts_driven_nets() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let y = b.net("y");
+        let z1 = b.net("z1");
+        let z2 = b.net("z2");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        b.gate(GateKind::Not, &[y], z1, Delay::default());
+        b.gate(GateKind::Not, &[y], z2, Delay::default());
+        let n = b.finish().unwrap();
+        // Nets: a (fanout 1), y (fanout 2), z1 (0), z2 (0); all driven.
+        let f = n.average_fanout();
+        assert!((f - 0.75).abs() < 1e-12, "got {f}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Circuit characteristics in the format of the paper's Table 4.
+
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fabrication technology of a benchmark circuit (Table 4 "Tech.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// n-channel MOS with depletion pull-ups.
+    Nmos,
+    /// Complementary MOS.
+    Cmos,
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Technology::Nmos => "nmos",
+            Technology::Cmos => "cmos",
+        })
+    }
+}
+
+/// Clocking discipline of a benchmark circuit (Table 4 "Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Clocking {
+    /// Globally clocked.
+    Synchronous,
+    /// Handshake / self-timed.
+    Asynchronous,
+}
+
+impl fmt::Display for Clocking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Clocking::Synchronous => "sync",
+            Clocking::Asynchronous => "async",
+        })
+    }
+}
+
+/// One row of the paper's Table 4: structural characteristics of a
+/// benchmark circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitCharacteristics {
+    /// Circuit name.
+    pub name: String,
+    /// Fabrication technology.
+    pub technology: Technology,
+    /// Clocking discipline.
+    pub clocking: Clocking,
+    /// Number of bidirectional switches.
+    pub switches: usize,
+    /// Number of unidirectional gates.
+    pub gates: usize,
+    /// Total simulated components (switches + gates).
+    pub total: usize,
+    /// Approximate transistor count.
+    pub approx_transistors: u64,
+}
+
+impl CircuitCharacteristics {
+    /// Measures a netlist, attaching the declared technology and clocking
+    /// (which are design intents, not derivable from structure).
+    #[must_use]
+    pub fn measure(
+        netlist: &Netlist,
+        technology: Technology,
+        clocking: Clocking,
+    ) -> CircuitCharacteristics {
+        CircuitCharacteristics {
+            name: netlist.name().to_string(),
+            technology,
+            clocking,
+            switches: netlist.num_switches(),
+            gates: netlist.num_gates(),
+            total: netlist.num_simulated_components(),
+            approx_transistors: netlist.approx_transistors(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitCharacteristics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<5} {:<5} {:>8} {:>7} {:>7} {:>8}",
+            self.name,
+            self.technology,
+            self.clocking,
+            self.switches,
+            self.gates,
+            self.total,
+            self.approx_transistors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delay, GateKind, NetlistBuilder, SwitchKind};
+
+    #[test]
+    fn measure_counts_match() {
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.input("a");
+        let c = b.input("c");
+        let y = b.net("y");
+        let z = b.net("z");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        b.switch(SwitchKind::Nmos, c, y, z);
+        let n = b.finish().unwrap();
+        let ch = CircuitCharacteristics::measure(&n, Technology::Nmos, Clocking::Synchronous);
+        assert_eq!(ch.switches, 1);
+        assert_eq!(ch.gates, 1);
+        assert_eq!(ch.total, 2);
+        assert_eq!(ch.approx_transistors, 3); // NOT=2 + switch=1
+        assert!(ch.to_string().contains("mix"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Fiduccia-Mattheyses (FM) min-cut partitioning.
+//!
+//! FM refines a bisection by *moving* single vertices (instead of
+//! Kernighan-Lin's pair swaps), maintaining per-vertex gains
+//! incrementally, under a balance constraint. One pass moves every
+//! vertex at most once and keeps the best prefix; passes repeat until
+//! no improvement. This is the workhorse heuristic of real circuit
+//! partitioners — exactly the "related research on the circuit
+//! partitioning problem" the paper says is in progress.
+
+use crate::strategies::Partitioner;
+use crate::Partition;
+use logicsim_netlist::{ConnectivityGraph, Netlist};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Recursive FM bisection to `parts` blocks.
+#[derive(Debug, Clone)]
+pub struct FiducciaMattheysesPartitioner {
+    /// Maximum refinement passes per bisection.
+    pub max_passes: u32,
+    /// Allowed imbalance: each side holds at least
+    /// `floor(n/2) - slack` vertices.
+    pub balance_slack: usize,
+    /// Seed for the initial splits.
+    pub seed: u64,
+}
+
+impl FiducciaMattheysesPartitioner {
+    /// Creates an FM partitioner with typical settings.
+    #[must_use]
+    pub fn new(seed: u64) -> FiducciaMattheysesPartitioner {
+        FiducciaMattheysesPartitioner {
+            max_passes: 6,
+            balance_slack: 1,
+            seed,
+        }
+    }
+
+    /// One FM bisection of `nodes`; returns side per position.
+    fn bisect(
+        &self,
+        graph: &ConnectivityGraph,
+        nodes: &[u32],
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<bool> {
+        let n = nodes.len();
+        if n <= 1 {
+            return vec![false; n];
+        }
+        let mut local = vec![usize::MAX; graph.num_nodes()];
+        for (i, &g) in nodes.iter().enumerate() {
+            local[g as usize] = i;
+        }
+        // Local adjacency restricted to this region.
+        let adj: Vec<Vec<(usize, i64)>> = nodes
+            .iter()
+            .map(|&g| {
+                graph
+                    .neighbors(g)
+                    .iter()
+                    .filter_map(|&(nb, w)| {
+                        let j = local[nb as usize];
+                        (j != usize::MAX).then_some((j, i64::from(w)))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Balanced random initial split.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut side = vec![false; n];
+        for &i in order.iter().take(n / 2) {
+            side[i] = true;
+        }
+
+        let min_side = (n / 2).saturating_sub(self.balance_slack).max(1);
+        let gain_of = |side: &[bool], i: usize| -> i64 {
+            adj[i]
+                .iter()
+                .map(|&(j, w)| if side[j] != side[i] { w } else { -w })
+                .sum()
+        };
+
+        for _ in 0..self.max_passes {
+            let mut work = side.clone();
+            let mut gains: Vec<i64> = (0..n).map(|i| gain_of(&work, i)).collect();
+            let mut locked = vec![false; n];
+            let mut counts = [
+                work.iter().filter(|&&s| !s).count(),
+                work.iter().filter(|&&s| s).count(),
+            ];
+            let mut history: Vec<(usize, i64)> = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Highest-gain unlocked vertex whose move keeps balance.
+                let candidate = (0..n)
+                    .filter(|&i| !locked[i])
+                    .filter(|&i| counts[usize::from(work[i])] > min_side)
+                    .max_by_key(|&i| gains[i]);
+                let Some(v) = candidate else { break };
+                // Move v.
+                counts[usize::from(work[v])] -= 1;
+                work[v] = !work[v];
+                counts[usize::from(work[v])] += 1;
+                locked[v] = true;
+                history.push((v, gains[v]));
+                // Incremental gain update for neighbors.
+                for &(j, w) in &adj[v] {
+                    if locked[j] {
+                        continue;
+                    }
+                    // v moved: if j is now on the other side of v, the
+                    // edge became external (+w to j's gain twice: once
+                    // for losing internal, once for gaining external).
+                    if work[j] != work[v] {
+                        gains[j] += 2 * w;
+                    } else {
+                        gains[j] -= 2 * w;
+                    }
+                }
+            }
+            // Best prefix of moves.
+            let mut best_sum = 0i64;
+            let mut sum = 0i64;
+            let mut best_k = 0usize;
+            for (k, &(_, g)) in history.iter().enumerate() {
+                sum += g;
+                if sum > best_sum {
+                    best_sum = sum;
+                    best_k = k + 1;
+                }
+            }
+            if best_k == 0 {
+                break;
+            }
+            for &(v, _) in history.iter().take(best_k) {
+                side[v] = !side[v];
+            }
+        }
+        side
+    }
+}
+
+impl Partitioner for FiducciaMattheysesPartitioner {
+    fn partition(&self, netlist: &Netlist, parts: u32) -> Partition {
+        let graph = ConnectivityGraph::build(netlist, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let levels = (parts as f64).log2().ceil() as u32;
+        let mut regions: Vec<Vec<u32>> = vec![(0..graph.num_nodes() as u32).collect()];
+        for _ in 0..levels {
+            let mut next = Vec::with_capacity(regions.len() * 2);
+            for region in regions {
+                let sides = self.bisect(&graph, &region, &mut rng);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                for (i, &node) in region.iter().enumerate() {
+                    if sides[i] {
+                        a.push(node);
+                    } else {
+                        b.push(node);
+                    }
+                }
+                next.push(a);
+                next.push(b);
+            }
+            regions = next;
+        }
+        let mut v = vec![u32::MAX; netlist.num_components()];
+        for (r, region) in regions.iter().enumerate() {
+            let part = (r as u32) % parts;
+            for &node in region {
+                v[graph.component(node).index()] = part;
+            }
+        }
+        Partition::new(v, parts)
+    }
+
+    fn name(&self) -> &'static str {
+        "fiduccia-mattheyses"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::RandomPartitioner;
+    use logicsim_netlist::{Delay, GateKind, NetlistBuilder};
+
+    fn two_clusters(cluster: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("clusters");
+        let mut bridge = None;
+        for c in 0..2 {
+            let root = b.input(format!("in{c}"));
+            let mut nets = vec![root];
+            if let (1, Some(src)) = (c, bridge) {
+                nets.push(src);
+            }
+            for g in 0..cluster {
+                let y = b.net(format!("c{c}_{g}"));
+                let x1 = nets[g % nets.len()];
+                let x2 = nets[(g * 5 + 1) % nets.len()];
+                if x1 == x2 {
+                    b.gate(GateKind::Not, &[x1], y, Delay::uniform(1));
+                } else {
+                    b.gate(GateKind::Nand, &[x1, x2], y, Delay::uniform(1));
+                }
+                nets.push(y);
+            }
+            if c == 0 {
+                bridge = nets.last().copied();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    fn cut_of(n: &Netlist, p: &Partition) -> u64 {
+        let graph = ConnectivityGraph::build(n, 16);
+        let mut cut = 0u64;
+        for node in 0..graph.num_nodes() as u32 {
+            let a = p.part_of(graph.component(node)).unwrap();
+            for &(nb, w) in graph.neighbors(node) {
+                if nb > node && a != p.part_of(graph.component(nb)).unwrap() {
+                    cut += u64::from(w);
+                }
+            }
+        }
+        cut
+    }
+
+    #[test]
+    fn fm_is_valid_and_balanced() {
+        let n = two_clusters(24);
+        let fm = FiducciaMattheysesPartitioner::new(3);
+        for parts in [2u32, 4] {
+            let p = fm.partition(&n, parts);
+            assert!(p.covers(&n));
+            let sizes = p.sizes();
+            let total: usize = sizes.iter().sum();
+            assert_eq!(total, n.num_simulated_components());
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(
+                max - min <= total / 2,
+                "parts badly unbalanced: {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fm_beats_random_on_clustered_circuit() {
+        let n = two_clusters(30);
+        let random_cut = cut_of(&n, &RandomPartitioner::new(1).partition(&n, 2));
+        let fm_cut = cut_of(&n, &FiducciaMattheysesPartitioner::new(1).partition(&n, 2));
+        assert!(
+            fm_cut < random_cut / 2,
+            "fm {fm_cut} vs random {random_cut}"
+        );
+    }
+
+    #[test]
+    fn fm_is_deterministic() {
+        let n = two_clusters(16);
+        let fm = FiducciaMattheysesPartitioner::new(7);
+        assert_eq!(fm.partition(&n, 4), fm.partition(&n, 4));
+    }
+
+    #[test]
+    fn fm_finds_the_two_cluster_cut() {
+        // The ideal bisection cuts only the single bridge wire.
+        let n = two_clusters(20);
+        let fm = FiducciaMattheysesPartitioner::new(5);
+        let cut = cut_of(&n, &fm.partition(&n, 2));
+        assert!(cut <= 6, "cut = {cut} (ideal ~1-3)");
+    }
+}

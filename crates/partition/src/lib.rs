@@ -1,0 +1,110 @@
+//! Circuit partitioning strategies and message-volume measurement.
+//!
+//! The paper's communication model assumes **random partitioning**
+//! (Eq. 6, `M_P = M_inf (1 - 1/P)`) and notes that "related research on
+//! the circuit partitioning problem is in progress ... to measure the
+//! performance of heuristics in reducing the communication volume".
+//! This crate implements that research direction: random, round-robin,
+//! BFS-clustering, fanout-greedy, and Kernighan-Lin partitioners over
+//! the component connectivity graph, plus metrics that measure the
+//! *actual* message volume `M_P` and load imbalance `beta` of a
+//! partition against a simulation trace.
+//!
+//! # Example
+//!
+//! ```
+//! use logicsim_partition::{Partitioner, RandomPartitioner, Partition};
+//! use logicsim_netlist::{NetlistBuilder, GateKind, Delay};
+//!
+//! let mut b = NetlistBuilder::new("c");
+//! let a = b.input("a");
+//! let mut prev = a;
+//! for i in 0..10 {
+//!     let y = b.net(format!("y{i}"));
+//!     b.gate(GateKind::Not, &[prev], y, Delay::uniform(1));
+//!     prev = y;
+//! }
+//! let n = b.finish().expect("valid");
+//! let p = RandomPartitioner::new(42).partition(&n, 4);
+//! assert_eq!(p.num_parts(), 4);
+//! ```
+
+pub mod fm;
+pub mod metrics;
+pub mod strategies;
+
+pub use fm::FiducciaMattheysesPartitioner;
+pub use metrics::{measured_beta, measured_messages, PartitionQuality};
+pub use strategies::{
+    BfsClusterPartitioner, FanoutGreedyPartitioner, KernighanLinPartitioner, Partitioner,
+    RandomPartitioner, RoundRobinPartitioner,
+};
+
+use logicsim_netlist::{CompId, Netlist};
+
+/// An assignment of every simulated component (gate or switch) to one of
+/// `P` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Processor index per component id; `u32::MAX` marks non-simulated
+    /// components (inputs, pulls, rails), which live nowhere.
+    assignment: Vec<u32>,
+    parts: u32,
+}
+
+impl Partition {
+    /// Builds a partition from a raw assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0` or any assigned entry is out of range.
+    #[must_use]
+    pub fn new(assignment: Vec<u32>, parts: u32) -> Partition {
+        assert!(parts >= 1, "need at least one part");
+        for &a in &assignment {
+            assert!(
+                a == u32::MAX || a < parts,
+                "assignment {a} out of range for {parts} parts"
+            );
+        }
+        Partition { assignment, parts }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn num_parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// The processor a component is assigned to, `None` for
+    /// non-simulated components.
+    #[must_use]
+    pub fn part_of(&self, comp: CompId) -> Option<u32> {
+        match self.assignment.get(comp.index()) {
+            Some(&u32::MAX) | None => None,
+            Some(&p) => Some(p),
+        }
+    }
+
+    /// Components per processor.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.parts as usize];
+        for &a in &self.assignment {
+            if a != u32::MAX {
+                sizes[a as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Checks the partition covers exactly the simulated components of a
+    /// netlist (used by tests and debug assertions).
+    #[must_use]
+    pub fn covers(&self, netlist: &Netlist) -> bool {
+        netlist.iter().all(|(id, c)| {
+            let assigned = self.part_of(id).is_some();
+            assigned == (c.is_gate() || c.is_switch())
+        })
+    }
+}

@@ -1,0 +1,383 @@
+//! Compiled-mode (levelized) simulation.
+//!
+//! The commercial machines the paper surveys split into two camps:
+//! event-driven engines (ZYCAD — the class the paper models) and
+//! *compiled-mode* engines like IBM's Yorktown Simulation Engine
+//! \[PF82, DE82\], which evaluate **every** gate on every cycle in rank
+//! order, with no event list at all. This module implements
+//! compiled-mode evaluation for the gate-level subset:
+//!
+//! * [`Levelizer`] topologically ranks the combinational gates (and
+//!   reports feedback gates, which compiled mode must iterate on);
+//! * [`CompiledSim`] evaluates rank-by-rank until a fixpoint.
+//!
+//! Two uses: an *independent oracle* for the event-driven engine (both
+//! must agree on quiescent values — see the cross-check property test),
+//! and the *activity argument*: compiled mode performs
+//! `gates x cycles` evaluations where the event-driven engine performs
+//! `E`; their ratio is the circuit activity, the quantity Table 6 shows
+//! to be 0.1-3% — which is why the paper's machine class carries event
+//! lists.
+
+use logicsim_netlist::{CompId, Component, Level, NetId, Netlist};
+
+/// Topological levelization of a gate-level netlist.
+#[derive(Debug, Clone)]
+pub struct Levelizer {
+    /// Gates in evaluation order (rank-major).
+    pub order: Vec<CompId>,
+    /// Rank of each ordered gate.
+    pub ranks: Vec<u32>,
+    /// Gates on combinational feedback loops (latches, flip-flops
+    /// built from gates); compiled mode iterates these to a fixpoint.
+    pub feedback: Vec<CompId>,
+}
+
+impl Levelizer {
+    /// Levelizes the netlist's gates by longest path from the primary
+    /// inputs; gates on cycles are collected into `feedback`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains switches (compiled mode covers
+    /// the gate-level subset; the crossbar benchmark qualifies, the
+    /// nmos chips do not).
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Levelizer {
+        assert_eq!(
+            netlist.num_switches(),
+            0,
+            "compiled mode supports gate-level netlists only"
+        );
+        // Kahn's algorithm over gates; indegree = number of gate-driven
+        // input nets.
+        let gate_ids: Vec<CompId> = netlist
+            .iter()
+            .filter(|(_, c)| c.is_gate())
+            .map(|(id, _)| id)
+            .collect();
+        let driver_gate = |net: NetId| -> Option<CompId> {
+            netlist
+                .drivers(net)
+                .iter()
+                .copied()
+                .find(|&d| netlist.component(d).is_gate())
+        };
+        let mut indegree: Vec<u32> = vec![0; netlist.num_components()];
+        for &g in &gate_ids {
+            if let Component::Gate { inputs, .. } = netlist.component(g) {
+                indegree[g.index()] = inputs
+                    .iter()
+                    .filter(|&&n| driver_gate(n).is_some())
+                    .count() as u32;
+            }
+        }
+        let mut queue: Vec<(CompId, u32)> = gate_ids
+            .iter()
+            .copied()
+            .filter(|g| indegree[g.index()] == 0)
+            .map(|g| (g, 0))
+            .collect();
+        let mut order = Vec::with_capacity(gate_ids.len());
+        let mut ranks = Vec::with_capacity(gate_ids.len());
+        let mut done = vec![false; netlist.num_components()];
+        let mut head = 0;
+        while head < queue.len() {
+            let (g, rank) = queue[head];
+            head += 1;
+            if done[g.index()] {
+                continue;
+            }
+            done[g.index()] = true;
+            order.push(g);
+            ranks.push(rank);
+            if let Component::Gate { output, .. } = netlist.component(g) {
+                for &reader in netlist.fanout(*output) {
+                    if netlist.component(reader).is_gate() && !done[reader.index()] {
+                        let d = &mut indegree[reader.index()];
+                        *d = d.saturating_sub(1);
+                        if *d == 0 {
+                            queue.push((reader, rank + 1));
+                        }
+                    }
+                }
+            }
+        }
+        let feedback: Vec<CompId> = gate_ids
+            .iter()
+            .copied()
+            .filter(|g| !done[g.index()])
+            .collect();
+        Levelizer {
+            order,
+            ranks,
+            feedback,
+        }
+    }
+
+    /// Number of combinational ranks.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.ranks.iter().copied().max().map_or(0, |r| r + 1)
+    }
+
+    /// Returns `true` when the netlist is purely combinational.
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        self.feedback.is_empty()
+    }
+}
+
+/// A compiled-mode simulator over a levelized netlist.
+#[derive(Debug)]
+pub struct CompiledSim<'a> {
+    netlist: &'a Netlist,
+    levels: Levelizer,
+    values: Vec<Level>,
+    /// Total gate evaluations performed (the compiled-mode cost).
+    pub evaluations: u64,
+    /// Fixpoint iterations used on the feedback subset in the last
+    /// `settle` call.
+    pub last_iterations: u32,
+}
+
+impl<'a> CompiledSim<'a> {
+    /// Builds the compiled simulator (levelizes once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains switches.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> CompiledSim<'a> {
+        CompiledSim {
+            levels: Levelizer::new(netlist),
+            values: vec![Level::X; netlist.num_nets()],
+            evaluations: 0,
+            last_iterations: 0,
+            netlist,
+        }
+    }
+
+    /// Sets a primary input level.
+    pub fn set_input(&mut self, net: NetId, level: Level) {
+        self.values[net.index()] = level;
+    }
+
+    /// Current level of a net.
+    #[must_use]
+    pub fn level(&self, net: NetId) -> Level {
+        self.values[net.index()]
+    }
+
+    fn eval_gate(&mut self, g: CompId) -> bool {
+        let Component::Gate { kind, inputs, output, .. } = self.netlist.component(g) else {
+            unreachable!("levelizer only emits gates")
+        };
+        let levels: Vec<Level> = inputs.iter().map(|&n| self.values[n.index()]).collect();
+        let out = kind.evaluate(&levels).level;
+        self.evaluations += 1;
+        if self.values[output.index()] != out {
+            self.values[output.index()] = out;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One full compiled-mode cycle: every ranked gate evaluated once
+    /// in rank order, then the feedback subset iterated to a fixpoint
+    /// (bounded by `max_feedback_iters`). Returns `true` if the
+    /// feedback subset converged.
+    pub fn settle(&mut self, max_feedback_iters: u32) -> bool {
+        for i in 0..self.levels.order.len() {
+            let g = self.levels.order[i];
+            self.eval_gate(g);
+        }
+        let feedback = self.levels.feedback.clone();
+        self.last_iterations = 0;
+        if feedback.is_empty() {
+            return true;
+        }
+        for iter in 0..max_feedback_iters {
+            self.last_iterations = iter + 1;
+            let mut changed = false;
+            for &g in &feedback {
+                changed |= self.eval_gate(g);
+            }
+            if !changed {
+                return true;
+            }
+        }
+        // Did not converge: oscillating feedback (e.g. an enabled ring
+        // oscillator); mark the unstable outputs X like a real compiled
+        // simulator's oscillation detector.
+        for &g in &feedback {
+            if let Component::Gate { output, .. } = self.netlist.component(g) {
+                self.values[output.index()] = Level::X;
+            }
+        }
+        false
+    }
+
+    /// The levelization.
+    #[must_use]
+    pub fn levels(&self) -> &Levelizer {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_netlist::{Delay, GateKind, NetlistBuilder};
+
+    fn adder2() -> Netlist {
+        let mut b = NetlistBuilder::new("adder2");
+        let a0 = b.input("a0");
+        let a1 = b.input("a1");
+        let b0 = b.input("b0");
+        let b1 = b.input("b1");
+        // bit 0
+        let s0 = b.net("s0");
+        b.gate(GateKind::Xor, &[a0, b0], s0, Delay::uniform(1));
+        let c0 = b.net("c0");
+        b.gate(GateKind::And, &[a0, b0], c0, Delay::uniform(1));
+        // bit 1
+        let x1 = b.net("x1");
+        b.gate(GateKind::Xor, &[a1, b1], x1, Delay::uniform(1));
+        let s1 = b.net("s1");
+        b.gate(GateKind::Xor, &[x1, c0], s1, Delay::uniform(1));
+        let t1 = b.net("t1");
+        b.gate(GateKind::And, &[a1, b1], t1, Delay::uniform(1));
+        let t2 = b.net("t2");
+        b.gate(GateKind::And, &[x1, c0], t2, Delay::uniform(1));
+        let c1 = b.net("c1");
+        b.gate(GateKind::Or, &[t1, t2], c1, Delay::uniform(1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn levelizes_combinational_circuit() {
+        let n = adder2();
+        let lv = Levelizer::new(&n);
+        assert!(lv.is_combinational());
+        assert_eq!(lv.order.len(), n.num_gates());
+        assert!(lv.depth() >= 3, "depth {}", lv.depth());
+        // Ranks are consistent: each gate's rank exceeds its
+        // gate-driven predecessors'.
+        for (pos, &g) in lv.order.iter().enumerate() {
+            if let logicsim_netlist::Component::Gate { inputs, .. } = n.component(g) {
+                for &inp in inputs {
+                    for &d in n.drivers(inp) {
+                        if let Some(dp) = lv.order.iter().position(|&x| x == d) {
+                            assert!(lv.ranks[dp] < lv.ranks[pos]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_adder_adds() {
+        let n = adder2();
+        let mut sim = CompiledSim::new(&n);
+        let net = |s: &str| n.find_net(s).unwrap();
+        for (a, b) in [(0u32, 0u32), (1, 2), (3, 3), (2, 1)] {
+            sim.set_input(net("a0"), Level::from_bool(a & 1 == 1));
+            sim.set_input(net("a1"), Level::from_bool(a >> 1 & 1 == 1));
+            sim.set_input(net("b0"), Level::from_bool(b & 1 == 1));
+            sim.set_input(net("b1"), Level::from_bool(b >> 1 & 1 == 1));
+            assert!(sim.settle(8));
+            let mut sum = 0;
+            if sim.level(net("s0")) == Level::One {
+                sum |= 1;
+            }
+            if sim.level(net("s1")) == Level::One {
+                sum |= 2;
+            }
+            if sim.level(net("c1")) == Level::One {
+                sum |= 4;
+            }
+            assert_eq!(sum, a + b, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn feedback_gates_detected_and_converge() {
+        // NAND latch: both gates are feedback.
+        let mut b = NetlistBuilder::new("latch");
+        let s = b.input("s_n");
+        let r = b.input("r_n");
+        let q = b.net("q");
+        let qn = b.net("qn");
+        b.gate(GateKind::Nand, &[s, qn], q, Delay::uniform(1));
+        b.gate(GateKind::Nand, &[r, q], qn, Delay::uniform(1));
+        let n = b.finish().unwrap();
+        let lv = Levelizer::new(&n);
+        assert_eq!(lv.feedback.len(), 2);
+        let mut sim = CompiledSim::new(&n);
+        sim.set_input(n.find_net("s_n").unwrap(), Level::Zero);
+        sim.set_input(n.find_net("r_n").unwrap(), Level::One);
+        assert!(sim.settle(16));
+        assert_eq!(sim.level(n.find_net("q").unwrap()), Level::One);
+    }
+
+    #[test]
+    fn oscillation_yields_x() {
+        // A bare inverter loop cannot settle.
+        let mut b = NetlistBuilder::new("osc");
+        let x = b.net("x");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[x], y, Delay::uniform(1));
+        b.gate(GateKind::Buf, &[y], x, Delay::uniform(1));
+        // Drive the loop from a known state via an input we then ignore:
+        // with all-X it is stable at X, so force a contradiction by
+        // making it a 1-inverter loop.
+        let n = b.finish().unwrap();
+        let mut sim = CompiledSim::new(&n);
+        // Seed a known value so the loop actually oscillates.
+        sim.values[x.index()] = Level::Zero;
+        let converged = sim.settle(8);
+        assert!(!converged);
+        assert_eq!(sim.level(y), Level::X);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate-level")]
+    fn switches_rejected() {
+        let mut b = NetlistBuilder::new("sw");
+        let c = b.input("c");
+        let a = b.input("a");
+        let z = b.net("z");
+        b.switch(logicsim_netlist::SwitchKind::Nmos, c, a, z);
+        let n = b.finish().unwrap();
+        let _ = Levelizer::new(&n);
+    }
+
+    #[test]
+    fn crossbar_benchmark_is_compilable() {
+        // The paper's all-gate circuit runs in compiled mode.
+        let inst = logicsim_circuits_smoke();
+        let lv = Levelizer::new(&inst);
+        assert!(!lv.order.is_empty());
+    }
+
+    /// Builds a small all-gate circuit resembling the crossbar's
+    /// structure (the real generator lives in a downstream crate, so
+    /// the full cross-check is an integration test).
+    fn logicsim_circuits_smoke() -> Netlist {
+        let mut b = NetlistBuilder::new("plane");
+        let g0 = b.input("g0");
+        let g1 = b.input("g1");
+        let d0 = b.input("d0");
+        let d1 = b.input("d1");
+        let t0 = b.net("t0");
+        let t1 = b.net("t1");
+        let out = b.net("out");
+        b.gate(GateKind::And, &[g0, d0], t0, Delay::uniform(1));
+        b.gate(GateKind::And, &[g1, d1], t1, Delay::uniform(1));
+        b.gate(GateKind::Or, &[t0, t1], out, Delay::uniform(1));
+        b.finish().unwrap()
+    }
+}

@@ -1,0 +1,706 @@
+//! The event-driven simulation engine.
+//!
+//! The engine advances a unit-increment global clock (matching the
+//! `UI/GC` time control of the machine class the paper models). At each
+//! tick it pops scheduled output changes from the timing wheel, applies
+//! them, re-resolves affected nets (with instantaneous settling of
+//! switch groups), and evaluates fanout gates, scheduling their output
+//! changes after their fixed rise/fall delay.
+//!
+//! Delays are **inertial**, like lsim's fixed-delay model and unlike a
+//! pure transport-delay simulator: each component has at most one
+//! outstanding scheduled change, a re-evaluation replaces it, and a
+//! re-evaluation back to the currently-driven value cancels it
+//! outright. Pulses narrower than a gate's delay are therefore
+//! filtered — without this, a glitch injected into a delay-matched
+//! feedback loop (any latch) circulates forever and inflates the
+//! measured event counts unboundedly.
+
+use crate::instrument::{ActivityProfile, WorkloadCounters};
+use crate::solver;
+use crate::trace::{EventRecord, TickRecord, TickTrace};
+use crate::wheel::TimingWheel;
+use logicsim_netlist::{ChannelGroups, CompId, Component, Level, NetId, Netlist, Signal};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A scheduled output change: at its tick, `comp` starts driving `drive`
+/// onto its output net. `seq` implements inertial descheduling: only
+/// the change matching the component's latest sequence number applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Change {
+    comp: CompId,
+    drive: Signal,
+    seq: u64,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Timing-wheel size in slots; must exceed the largest delay for
+    /// O(1) scheduling (larger delays fall back to the overflow map).
+    pub wheel_size: usize,
+    /// Collect a full [`TickTrace`] (needed for machine replay and
+    /// partition studies; costs memory proportional to `E`).
+    pub collect_trace: bool,
+    /// Bound on intra-tick switch-group relaxation rounds before the
+    /// engine declares a zero-delay oscillation and stops the tick.
+    pub max_settle_rounds: u32,
+    /// Rounds of zero-delay relaxation used to compute the initial
+    /// (power-up) state before any events are counted.
+    pub init_rounds: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            wheel_size: 256,
+            collect_trace: false,
+            max_settle_rounds: 64,
+            init_rounds: 128,
+        }
+    }
+}
+
+/// The event-driven gate/switch-level simulator.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    groups: ChannelGroups,
+    config: SimConfig,
+    wheel: TimingWheel<Change>,
+    /// Resolved value of every net.
+    net_values: Vec<Signal>,
+    /// Output drive currently applied by every component (gates, inputs;
+    /// pulls/rails hold their static drive).
+    comp_drive: Vec<Signal>,
+    /// Last drive scheduled (possibly still in flight) per component,
+    /// used to suppress redundant schedules.
+    last_scheduled: Vec<Signal>,
+    /// Output net per component (None for switches).
+    comp_out: Vec<Option<NetId>>,
+    /// Input component for each primary-input net.
+    input_comp: BTreeMap<NetId, CompId>,
+    /// Sequence number of each component's outstanding scheduled change
+    /// (`None` when nothing is in flight); stale wheel entries are
+    /// skipped at application time.
+    pending_seq: Vec<Option<u64>>,
+    /// Monotonic sequence counter for [`Change::seq`].
+    seq_counter: u64,
+    counters: WorkloadCounters,
+    activity: ActivityProfile,
+    trace: TickTrace,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with default configuration and computes the
+    /// power-up state (all nets settle from `X` without counting events).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Simulator<'a> {
+        Simulator::with_config(netlist, SimConfig::default())
+    }
+
+    /// Creates a simulator with explicit configuration.
+    #[must_use]
+    pub fn with_config(netlist: &'a Netlist, config: SimConfig) -> Simulator<'a> {
+        let nc = netlist.num_components();
+        let mut comp_out = vec![None; nc];
+        let mut comp_drive = vec![Signal::FLOATING; nc];
+        let mut input_comp = BTreeMap::new();
+        for (id, comp) in netlist.iter() {
+            match comp {
+                Component::Gate { output, .. } => comp_out[id.index()] = Some(*output),
+                Component::Input { net } => {
+                    comp_out[id.index()] = Some(*net);
+                    input_comp.insert(*net, id);
+                }
+                Component::Pull { net, .. } | Component::Supply { net, .. } => {
+                    comp_out[id.index()] = Some(*net);
+                    comp_drive[id.index()] = comp.static_drive().expect("static component");
+                }
+                Component::Switch { .. } => {}
+            }
+        }
+        let mut sim = Simulator {
+            groups: ChannelGroups::compute(netlist),
+            wheel: TimingWheel::new(config.wheel_size),
+            net_values: vec![Signal::FLOATING; netlist.num_nets()],
+            comp_drive,
+            last_scheduled: vec![Signal::FLOATING; nc],
+            comp_out,
+            input_comp,
+            counters: WorkloadCounters::new(),
+            activity: ActivityProfile::new(nc),
+            trace: TickTrace::new(),
+            pending_seq: vec![None; nc],
+            seq_counter: 0,
+            netlist,
+            config,
+        };
+        sim.initialize();
+        sim
+    }
+
+    /// Zero-delay relaxation to a consistent power-up state: evaluate
+    /// every gate against current net levels, re-resolve all nets, and
+    /// repeat until stable (or the round bound). No events are counted.
+    fn initialize(&mut self) {
+        for round in 0..self.config.init_rounds {
+            // Recompute all net values from current drives.
+            let mut changed = false;
+            for net_idx in 0..self.netlist.num_nets() {
+                let net = NetId(net_idx as u32);
+                let gid = self.groups.group_of(net);
+                if self.groups.is_nontrivial(gid) {
+                    continue; // handled below per group
+                }
+                let v = self.external_drive(net);
+                if self.net_values[net_idx] != v {
+                    self.net_values[net_idx] = v;
+                    changed = true;
+                }
+            }
+            for gid in 0..self.groups.num_groups() as u32 {
+                if !self.groups.is_nontrivial(gid) {
+                    continue;
+                }
+                for (net, v) in self.resolve_group_now(gid) {
+                    if self.net_values[net.index()] != v {
+                        self.net_values[net.index()] = v;
+                        changed = true;
+                    }
+                }
+            }
+            // Re-evaluate all gates.
+            for (id, comp) in self.netlist.iter() {
+                if let Component::Gate { kind, inputs, .. } = comp {
+                    let levels: Vec<Level> =
+                        inputs.iter().map(|&n| self.net_values[n.index()].level).collect();
+                    let out = kind.evaluate(&levels);
+                    if self.comp_drive[id.index()] != out {
+                        self.comp_drive[id.index()] = out;
+                        self.last_scheduled[id.index()] = out;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed && round > 0 {
+                break;
+            }
+        }
+        self.trace.start = 0;
+        self.trace.end = 0;
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Current simulation tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.wheel.now()
+    }
+
+    /// Resolved signal on a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn signal(&self, net: NetId) -> Signal {
+        self.net_values[net.index()]
+    }
+
+    /// Logic level on a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn level(&self, net: NetId) -> Level {
+        self.net_values[net.index()].level
+    }
+
+    /// Workload counters accumulated so far.
+    #[must_use]
+    pub fn counters(&self) -> &WorkloadCounters {
+        &self.counters
+    }
+
+    /// Per-component activity profile.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityProfile {
+        &self.activity
+    }
+
+    /// The collected trace (empty unless [`SimConfig::collect_trace`]).
+    #[must_use]
+    pub fn trace(&self) -> &TickTrace {
+        &self.trace
+    }
+
+    /// Takes ownership of the collected trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> TickTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Resets counters, activity, and trace (not circuit state); call
+    /// after a warm-up run so measurements reflect steady state.
+    pub fn reset_measurements(&mut self) {
+        self.counters.reset();
+        self.activity.reset();
+        self.trace = TickTrace {
+            start: self.now(),
+            end: self.now(),
+            ticks: Vec::new(),
+        };
+    }
+
+    /// Drives a primary input to `level` at the current tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, level: Level) {
+        let comp = *self
+            .input_comp
+            .get(&net)
+            .unwrap_or_else(|| panic!("{net} is not a primary input"));
+        let now = self.now();
+        self.schedule_change(now, comp, Signal::strong(level));
+    }
+
+    /// Inertial scheduling: replaces any outstanding change for `comp`;
+    /// a change back to the currently-applied drive cancels instead of
+    /// scheduling (pulse absorption).
+    fn schedule_change(&mut self, tick: u64, comp: CompId, drive: Signal) {
+        if self.last_scheduled[comp.index()] == drive {
+            return; // already heading there
+        }
+        self.last_scheduled[comp.index()] = drive;
+        if drive == self.comp_drive[comp.index()] {
+            // Re-evaluation back to the applied value: swallow the
+            // in-flight pulse.
+            self.pending_seq[comp.index()] = None;
+            return;
+        }
+        self.seq_counter += 1;
+        let seq = self.seq_counter;
+        self.pending_seq[comp.index()] = Some(seq);
+        self.wheel.schedule(tick, Change { comp, drive, seq });
+    }
+
+    /// External (non-switch) drive on a net: the join of all gate/input/
+    /// pull/rail drivers' current output.
+    fn external_drive(&self, net: NetId) -> Signal {
+        let mut v = Signal::FLOATING;
+        for &d in self.netlist.drivers(net) {
+            if !self.netlist.component(d).is_switch() {
+                v = v.resolve(self.comp_drive[d.index()]);
+            }
+        }
+        v
+    }
+
+    fn resolve_group_now(&self, gid: u32) -> Vec<(NetId, Signal)> {
+        solver::resolve_group(
+            self.netlist,
+            &self.groups,
+            gid,
+            |net| self.external_drive(net),
+            |net| self.net_values[net.index()].level,
+            |net| self.net_values[net.index()].level,
+        )
+    }
+
+    /// Attributes a group-net change to a component for trace purposes:
+    /// the first switch driver if any, else the first driver.
+    fn attribute_net_change(&self, net: NetId) -> CompId {
+        let drivers = self.netlist.drivers(net);
+        drivers
+            .iter()
+            .copied()
+            .find(|&d| self.netlist.component(d).is_switch())
+            .or_else(|| drivers.first().copied())
+            .unwrap_or(CompId(0))
+    }
+
+    /// Executes the current tick (apply changes, settle, evaluate
+    /// fanout), then advances the clock by one.
+    pub fn step(&mut self) {
+        let tick = self.now();
+        // Event-list occupancy at the tick boundary ([WO86] statistic).
+        let pending = self.wheel.len() as u64;
+        self.counters.event_list_peak = self.counters.event_list_peak.max(pending);
+        self.counters.event_list_sum += pending;
+        let changes = self.wheel.pop_current();
+
+        // Phase 1: apply drive changes; collect affected nets with the
+        // causing component. Stale changes (descheduled by a later
+        // re-evaluation) are skipped — that is the inertial filter.
+        let mut affected: BTreeMap<NetId, CompId> = BTreeMap::new();
+        for Change { comp, drive, seq } in changes {
+            if self.pending_seq[comp.index()] != Some(seq) {
+                continue; // descheduled
+            }
+            self.pending_seq[comp.index()] = None;
+            if self.comp_drive[comp.index()] == drive {
+                continue;
+            }
+            self.comp_drive[comp.index()] = drive;
+            if let Some(net) = self.comp_out[comp.index()] {
+                affected.insert(net, comp);
+            }
+        }
+
+        // Phase 2/3 loop: recompute net values (settling switch groups
+        // instantaneously), record events, evaluate fanout.
+        let mut events: Vec<EventRecord> = Vec::new();
+        let mut dirty_groups: BTreeSet<u32> = BTreeSet::new();
+        let mut changed_nets: Vec<(NetId, CompId)> = Vec::new();
+        for (&net, &cause) in &affected {
+            let gid = self.groups.group_of(net);
+            if self.groups.is_nontrivial(gid) {
+                dirty_groups.insert(gid);
+            } else {
+                let v = self.external_drive(net);
+                if self.net_values[net.index()] != v {
+                    self.net_values[net.index()] = v;
+                    changed_nets.push((net, cause));
+                }
+            }
+        }
+
+        let mut rounds = 0;
+        let mut events_this_tick: u64 = 0;
+        loop {
+            // Settle dirty switch groups (instantaneous within the tick).
+            let groups_now: Vec<u32> = dirty_groups.iter().copied().collect();
+            dirty_groups.clear();
+            for gid in groups_now {
+                self.counters.group_resolutions += 1;
+                for (net, v) in self.resolve_group_now(gid) {
+                    if self.net_values[net.index()] != v {
+                        self.net_values[net.index()] = v;
+                        let cause = self.attribute_net_change(net);
+                        changed_nets.push((net, cause));
+                    }
+                }
+            }
+            if changed_nets.is_empty() {
+                break;
+            }
+
+            // Record events and collect fanout to evaluate.
+            let mut to_eval: BTreeSet<CompId> = BTreeSet::new();
+            for &(net, cause) in &changed_nets {
+                self.counters.events += 1;
+                events_this_tick += 1;
+                self.activity.record(cause.index());
+                let fanout = self.netlist.fanout(net);
+                self.counters.messages_inf += fanout.len() as u64;
+                if self.config.collect_trace {
+                    events.push(EventRecord {
+                        source: cause.0,
+                        dests: fanout.iter().map(|c| c.0).collect(),
+                    });
+                }
+                for &f in fanout {
+                    to_eval.insert(f);
+                }
+            }
+            changed_nets.clear();
+
+            // Evaluate fanout components: gates schedule delayed output
+            // changes; switches mark their group dirty for this tick.
+            for comp in to_eval {
+                match self.netlist.component(comp) {
+                    Component::Gate {
+                        kind,
+                        inputs,
+                        delay,
+                        ..
+                    } => {
+                        self.counters.evaluations += 1;
+                        let levels: Vec<Level> = inputs
+                            .iter()
+                            .map(|&n| self.net_values[n.index()].level)
+                            .collect();
+                        let out = kind.evaluate(&levels);
+                        let d = u64::from(delay.for_transition(out.level));
+                        self.schedule_change(tick + d, comp, out);
+                    }
+                    Component::Switch { a, .. } => {
+                        self.counters.evaluations += 1;
+                        dirty_groups.insert(self.groups.group_of(*a));
+                    }
+                    _ => {}
+                }
+            }
+
+            if dirty_groups.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds >= self.config.max_settle_rounds {
+                self.counters.relaxation_overflows += 1;
+                break;
+            }
+        }
+
+        // Account the tick.
+        if events_this_tick > 0 {
+            self.counters.busy_ticks += 1;
+            if self.config.collect_trace {
+                self.trace.ticks.push(TickRecord { tick, events });
+            }
+        } else {
+            self.counters.idle_ticks += 1;
+        }
+        self.wheel.advance();
+        self.trace.end = self.now();
+    }
+
+    /// Runs tick by tick until the clock reaches `tick` (exclusive).
+    pub fn run_until(&mut self, tick: u64) {
+        while self.now() < tick {
+            self.step();
+        }
+    }
+
+    /// Runs until no events remain scheduled or the clock reaches
+    /// `max_tick`; returns the final tick.
+    pub fn run_to_quiescence(&mut self, max_tick: u64) -> u64 {
+        while !self.wheel.is_empty() && self.now() < max_tick {
+            self.step();
+        }
+        self.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_netlist::{Delay, GateKind, NetlistBuilder, Strength, SwitchKind};
+
+    fn inverter() -> Netlist {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::uniform(2));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn inverter_propagates_after_delay() {
+        let n = inverter();
+        let a = n.find_net("a").unwrap();
+        let y = n.find_net("y").unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Level::Zero);
+        sim.step(); // tick 0: input applied, gate evaluated, change at t+2
+        assert_eq!(sim.level(y), Level::X);
+        sim.step(); // tick 1
+        assert_eq!(sim.level(y), Level::X);
+        sim.step(); // tick 2: output change applied
+        assert_eq!(sim.level(y), Level::One);
+    }
+
+    #[test]
+    fn rise_fall_delays_differ() {
+        let mut b = NetlistBuilder::new("rf");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Buf, &[a], y, Delay::rise_fall(5, 1));
+        let n = b.finish().unwrap();
+        let (a, y) = (n.find_net("a").unwrap(), n.find_net("y").unwrap());
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Level::One);
+        sim.run_until(4); // rise takes 5 ticks: t0 eval -> change at t5
+        assert_eq!(sim.level(y), Level::X);
+        sim.run_until(6);
+        assert_eq!(sim.level(y), Level::One);
+        sim.set_input(a, Level::Zero);
+        sim.run_until(8); // fall takes 1 tick: applied at t7
+        assert_eq!(sim.level(y), Level::Zero);
+    }
+
+    #[test]
+    fn counters_track_busy_idle_events() {
+        let n = inverter();
+        let a = n.find_net("a").unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Level::Zero);
+        sim.run_until(10);
+        let c = sim.counters();
+        assert_eq!(c.total_ticks(), 10);
+        // tick 0: input event (a changes X->0); tick 2: y changes X->1.
+        assert_eq!(c.busy_ticks, 2);
+        assert_eq!(c.idle_ticks, 8);
+        assert_eq!(c.events, 2);
+        // a has fanout 1 (the gate); y has fanout 0.
+        assert_eq!(c.messages_inf, 1);
+    }
+
+    #[test]
+    fn no_change_input_generates_no_events() {
+        let n = inverter();
+        let a = n.find_net("a").unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Level::One);
+        sim.run_until(5);
+        sim.reset_measurements();
+        sim.set_input(a, Level::One); // same value: suppressed
+        sim.run_until(10);
+        assert_eq!(sim.counters().events, 0);
+        assert_eq!(sim.counters().busy_ticks, 0);
+    }
+
+    #[test]
+    fn ring_oscillator_oscillates() {
+        // Three inverters in a ring: period = 2 * sum(delays) = 6 ticks.
+        let mut b = NetlistBuilder::new("ring");
+        let n0 = b.net("n0");
+        let n1 = b.net("n1");
+        let n2 = b.net("n2");
+        b.gate(GateKind::Not, &[n0], n1, Delay::uniform(1));
+        b.gate(GateKind::Not, &[n1], n2, Delay::uniform(1));
+        let start = b.input("start");
+        let y = b.net("y");
+        b.gate(GateKind::Nand, &[n2, start], y, Delay::uniform(1));
+        b.gate(GateKind::Buf, &[y], n0, Delay::uniform(1));
+        let n = b.finish().unwrap();
+        let start_net = n.find_net("start").unwrap();
+        let n0_net = n.find_net("n0").unwrap();
+        let mut sim = Simulator::new(&n);
+        // A ring cannot bootstrap from all-X: hold start low so the NAND
+        // forces a known 1 into the loop, then release.
+        sim.set_input(start_net, Level::Zero);
+        sim.run_until(10);
+        sim.set_input(start_net, Level::One);
+        sim.run_until(100);
+        // Oscillation means busy ticks keep accruing and the value is
+        // known (the X power-up state was flushed by the NAND).
+        assert!(sim.counters().events > 20);
+        assert!(sim.level(n0_net).is_known());
+    }
+
+    #[test]
+    fn nand_latch_sets_and_holds() {
+        let mut b = NetlistBuilder::new("latch");
+        let s_n = b.input("s_n");
+        let r_n = b.input("r_n");
+        let q = b.net("q");
+        let qn = b.net("qn");
+        b.gate(GateKind::Nand, &[s_n, qn], q, Delay::uniform(1));
+        b.gate(GateKind::Nand, &[r_n, q], qn, Delay::uniform(1));
+        let n = b.finish().unwrap();
+        let (s_n, r_n) = (n.find_net("s_n").unwrap(), n.find_net("r_n").unwrap());
+        let (q, qn) = (n.find_net("q").unwrap(), n.find_net("qn").unwrap());
+        let mut sim = Simulator::new(&n);
+        // Set: s_n=0, r_n=1 -> q=1.
+        sim.set_input(s_n, Level::Zero);
+        sim.set_input(r_n, Level::One);
+        sim.run_until(10);
+        assert_eq!(sim.level(q), Level::One);
+        assert_eq!(sim.level(qn), Level::Zero);
+        // Release set: latch holds.
+        sim.set_input(s_n, Level::One);
+        sim.run_until(20);
+        assert_eq!(sim.level(q), Level::One);
+        // Reset.
+        sim.set_input(r_n, Level::Zero);
+        sim.run_until(30);
+        assert_eq!(sim.level(q), Level::Zero);
+        assert_eq!(sim.level(qn), Level::One);
+    }
+
+    #[test]
+    fn pass_transistor_mux_switch_level() {
+        // Two nmos switches steer a or b onto z; pull-down keeps z defined.
+        let mut b = NetlistBuilder::new("ptmux");
+        let sel = b.input("sel");
+        let sel_n = b.net("sel_n");
+        b.gate(GateKind::Not, &[sel], sel_n, Delay::uniform(1));
+        let a = b.input("a");
+        let bb = b.input("b");
+        let z = b.net("z");
+        b.switch(SwitchKind::Nmos, sel, a, z);
+        b.switch(SwitchKind::Nmos, sel_n, bb, z);
+        let n = b.finish().unwrap();
+        let nets = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(nets("a"), Level::One);
+        sim.set_input(nets("b"), Level::Zero);
+        sim.set_input(nets("sel"), Level::One);
+        sim.run_until(10);
+        assert_eq!(sim.level(nets("z")), Level::One);
+        sim.set_input(nets("sel"), Level::Zero);
+        sim.run_until(20);
+        assert_eq!(sim.level(nets("z")), Level::Zero);
+    }
+
+    #[test]
+    fn trace_collection_matches_counters() {
+        let n = inverter();
+        let a = n.find_net("a").unwrap();
+        let mut sim = Simulator::with_config(
+            &n,
+            SimConfig {
+                collect_trace: true,
+                ..SimConfig::default()
+            },
+        );
+        sim.set_input(a, Level::Zero);
+        sim.run_until(10);
+        let t = sim.trace();
+        assert_eq!(t.busy_ticks(), sim.counters().busy_ticks);
+        assert_eq!(t.total_events(), sim.counters().events);
+        assert_eq!(t.total_messages_inf(), sim.counters().messages_inf);
+        assert_eq!(t.end - t.start, sim.counters().total_ticks());
+    }
+
+    #[test]
+    fn tristate_bus_sharing() {
+        let mut b = NetlistBuilder::new("bus");
+        let d0 = b.input("d0");
+        let e0 = b.input("e0");
+        let d1 = b.input("d1");
+        let e1 = b.input("e1");
+        let bus = b.net("bus");
+        b.gate(GateKind::Tristate, &[d0, e0], bus, Delay::uniform(1));
+        b.gate(GateKind::Tristate, &[d1, e1], bus, Delay::uniform(1));
+        let n = b.finish().unwrap();
+        let nets = |s: &str| n.find_net(s).unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(nets("d0"), Level::One);
+        sim.set_input(nets("e0"), Level::One);
+        sim.set_input(nets("d1"), Level::Zero);
+        sim.set_input(nets("e1"), Level::Zero);
+        sim.run_until(10);
+        assert_eq!(sim.level(nets("bus")), Level::One);
+        // Swap drivers.
+        sim.set_input(nets("e0"), Level::Zero);
+        sim.set_input(nets("e1"), Level::One);
+        sim.run_until(20);
+        assert_eq!(sim.level(nets("bus")), Level::Zero);
+        // Both off: bus floats, retaining charge (level 0 at HighZ).
+        sim.set_input(nets("e1"), Level::Zero);
+        sim.run_until(30);
+        assert_eq!(sim.signal(nets("bus")).strength, Strength::HighZ);
+    }
+
+    #[test]
+    fn quiescence_stops_early() {
+        let n = inverter();
+        let a = n.find_net("a").unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Level::Zero);
+        let end = sim.run_to_quiescence(1_000_000);
+        assert!(end < 100, "quiesced at {end}");
+    }
+}

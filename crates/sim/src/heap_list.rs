@@ -1,0 +1,151 @@
+//! A binary-heap event list — the baseline the timing wheel beats.
+//!
+//! The paper's model assumes "near-constant-time event-list management
+//! capabilities \[UL78\]" (Ulrich's timing wheel) and names event-list
+//! manipulation a prime candidate for functional specialization because
+//! it eats most of a software simulator's time. This module provides
+//! the conventional alternative — a priority queue over (tick, seq) —
+//! with the same interface as [`crate::wheel::TimingWheel`], so the
+//! O(1)-vs-O(log n) claim can be tested (property tests assert the two
+//! structures are observationally equivalent) and measured (the
+//! `event_list` Criterion bench).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A heap-backed event list keyed by absolute tick, preserving FIFO
+/// order among items scheduled for the same tick.
+#[derive(Debug, Clone)]
+pub struct HeapEventList<T> {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    items: std::collections::HashMap<u64, T>,
+    now: u64,
+    seq: u64,
+}
+
+impl<T> Default for HeapEventList<T> {
+    fn default() -> HeapEventList<T> {
+        HeapEventList::new()
+    }
+}
+
+impl<T> HeapEventList<T> {
+    /// Creates an empty list at tick 0.
+    #[must_use]
+    pub fn new() -> HeapEventList<T> {
+        HeapEventList {
+            heap: BinaryHeap::new(),
+            items: std::collections::HashMap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// The current tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of scheduled items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an item at an absolute tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick < now()`.
+    pub fn schedule(&mut self, tick: u64, item: T) {
+        assert!(
+            tick >= self.now,
+            "cannot schedule at tick {tick}, list is at {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((tick, seq)));
+        self.items.insert(seq, item);
+    }
+
+    /// Removes and returns all items scheduled for the current tick, in
+    /// scheduling order.
+    pub fn pop_current(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((tick, seq))) = self.heap.peek() {
+            if tick != self.now {
+                break;
+            }
+            self.heap.pop();
+            out.push(self.items.remove(&seq).expect("item for key"));
+        }
+        out
+    }
+
+    /// Advances to the next tick.
+    pub fn advance(&mut self) {
+        debug_assert!(
+            self.heap
+                .peek()
+                .is_none_or(|&Reverse((t, _))| t > self.now),
+            "advancing past unpopped events"
+        );
+        self.now += 1;
+    }
+
+    /// The next tick with scheduled items, if any.
+    #[must_use]
+    pub fn next_pending_tick(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((t, _))| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_timing_wheel() {
+        let mut h: HeapEventList<u32> = HeapEventList::new();
+        h.schedule(0, 1);
+        h.schedule(0, 2);
+        h.schedule(3, 3);
+        assert_eq!(h.pop_current(), vec![1, 2]);
+        assert_eq!(h.next_pending_tick(), Some(3));
+        for _ in 0..3 {
+            assert!(h.pop_current().is_empty());
+            h.advance();
+        }
+        assert_eq!(h.pop_current(), vec![3]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn same_tick_fifo_order() {
+        let mut h: HeapEventList<u32> = HeapEventList::new();
+        for i in 0..20 {
+            h.schedule(5, i);
+        }
+        for _ in 0..5 {
+            h.pop_current();
+            h.advance();
+        }
+        assert_eq!(h.pop_current(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn past_scheduling_panics() {
+        let mut h: HeapEventList<u32> = HeapEventList::new();
+        h.advance();
+        h.schedule(0, 1);
+    }
+}

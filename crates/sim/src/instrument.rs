@@ -1,0 +1,217 @@
+//! Workload instrumentation: the counters behind the paper's Tables 5-6.
+//!
+//! The paper defines (Table 3): `B` busy ticks, `I` idle ticks, `E`
+//! event/function evaluations, and `M_inf` the message volume in the
+//! fully-partitioned limit. An *event* here is an applied output change
+//! of a component; it contributes one message per fanout component
+//! (`M_inf = sum of fanouts = F * E`).
+
+use serde::{Deserialize, Serialize};
+
+/// Live counters updated by the engine while simulating.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadCounters {
+    /// Ticks with at least one applied event.
+    pub busy_ticks: u64,
+    /// Ticks with no applied event (START/DONE-only cycles on the
+    /// modeled machine).
+    pub idle_ticks: u64,
+    /// Applied output-change events (`E`).
+    pub events: u64,
+    /// Messages in the infinite-partition limit (`M_inf`): one per
+    /// (event, fanout component) pair.
+    pub messages_inf: u64,
+    /// Component function evaluations performed (a superset of `events`:
+    /// evaluations that produced no output change are counted here only).
+    pub evaluations: u64,
+    /// Switch-group resolutions performed.
+    pub group_resolutions: u64,
+    /// Ticks where intra-tick switch-group relaxation hit the iteration
+    /// bound (possible zero-delay oscillation, forced to X).
+    pub relaxation_overflows: u64,
+    /// Largest number of pending events observed at a tick boundary
+    /// (the peak event-list size of \[WO86\]).
+    pub event_list_peak: u64,
+    /// Sum of pending-event counts over all ticks (divide by
+    /// [`WorkloadCounters::total_ticks`] for the mean event-list size).
+    pub event_list_sum: u64,
+}
+
+impl WorkloadCounters {
+    /// Creates zeroed counters.
+    #[must_use]
+    pub fn new() -> WorkloadCounters {
+        WorkloadCounters::default()
+    }
+
+    /// Total simulated ticks `B + I`.
+    #[must_use]
+    pub fn total_ticks(&self) -> u64 {
+        self.busy_ticks + self.idle_ticks
+    }
+
+    /// Fraction of busy ticks `B / (B + I)` (Table 6, first column).
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        let t = self.total_ticks();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy_ticks as f64 / t as f64
+        }
+    }
+
+    /// Average event simultaneity `N = E / B` (Table 6).
+    #[must_use]
+    pub fn simultaneity(&self) -> f64 {
+        if self.busy_ticks == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.busy_ticks as f64
+        }
+    }
+
+    /// Mean event-list occupancy over the run (the average event-list
+    /// size statistic of the paper's companion measurement study
+    /// \[WO86\]).
+    #[must_use]
+    pub fn mean_event_list_size(&self) -> f64 {
+        let t = self.total_ticks();
+        if t == 0 {
+            0.0
+        } else {
+            self.event_list_sum as f64 / t as f64
+        }
+    }
+
+    /// Average fanout `F = M_inf / E` (Table 6).
+    #[must_use]
+    pub fn average_fanout(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.messages_inf as f64 / self.events as f64
+        }
+    }
+
+    /// Resets every counter to zero; used after a warm-up window so the
+    /// measured statistics reflect steady state, mirroring the paper's
+    /// procedure of running "until aggregate statistics remained stable".
+    pub fn reset(&mut self) {
+        *self = WorkloadCounters::default();
+    }
+}
+
+/// Per-component activity profile: how many events each component
+/// produced. `activity = events / (components * busy_ticks)` is the
+/// paper's Table 6 "Activity" column when normalized by component count.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityProfile {
+    /// Event count per component, indexed by component id.
+    pub events_per_component: Vec<u64>,
+}
+
+impl ActivityProfile {
+    /// Creates a profile for `num_components` components.
+    #[must_use]
+    pub fn new(num_components: usize) -> ActivityProfile {
+        ActivityProfile {
+            events_per_component: vec![0; num_components],
+        }
+    }
+
+    /// Records one event from `comp`.
+    pub fn record(&mut self, comp: usize) {
+        self.events_per_component[comp] += 1;
+    }
+
+    /// Number of components that produced at least one event. The paper
+    /// ran vectors "until ... most components experienced at least one
+    /// output change"; this is the convergence criterion.
+    #[must_use]
+    pub fn active_components(&self) -> usize {
+        self.events_per_component.iter().filter(|&&e| e > 0).count()
+    }
+
+    /// Fraction of components active at least once.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.events_per_component.is_empty() {
+            0.0
+        } else {
+            self.active_components() as f64 / self.events_per_component.len() as f64
+        }
+    }
+
+    /// Average fraction of components with output changes per busy tick
+    /// (Table 6 "Activity" = `N / components`).
+    #[must_use]
+    pub fn activity(&self, busy_ticks: u64) -> f64 {
+        let c = self.events_per_component.len();
+        if c == 0 || busy_ticks == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.events_per_component.iter().sum();
+        (total as f64 / busy_ticks as f64) / c as f64
+    }
+
+    /// Resets all per-component counts.
+    pub fn reset(&mut self) {
+        self.events_per_component.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let c = WorkloadCounters {
+            busy_ticks: 10,
+            idle_ticks: 90,
+            events: 50,
+            messages_inf: 105,
+            ..WorkloadCounters::default()
+        };
+        assert_eq!(c.total_ticks(), 100);
+        assert!((c.busy_fraction() - 0.1).abs() < 1e-12);
+        assert!((c.simultaneity() - 5.0).abs() < 1e-12);
+        assert!((c.average_fanout() - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let c = WorkloadCounters::new();
+        assert_eq!(c.busy_fraction(), 0.0);
+        assert_eq!(c.simultaneity(), 0.0);
+        assert_eq!(c.average_fanout(), 0.0);
+        assert_eq!(c.mean_event_list_size(), 0.0);
+    }
+
+    #[test]
+    fn event_list_mean() {
+        let c = WorkloadCounters {
+            busy_ticks: 2,
+            idle_ticks: 2,
+            event_list_sum: 12,
+            event_list_peak: 7,
+            ..WorkloadCounters::default()
+        };
+        assert!((c.mean_event_list_size() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activity_profile_counts() {
+        let mut p = ActivityProfile::new(4);
+        p.record(0);
+        p.record(0);
+        p.record(2);
+        assert_eq!(p.active_components(), 2);
+        assert!((p.coverage() - 0.5).abs() < 1e-12);
+        // 3 events over 3 busy ticks over 4 components: 0.25
+        assert!((p.activity(3) - 0.25).abs() < 1e-12);
+        p.reset();
+        assert_eq!(p.active_components(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! VCD (Value Change Dump) waveform output.
+//!
+//! The IEEE-1364 VCD format every waveform viewer reads. A
+//! [`VcdRecorder`] watches a set of nets and appends a timestamped
+//! change record whenever a watched net's level changes; the result
+//! renders in GTKWave and friends. Strength information is reduced to
+//! the four VCD states `0`, `1`, `x`, `z` (`z` when the net is
+//! undriven).
+
+use crate::engine::Simulator;
+use logicsim_netlist::{Level, NetId, Netlist, Strength};
+use std::fmt::Write as _;
+
+/// Records level changes on selected nets in VCD format.
+#[derive(Debug, Clone)]
+pub struct VcdRecorder {
+    nets: Vec<(NetId, String, String)>, // (net, identifier code, name)
+    last: Vec<char>,
+    body: String,
+    header: String,
+    last_time: Option<u64>,
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, multi-character for
+/// large circuits.
+fn id_code(mut index: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((33 + (index % 94)) as u8 as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+    }
+    code
+}
+
+fn vcd_state(sim: &Simulator<'_>, net: NetId) -> char {
+    let sig = sim.signal(net);
+    if sig.strength == Strength::HighZ {
+        return 'z';
+    }
+    match sig.level {
+        Level::Zero => '0',
+        Level::One => '1',
+        Level::X => 'x',
+    }
+}
+
+impl VcdRecorder {
+    /// Creates a recorder watching the given nets. `timescale` is the
+    /// VCD timescale string for one simulator tick (e.g. `"1ns"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty.
+    #[must_use]
+    pub fn new(netlist: &Netlist, nets: &[NetId], timescale: &str) -> VcdRecorder {
+        assert!(!nets.is_empty(), "watch at least one net");
+        let mut header = String::new();
+        let _ = writeln!(header, "$version logicsim $end");
+        let _ = writeln!(header, "$timescale {timescale} $end");
+        let _ = writeln!(header, "$scope module {} $end", netlist.name());
+        let mut entries = Vec::with_capacity(nets.len());
+        for (i, &net) in nets.iter().enumerate() {
+            let code = id_code(i);
+            let name = netlist.net_name(net).replace(' ', "_");
+            let _ = writeln!(header, "$var wire 1 {code} {name} $end");
+            entries.push((net, code, name));
+        }
+        let _ = writeln!(header, "$upscope $end");
+        let _ = writeln!(header, "$enddefinitions $end");
+        VcdRecorder {
+            last: vec!['?'; entries.len()],
+            nets: entries,
+            body: String::new(),
+            header,
+            last_time: None,
+        }
+    }
+
+    /// Convenience: watch every marked output of the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has no outputs.
+    #[must_use]
+    pub fn of_outputs(netlist: &Netlist, timescale: &str) -> VcdRecorder {
+        VcdRecorder::new(netlist, netlist.outputs(), timescale)
+    }
+
+    /// Samples the watched nets at the simulator's current time,
+    /// emitting change records for any that differ from the last
+    /// sample. Call after each [`Simulator::step`] (or less often for
+    /// coarser waveforms).
+    pub fn sample(&mut self, sim: &Simulator<'_>) {
+        let time = sim.now();
+        let mut stamped = false;
+        for (i, (net, code, _)) in self.nets.iter().enumerate() {
+            let state = vcd_state(sim, *net);
+            if self.last[i] != state {
+                if !stamped && self.last_time != Some(time) {
+                    let _ = writeln!(self.body, "#{time}");
+                    self.last_time = Some(time);
+                }
+                stamped = true;
+                self.last[i] = state;
+                let _ = writeln!(self.body, "{state}{code}");
+            }
+        }
+    }
+
+    /// The complete VCD document.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{}{}", self.header, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logicsim_netlist::{Delay, GateKind, NetlistBuilder};
+
+    fn toggle_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("toggler");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::uniform(1));
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn emits_header_and_changes() {
+        let n = toggle_circuit();
+        let a = n.find_net("a").unwrap();
+        let mut sim = Simulator::new(&n);
+        let mut vcd = VcdRecorder::of_outputs(&n, "1ns");
+        vcd.sample(&sim);
+        sim.set_input(a, Level::Zero);
+        for t in 0..6 {
+            if t == 3 {
+                sim.set_input(a, Level::One);
+            }
+            sim.step();
+            vcd.sample(&sim);
+        }
+        let doc = vcd.finish();
+        assert!(doc.contains("$timescale 1ns $end"));
+        assert!(doc.contains("$var wire 1 ! y $end"));
+        // y: x (power-up), then 1 (a=0), then 0 (a=1).
+        assert!(doc.contains("x!"));
+        assert!(doc.contains("1!"));
+        assert!(doc.contains("0!"));
+        // Timestamps are monotone.
+        let stamps: Vec<u64> = doc
+            .lines()
+            .filter_map(|l| l.strip_prefix('#').and_then(|t| t.parse().ok()))
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]), "{stamps:?}");
+    }
+
+    #[test]
+    fn unchanged_nets_emit_nothing() {
+        let n = toggle_circuit();
+        let a = n.find_net("a").unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(a, Level::Zero);
+        sim.run_until(5);
+        let mut vcd = VcdRecorder::of_outputs(&n, "1ns");
+        vcd.sample(&sim);
+        let once = vcd.finish().len();
+        for _ in 0..10 {
+            sim.step();
+            vcd.sample(&sim);
+        }
+        assert_eq!(vcd.finish().len(), once, "quiet nets must stay quiet");
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn z_state_for_undriven_nets() {
+        let mut b = NetlistBuilder::new("tri");
+        let d = b.input("d");
+        let en = b.input("en");
+        let bus = b.net("bus");
+        b.gate(GateKind::Tristate, &[d, en], bus, Delay::uniform(1));
+        b.mark_output(bus);
+        let n = b.finish().unwrap();
+        let mut sim = Simulator::new(&n);
+        sim.set_input(n.find_net("d").unwrap(), Level::One);
+        sim.set_input(n.find_net("en").unwrap(), Level::Zero);
+        sim.run_until(5);
+        let mut vcd = VcdRecorder::of_outputs(&n, "1ns");
+        vcd.sample(&sim);
+        assert!(vcd.finish().contains("z!"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Ulrich-style timing wheel for event scheduling.
+//!
+//! The paper's run-time model assumes "near-constant-time event-list
+//! management capabilities \[UL78\]"; this module provides exactly that: a
+//! circular array of slots for the near future plus a sorted overflow map
+//! for events scheduled beyond the wheel horizon. Scheduling and popping
+//! are O(1) amortized for delays shorter than the wheel size.
+
+use std::collections::BTreeMap;
+
+/// A timing wheel holding items of type `T` keyed by an absolute tick.
+///
+/// Items scheduled within `wheel_size` ticks of the current time live in
+/// the circular slot array; farther items go to the overflow
+/// [`BTreeMap`] and migrate into the wheel as time advances past them.
+///
+/// ```
+/// use logicsim_sim::TimingWheel;
+/// let mut w: TimingWheel<&str> = TimingWheel::new(16);
+/// w.schedule(0, "now");
+/// w.schedule(2, "later");
+/// assert_eq!(w.pop_current(), vec!["now"]);
+/// w.advance();
+/// w.advance();
+/// assert_eq!(w.pop_current(), vec!["later"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingWheel<T> {
+    slots: Vec<Vec<T>>,
+    /// Absolute tick the cursor points at.
+    now: u64,
+    cursor: usize,
+    /// Events beyond `now + slots.len() - 1`.
+    overflow: BTreeMap<u64, Vec<T>>,
+    /// Number of items currently stored (wheel + overflow).
+    len: usize,
+    /// Per-slot occupancy bitmap alternative: count of nonempty slots is
+    /// tracked to answer `next_pending_tick` quickly when empty.
+    nonempty_slots: usize,
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates a wheel with the given number of slots (the horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wheel_size == 0`.
+    #[must_use]
+    pub fn new(wheel_size: usize) -> TimingWheel<T> {
+        assert!(wheel_size > 0, "wheel size must be positive");
+        TimingWheel {
+            slots: (0..wheel_size).map(|_| Vec::new()).collect(),
+            now: 0,
+            cursor: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+            nonempty_slots: 0,
+        }
+    }
+
+    /// The current tick (the earliest tick whose events have not been
+    /// popped).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total number of scheduled items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules an item at an absolute tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is in the past (`tick < now()`); the simulator
+    /// never schedules into the past, and silently accepting would corrupt
+    /// the event order the paper's B/I accounting depends on.
+    pub fn schedule(&mut self, tick: u64, item: T) {
+        assert!(
+            tick >= self.now,
+            "cannot schedule at tick {tick}, wheel is at {}",
+            self.now
+        );
+        let horizon = self.slots.len() as u64;
+        if tick < self.now + horizon {
+            let idx = (self.cursor + (tick - self.now) as usize) % self.slots.len();
+            if self.slots[idx].is_empty() {
+                self.nonempty_slots += 1;
+            }
+            self.slots[idx].push(item);
+        } else {
+            self.overflow.entry(tick).or_default().push(item);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns all items scheduled for the current tick, in
+    /// scheduling order. Does not advance time.
+    pub fn pop_current(&mut self) -> Vec<T> {
+        let items = std::mem::take(&mut self.slots[self.cursor]);
+        if !items.is_empty() {
+            self.nonempty_slots -= 1;
+            self.len -= items.len();
+        }
+        items
+    }
+
+    /// Advances the wheel by one tick, migrating any overflow items that
+    /// now fall within the horizon.
+    pub fn advance(&mut self) {
+        debug_assert!(
+            self.slots[self.cursor].is_empty(),
+            "advancing past unpopped events"
+        );
+        self.now += 1;
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        // The slot the cursor vacated now represents tick
+        // `now + horizon - 1`; pull matching overflow in.
+        let incoming_tick = self.now + self.slots.len() as u64 - 1;
+        if let Some(items) = self.overflow.remove(&incoming_tick) {
+            let idx = (self.cursor + self.slots.len() - 1) % self.slots.len();
+            if self.slots[idx].is_empty() && !items.is_empty() {
+                self.nonempty_slots += 1;
+            }
+            self.slots[idx].extend(items);
+        }
+    }
+
+    /// The next tick (>= now) that has scheduled items, or `None` when
+    /// the wheel is empty. Used by the engine to skip idle ticks in
+    /// event-increment mode while still counting them.
+    #[must_use]
+    pub fn next_pending_tick(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.nonempty_slots > 0 {
+            for offset in 0..self.slots.len() {
+                let idx = (self.cursor + offset) % self.slots.len();
+                if !self.slots[idx].is_empty() {
+                    return Some(self.now + offset as u64);
+                }
+            }
+        }
+        self.overflow.keys().next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_and_pop_in_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(8);
+        w.schedule(0, 1);
+        w.schedule(0, 2);
+        w.schedule(3, 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop_current(), vec![1, 2]);
+        assert_eq!(w.len(), 1);
+        for _ in 0..3 {
+            assert!(w.pop_current().is_empty());
+            w.advance();
+        }
+        assert_eq!(w.now(), 3);
+        assert_eq!(w.pop_current(), vec![3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn overflow_migrates_into_wheel() {
+        let mut w: TimingWheel<&str> = TimingWheel::new(4);
+        w.schedule(10, "far");
+        assert_eq!(w.next_pending_tick(), Some(10));
+        while w.now() < 10 {
+            assert!(w.pop_current().is_empty());
+            w.advance();
+        }
+        assert_eq!(w.pop_current(), vec!["far"]);
+    }
+
+    #[test]
+    fn next_pending_tick_prefers_wheel_then_overflow() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(4);
+        assert_eq!(w.next_pending_tick(), None);
+        w.schedule(100, 1);
+        assert_eq!(w.next_pending_tick(), Some(100));
+        w.schedule(2, 2);
+        assert_eq!(w.next_pending_tick(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_past_panics() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(4);
+        w.advance();
+        w.schedule(0, 1);
+    }
+
+    #[test]
+    fn wraparound_is_correct_over_many_laps() {
+        let mut w: TimingWheel<u64> = TimingWheel::new(4);
+        // Schedule an item every 3 ticks for 50 ticks; pop and verify.
+        for t in (0..50).step_by(3) {
+            w.schedule(t, t);
+        }
+        let mut seen = Vec::new();
+        while !w.is_empty() {
+            for item in w.pop_current() {
+                assert_eq!(item, w.now());
+                seen.push(item);
+            }
+            w.advance();
+        }
+        assert_eq!(seen, (0..50).step_by(3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_tick_items_preserve_fifo() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(4);
+        for i in 0..10 {
+            w.schedule(1, i);
+        }
+        assert!(w.pop_current().is_empty());
+        w.advance();
+        assert_eq!(w.pop_current(), (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,231 @@
+//! Property tests for the event-driven simulator: event-list
+//! equivalence, determinism, and agreement with direct combinational
+//! evaluation.
+
+use logicsim_netlist::{Delay, GateKind, Level, NetId, NetlistBuilder};
+use logicsim_sim::{HeapEventList, SimConfig, Simulator, TimingWheel};
+use proptest::prelude::*;
+
+proptest! {
+    /// The timing wheel and the binary-heap list are observationally
+    /// equivalent under arbitrary interleavings of schedule/advance.
+    #[test]
+    fn wheel_equals_heap(
+        script in proptest::collection::vec((0u64..40, any::<u16>()), 1..120)
+    ) {
+        let mut wheel: TimingWheel<u16> = TimingWheel::new(8); // tiny: force overflow
+        let mut heap: HeapEventList<u16> = HeapEventList::new();
+        for (delay, item) in script {
+            // Drain/advance with probability encoded in the item.
+            if item % 3 == 0 {
+                prop_assert_eq!(wheel.pop_current(), heap.pop_current());
+                wheel.advance();
+                heap.advance();
+            }
+            let tick = wheel.now() + delay;
+            wheel.schedule(tick, item);
+            heap.schedule(tick, item);
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.next_pending_tick(), heap.next_pending_tick());
+        }
+        // Drain to empty.
+        while !wheel.is_empty() || !heap.is_empty() {
+            prop_assert_eq!(wheel.pop_current(), heap.pop_current());
+            wheel.advance();
+            heap.advance();
+        }
+    }
+}
+
+/// A random combinational DAG over the given input count; returns the
+/// netlist and, for each net in creation order, a closure-friendly
+/// description to evaluate it directly.
+#[derive(Debug, Clone)]
+enum NodeDesc {
+    Input(usize),
+    Gate(GateKind, Vec<usize>),
+}
+
+fn build_random_dag(
+    num_inputs: usize,
+    ops: &[(u8, usize, usize)],
+) -> (logicsim_netlist::Netlist, Vec<NodeDesc>, Vec<NetId>) {
+    let mut b = NetlistBuilder::new("dag");
+    let mut nets: Vec<NetId> = Vec::new();
+    let mut descs: Vec<NodeDesc> = Vec::new();
+    for i in 0..num_inputs {
+        nets.push(b.input(format!("in{i}")));
+        descs.push(NodeDesc::Input(i));
+    }
+    for &(kind_sel, x, y) in ops {
+        let kind = [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ][kind_sel as usize % 8];
+        let a = x % nets.len();
+        let c = y % nets.len();
+        let out = b.fresh("w");
+        let (inputs, desc) = if matches!(kind, GateKind::Not | GateKind::Buf) {
+            (vec![nets[a]], NodeDesc::Gate(kind, vec![a]))
+        } else {
+            (vec![nets[a], nets[c]], NodeDesc::Gate(kind, vec![a, c]))
+        };
+        b.gate(kind, &inputs, out, Delay::uniform(1 + (x as u32 % 3)));
+        nets.push(out);
+        descs.push(desc);
+    }
+    let netlist = b.finish().expect("valid by construction");
+    (netlist, descs, nets)
+}
+
+fn direct_eval(descs: &[NodeDesc], inputs: &[Level]) -> Vec<Level> {
+    let mut values: Vec<Level> = Vec::with_capacity(descs.len());
+    for d in descs {
+        let v = match d {
+            NodeDesc::Input(i) => inputs[*i],
+            NodeDesc::Gate(kind, args) => {
+                let levels: Vec<Level> = args.iter().map(|&a| values[a]).collect();
+                kind.evaluate(&levels).level
+            }
+        };
+        values.push(v);
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Event-driven simulation of a combinational DAG settles to the
+    /// same values as direct topological evaluation, for every net.
+    #[test]
+    fn simulation_matches_direct_evaluation(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..40),
+        input_bits in any::<u16>(),
+    ) {
+        let num_inputs = 4;
+        let (netlist, descs, nets) = build_random_dag(num_inputs, &ops);
+        let inputs: Vec<Level> = (0..num_inputs)
+            .map(|i| Level::from_bool(input_bits >> i & 1 == 1))
+            .collect();
+        let mut sim = Simulator::new(&netlist);
+        for (i, &l) in inputs.iter().enumerate() {
+            let net = netlist.find_net(&format!("in{i}")).expect("input net");
+            sim.set_input(net, l);
+        }
+        sim.run_to_quiescence(100_000);
+        let expected = direct_eval(&descs, &inputs);
+        for (net, want) in nets.iter().zip(&expected) {
+            prop_assert_eq!(
+                sim.level(*net),
+                *want,
+                "net {} disagrees", netlist.net_name(*net)
+            );
+        }
+    }
+
+    /// Same circuit, same stimulus, same seed: identical measurements
+    /// (the reproducibility the whole measurement methodology rests on).
+    #[test]
+    fn simulation_is_deterministic(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..24),
+        flips in proptest::collection::vec((0usize..4, any::<bool>()), 1..20),
+    ) {
+        let (netlist, _, _) = build_random_dag(4, &ops);
+        let run = || {
+            let mut sim = Simulator::with_config(&netlist, SimConfig {
+                collect_trace: true,
+                ..SimConfig::default()
+            });
+            for (chunk, &(which, up)) in flips.iter().enumerate() {
+                let net = netlist.find_net(&format!("in{which}")).expect("input");
+                sim.set_input(net, Level::from_bool(up));
+                sim.run_until((chunk as u64 + 1) * 7);
+            }
+            sim.run_to_quiescence(10_000);
+            (sim.counters().clone(), sim.take_trace())
+        };
+        let (c1, t1) = run();
+        let (c2, t2) = run();
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Workload counter invariants hold on arbitrary runs: busy+idle =
+    /// elapsed, events only on busy ticks, messages >= events cannot be
+    /// violated downward below fanout-0 floor.
+    #[test]
+    fn counter_invariants(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..24),
+        flips in proptest::collection::vec((0usize..4, any::<bool>()), 1..12),
+    ) {
+        let (netlist, _, _) = build_random_dag(4, &ops);
+        let mut sim = Simulator::with_config(&netlist, SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        });
+        for (chunk, &(which, up)) in flips.iter().enumerate() {
+            let net = netlist.find_net(&format!("in{which}")).expect("input");
+            sim.set_input(net, Level::from_bool(up));
+            sim.run_until((chunk as u64 + 1) * 5);
+        }
+        sim.run_to_quiescence(10_000);
+        let c = sim.counters();
+        let t = sim.trace();
+        prop_assert_eq!(c.total_ticks(), sim.now());
+        prop_assert_eq!(t.busy_ticks(), c.busy_ticks);
+        prop_assert_eq!(t.total_events(), c.events);
+        prop_assert_eq!(t.total_messages_inf(), c.messages_inf);
+        // Every trace tick holds at least one event, and ticks ascend.
+        let mut prev = None;
+        for tick in &t.ticks {
+            prop_assert!(!tick.events.is_empty());
+            if let Some(p) = prev {
+                prop_assert!(tick.tick > p);
+            }
+            prev = Some(tick.tick);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event-driven engine and the compiled-mode (levelized) engine
+    /// are independent implementations; on combinational circuits they
+    /// must agree on every quiescent net value.
+    #[test]
+    fn event_driven_agrees_with_compiled_mode(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 1..40),
+        input_bits in any::<u16>(),
+    ) {
+        use logicsim_sim::CompiledSim;
+        let num_inputs = 4;
+        let (netlist, _, nets) = build_random_dag(num_inputs, &ops);
+        let inputs: Vec<Level> = (0..num_inputs)
+            .map(|i| Level::from_bool(input_bits >> i & 1 == 1))
+            .collect();
+        let mut event_sim = Simulator::new(&netlist);
+        let mut compiled = CompiledSim::new(&netlist);
+        for (i, &l) in inputs.iter().enumerate() {
+            let net = netlist.find_net(&format!("in{i}")).expect("input net");
+            event_sim.set_input(net, l);
+            compiled.set_input(net, l);
+        }
+        event_sim.run_to_quiescence(100_000);
+        prop_assert!(compiled.settle(64));
+        for &net in &nets {
+            prop_assert_eq!(
+                event_sim.level(net),
+                compiled.level(net),
+                "net {} disagrees between engines", netlist.net_name(net)
+            );
+        }
+    }
+}

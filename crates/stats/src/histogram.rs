@@ -1,0 +1,170 @@
+//! Integer-valued histograms for event-count distributions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A sparse histogram over `u64` values (e.g. events per busy tick).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` when no observations were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self
+            .counts
+            .iter()
+            .map(|(&v, &c)| u128::from(v) * u128::from(c))
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Population variance (0 when empty).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.counts
+            .iter()
+            .map(|(&v, &c)| (v as f64 - m).powi(2) * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Smallest observed value.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// The `q`-quantile (0 <= q <= 1) by the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (&v, &c) in &self.counts {
+            seen += c;
+            if seen >= rank {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Histogram {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let h: Histogram = [1u64, 2, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.len(), 6);
+        assert!((h.mean() - 14.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(3));
+        assert!(h.variance() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let h: Histogram = (1..=100u64).collect();
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile() {
+        let h: Histogram = [1u64].into_iter().collect();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut h = Histogram::new();
+        h.extend([5u64, 5, 5]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(5, 3)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! The load-imbalance factor `beta`.
+//!
+//! The paper's Table 3 defines `beta` as "a measure of the degree to
+//! which work is unevenly distributed across processors": during each
+//! busy tick the most heavily loaded processor performs `beta * N/P`
+//! evaluations instead of the ideal `N/P`. `beta = 1` is perfect
+//! balance; `beta = P` means one processor does everything.
+
+/// The per-tick maximum-load factor: `max_p(load_p) / (total / P)`.
+///
+/// Returns 1.0 for an idle tick (no work is perfectly balanced work).
+///
+/// # Panics
+///
+/// Panics if `loads` is empty.
+#[must_use]
+pub fn max_load_factor(loads: &[u64]) -> f64 {
+    assert!(!loads.is_empty(), "need at least one processor");
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *loads.iter().max().expect("non-empty");
+    let ideal = total as f64 / loads.len() as f64;
+    max as f64 / ideal
+}
+
+/// Estimates `beta` from per-busy-tick per-processor evaluation counts,
+/// weighting each busy tick by its total work (ticks with more events
+/// contribute proportionally to total run time, which is what `beta`
+/// scales in the model's Eq. 2).
+///
+/// Returns 1.0 when there are no busy ticks.
+#[must_use]
+pub fn beta_from_tick_loads(tick_loads: &[Vec<u64>]) -> f64 {
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    for loads in tick_loads {
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        weighted += max_load_factor(loads) * total as f64;
+        weight += total as f64;
+    }
+    if weight == 0.0 {
+        1.0
+    } else {
+        weighted / weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance_is_one() {
+        assert!((max_load_factor(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_on_one_processor_is_p() {
+        assert!((max_load_factor(&[12, 0, 0, 0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intermediate_imbalance() {
+        // total 8 over 4 procs, max 4: beta = 4 / 2 = 2.
+        assert!((max_load_factor(&[4, 2, 1, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_tick_counts_as_balanced() {
+        assert_eq!(max_load_factor(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn beta_weights_by_work() {
+        // Tick 1: 2 events, perfectly balanced. Tick 2: 8 events, all on
+        // one of two processors (factor 2). Weighted: (1*2 + 2*8)/10 = 1.8.
+        let loads = vec![vec![1, 1], vec![8, 0]];
+        assert!((beta_from_tick_loads(&loads) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_of_no_work_is_one() {
+        assert_eq!(beta_from_tick_loads(&[]), 1.0);
+        assert_eq!(beta_from_tick_loads(&[vec![0, 0]]), 1.0);
+    }
+
+    #[test]
+    fn beta_bounds() {
+        // beta is always in [1, P].
+        let loads = vec![vec![3, 1, 0], vec![1, 1, 1], vec![0, 0, 9]];
+        let b = beta_from_tick_loads(&loads);
+        assert!((1.0..=3.0).contains(&b), "beta={b}");
+    }
+}

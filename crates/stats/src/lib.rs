@@ -1,0 +1,29 @@
+//! Workload characterization for logic-simulation traces.
+//!
+//! This crate turns raw measurements from the event-driven simulator into
+//! the quantities the paper's architecture model consumes:
+//!
+//! * [`Workload`] — the `(B, I, E, M_inf)` tuple of Table 3/5, with the
+//!   linear size-normalization of Table 5 and the derived "nature of
+//!   logic simulation" ratios of Table 6 ([`NatureRow`]);
+//! * [`average_workload`] — the Table 8 procedure that folds several
+//!   circuits into one average workload at a chosen run length;
+//! * [`beta_from_tick_loads`] — the load-imbalance factor `beta`;
+//! * [`Histogram`] / [`Summary`] — distribution summaries used for the
+//!   event-simultaneity and fanout distributions.
+//!
+//! The crate is deliberately independent of the simulator: it consumes
+//! plain numbers, so the paper's *published* data and our *measured*
+//! data flow through identical code paths.
+
+pub mod average;
+pub mod histogram;
+pub mod imbalance;
+pub mod summary;
+pub mod workload;
+
+pub use average::average_workload;
+pub use histogram::Histogram;
+pub use imbalance::{beta_from_tick_loads, max_load_factor};
+pub use summary::Summary;
+pub use workload::{NatureRow, Workload};

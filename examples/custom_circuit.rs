@@ -1,0 +1,152 @@
+//! Custom circuit end to end: describe a circuit in the text netlist
+//! format, simulate it, measure its workload, and ask the model what
+//! machine to build for it.
+//!
+//! Run with `cargo run --release --example custom_circuit`.
+
+use logicsim::core::design::best_operating_point;
+use logicsim::core::runtime::max_useful_processors;
+use logicsim::core::BaseMachine;
+use logicsim::netlist::text;
+use logicsim::sim::stimulus::run_with_stimulus;
+use logicsim::sim::{SignalRole, Simulator, StimulusSpec};
+use logicsim::stats::Workload;
+
+/// A 4-bit synchronous Johnson counter with an nmos switch-level output
+/// decoder — small, but it exercises gates, switches, pulls and rails.
+const SOURCE: &str = "\
+circuit johnson4
+input clk
+input rst_n
+supply gnd g
+
+# Four master-slave DFFs from NAND latches would be verbose here; use
+# the gate primitives to build a shift register of simple latch pairs.
+# q3's complement feeds back into q0 (Johnson/twisted-ring).
+net q0
+net q1
+net q2
+net q3
+net q3_n
+gate NOT q3_n q3
+
+# Each stage: master latch (transparent on clk low), slave (on clk high).
+net clk_n
+gate NOT clk_n clk
+net m0
+gate AND d=1 m0a q3_n clk_n
+gate AND d=1 m0b m0 clk
+gate AND d=1 m0c q3_n m0
+gate OR  d=1 m0 m0a m0b m0c
+gate AND d=1 s0a m0 clk
+gate AND d=1 s0b q0 clk_n
+gate AND d=1 s0c m0 q0
+net q0r
+gate OR  d=1 q0r s0a s0b s0c
+gate AND d=1 q0 q0r rst_n
+net m1
+gate AND d=1 m1a q0 clk_n
+gate AND d=1 m1b m1 clk
+gate AND d=1 m1c q0 m1
+gate OR  d=1 m1 m1a m1b m1c
+gate AND d=1 s1a m1 clk
+gate AND d=1 s1b q1 clk_n
+gate AND d=1 s1c m1 q1
+net q1r
+gate OR  d=1 q1r s1a s1b s1c
+gate AND d=1 q1 q1r rst_n
+net m2
+gate AND d=1 m2a q1 clk_n
+gate AND d=1 m2b m2 clk
+gate AND d=1 m2c q1 m2
+gate OR  d=1 m2 m2a m2b m2c
+gate AND d=1 s2a m2 clk
+gate AND d=1 s2b q2 clk_n
+gate AND d=1 s2c m2 q2
+net q2r
+gate OR  d=1 q2r s2a s2b s2c
+gate AND d=1 q2 q2r rst_n
+net m3
+gate AND d=1 m3a q2 clk_n
+gate AND d=1 m3b m3 clk
+gate AND d=1 m3c q2 m3
+gate OR  d=1 m3 m3a m3b m3c
+gate AND d=1 s3a m3 clk
+gate AND d=1 s3b q3 clk_n
+gate AND d=1 s3c m3 q3
+net q3r
+gate OR  d=1 q3r s3a s3b s3c
+gate AND d=1 q3 q3r rst_n
+
+# Switch-level one-cold decoder on (q0, q3): nmos pulldowns on
+# pulled-up lines.
+pull up dec0
+pull up dec1
+switch NMOS q0 dec0 g
+switch NMOS q3 dec1 g
+
+output q0
+output q1
+output q2
+output q3
+output dec0
+output dec1
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = text::parse(SOURCE)?;
+    println!(
+        "parsed `{}`: {} gates, {} switches, {} nets",
+        netlist.name(),
+        netlist.num_gates(),
+        netlist.num_switches(),
+        netlist.num_nets()
+    );
+
+    // Simulate under a clock, with a reset pulse to flush power-up X.
+    let spec = StimulusSpec::new()
+        .with("clk", SignalRole::Clock { half_period: 24, phase: 0 })
+        .with(
+            "rst_n",
+            SignalRole::Pulse { active: logicsim::netlist::Level::Zero, width: 100 },
+        );
+    let mut stim = spec.build(&netlist, 7)?;
+    let mut sim = Simulator::new(&netlist);
+    run_with_stimulus(&mut sim, &mut stim, 480); // warm-up
+    sim.reset_measurements();
+    run_with_stimulus(&mut sim, &mut stim, 480 + 4_800);
+
+    let c = sim.counters();
+    println!(
+        "measured: B/(B+I) = {:.3}, N = {:.1}, F = {:.2}, E = {}",
+        c.busy_fraction(),
+        c.simultaneity(),
+        c.average_fanout(),
+        c.events
+    );
+    print!("ring state:");
+    for name in ["q0", "q1", "q2", "q3", "dec0", "dec1"] {
+        let net = netlist.find_net(name).expect("output net");
+        print!(" {name}={}", sim.level(net));
+    }
+    println!();
+
+    // Hand the measured workload to the model: what machine fits?
+    let workload = Workload::new(
+        c.busy_ticks as f64,
+        c.idle_ticks as f64,
+        c.events as f64,
+        c.messages_inf as f64,
+    );
+    let base = BaseMachine::vax_11_750();
+    println!(
+        "max useful parallelism for this circuit: N = {}",
+        max_useful_processors(&workload)
+    );
+    let op = best_operating_point(&workload, &base, 100.0, 1.0, 5, 3.0, 1.0, 50, 1.0);
+    println!(
+        "best H=100 single-bus machine: P = {} -> S = {:.0} ({} bound)",
+        op.processors, op.speedup, op.bottleneck
+    );
+    Ok(())
+}

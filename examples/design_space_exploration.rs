@@ -1,0 +1,92 @@
+//! Design-space exploration: reproduce the paper's Section 7 study and
+//! use the model as a design advisor — find balanced designs where
+//! neither the evaluators nor the network idles.
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use logicsim::core::cost::{cheapest_design, CostModel};
+use logicsim::core::design::{
+    best_operating_point, saturation_knee, table9, DesignSpace,
+};
+use logicsim::core::paper_data::average_workload_table8;
+use logicsim::core::BaseMachine;
+
+fn main() {
+    let workload = average_workload_table8();
+    let base = BaseMachine::vax_11_750();
+    let space = DesignSpace::paper_table7();
+
+    // 1. The Table 9 sweep: the best operating point of all 36 designs.
+    println!("Table 9 sweep over {} designs:", space.num_designs());
+    let rows = table9(&workload, &base, &space);
+    let best = rows
+        .iter()
+        .map(|r| if r.tm2.speedup > r.tm3.speedup { (r, r.tm2, 2.0) } else { (r, r.tm3, 3.0) })
+        .max_by(|a, b| a.1.speedup.partial_cmp(&b.1.speedup).expect("finite"))
+        .expect("non-empty space");
+    println!(
+        "  fastest: H={} W={} L={} tM={} at P={} -> S = {:.0} ({})",
+        best.0.h,
+        best.0.w,
+        best.0.l,
+        best.2,
+        best.1.processors,
+        best.1.speedup,
+        best.1.bottleneck
+    );
+
+    // 2. Design rules of thumb: where does each network width saturate?
+    println!("\nNetwork saturation knees (H=10, L=5, tM=3):");
+    for w in [1.0, 2.0, 3.0] {
+        match saturation_knee(&workload, &base, 10.0, w, 5, 3.0, 1.0, 200) {
+            Some(p) => println!("  W={w}: network saturates at P = {p}"),
+            None => println!("  W={w}: evaluation-limited through P = 200"),
+        }
+    }
+
+    // 3. Balanced-design advisor: for a target speed-up, the cheapest
+    //    (P, W) combination that reaches it.
+    let target = 1_500.0;
+    println!("\nCheapest designs reaching S >= {target} (H=100, tM=2):");
+    'outer: for w in [1.0, 2.0, 3.0, 4.0] {
+        for l in [1u32, 5] {
+            let op = best_operating_point(&workload, &base, 100.0, w, l, 2.0, 1.0, 50, 1.0);
+            if op.speedup >= target {
+                println!(
+                    "  W={w} L={l}: P = {} -> S = {:.0} ({})",
+                    op.processors, op.speedup, op.bottleneck
+                );
+                if w <= 1.0 {
+                    break 'outer;
+                }
+                break;
+            }
+        }
+    }
+
+    // 4. Minimum-cost designs: the paper's stated design problem is to
+    //    balance evaluators against the network "at minimum cost".
+    let cost = CostModel::default_1987();
+    println!("\nCheapest machines per speed-up target (tM=3):");
+    for target in [100.0, 500.0, 1_000.0, 2_000.0] {
+        match cheapest_design(&workload, &base, &cost, target, &[1.0, 10.0, 100.0], 50, 3.0) {
+            Some(d) => println!(
+                "  S >= {target:>5}: H={:<4} L={} W={} P={:<3} -> S={:.0} at cost {:.0} (balance {:.2})",
+                d.h, d.stages, d.buses, d.processors, d.speedup, d.cost, d.balance
+            ),
+            None => println!("  S >= {target:>5}: unreachable in the Table 7 space"),
+        }
+    }
+
+    // 5. The paper's closing observation: a moderate network caps speed
+    //    around 8M events/sec no matter how much parallelism remains.
+    let cap = rows
+        .iter()
+        .flat_map(|r| [r.tm2.speedup, r.tm3.speedup])
+        .fold(0.0f64, f64::max)
+        * 2_500.0;
+    println!(
+        "\nSpeed cap with a moderate network: {:.1}M events/sec (paper: ~8.3M)",
+        cap / 1e6
+    );
+}

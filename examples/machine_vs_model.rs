@@ -1,0 +1,63 @@
+//! Machine vs model: simulate the actual `UI/GC/Q=P/P/L` machine
+//! (master, slaves, pipelines, contended network) on a real circuit's
+//! trace and compare with the paper's analytical prediction.
+//!
+//! Run with `cargo run --release --example machine_vs_model`.
+
+use logicsim::circuits::Benchmark;
+use logicsim::core::BaseMachine;
+use logicsim::machine::{validate_against_model, MachineConfig, NetworkKind};
+use logicsim::partition::{Partitioner, RandomPartitioner};
+use logicsim::{measure_benchmark, MeasureOptions};
+
+fn main() {
+    // Measure the RTP chip under random vectors, keeping the full
+    // tick trace for replay.
+    let opts = MeasureOptions {
+        collect_trace: true,
+        ..MeasureOptions::quick()
+    };
+    let measured = measure_benchmark(Benchmark::RtpChip, &opts);
+    println!(
+        "measured {}: {} (coverage {:.0}%)",
+        measured.name,
+        measured.workload,
+        measured.coverage * 100.0
+    );
+
+    let instance = Benchmark::RtpChip.build_default();
+    let base = BaseMachine::vax_11_750();
+
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>8} {:>10} {:>6}",
+        "machine", "model R_P", "machine R_P", "err %", "S (mach)", "util"
+    );
+    for (p, l, network, h) in [
+        (2u32, 1u32, NetworkKind::BusSet { width: 1 }, 10.0),
+        (4, 5, NetworkKind::BusSet { width: 1 }, 10.0),
+        (8, 5, NetworkKind::BusSet { width: 1 }, 100.0),
+        (8, 5, NetworkKind::BusSet { width: 3 }, 100.0),
+        (8, 5, NetworkKind::Crossbar, 100.0),
+        (8, 5, NetworkKind::Delta, 100.0),
+    ] {
+        let config = MachineConfig::paper_design(p, l, network, h, 3.0);
+        let partition = RandomPartitioner::new(3).partition(&instance.netlist, p);
+        let v = validate_against_model(&config, &measured.trace, &partition, &base);
+        println!(
+            "{:<28} {:>12.0} {:>12.0} {:>+8.1} {:>10.0} {:>6.2}",
+            format!("{} {:?}", config.arch_class(), network),
+            v.model_runtime,
+            v.machine_runtime,
+            v.relative_error() * 100.0,
+            v.machine_speedup,
+            v.report.slave_utilization()
+        );
+    }
+    println!(
+        "\nThe model's optimism grows where its assumptions thin out:\n\
+         partial message/evaluation overlap and uneven per-tick loads.\n\
+         Richer networks (crossbar, delta) recover most of the gap the\n\
+         single bus leaves — the paper's 'faster communication network'\n\
+         conclusion, measured."
+    );
+}

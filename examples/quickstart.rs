@@ -1,0 +1,49 @@
+//! Quickstart: predict the performance of a logic simulation machine.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use logicsim::core::paper_data::average_workload_table8;
+use logicsim::core::runtime::{max_useful_processors, run_time};
+use logicsim::core::speedup::{events_per_second, speedup};
+use logicsim::core::{ArchClass, BaseMachine, MachineDesign};
+
+fn main() {
+    // The workload: the paper's Table 8 average circuit — 8,106 busy
+    // ticks, 51,894 idle ticks, 10.4M events, 21.8M messages.
+    let workload = average_workload_table8();
+    println!("workload: {workload}");
+    println!(
+        "maximum useful parallelism N = E/B = {}",
+        max_useful_processors(&workload)
+    );
+
+    // The base machine: a VAX 11/750 at 2,500 events/second.
+    let base = BaseMachine::vax_11_750();
+
+    // A candidate design: 10 processors, 5-stage pipelines, one shared
+    // bus, 100x-specialized evaluators, 3-sync message time.
+    let design = MachineDesign::new(10, 5, 1.0, base.t_eval / 100.0, 3.0, 1.0);
+    println!(
+        "design {} -> {design}",
+        ArchClass::paper_class(design.processors, design.pipeline_depth)
+    );
+
+    // Predict run time and find the bottleneck (paper Eq. 10).
+    let rt = run_time(&workload, &design, 1.0);
+    println!(
+        "predicted R_P = {:.2e} syncs (eval {:.2e}, comm {:.2e}, sync {:.2e})",
+        rt.total, rt.eval, rt.comm, rt.sync
+    );
+    println!("bottleneck: {}", rt.bottleneck());
+
+    // Speed-up over the base machine (Eq. 11) and absolute speed.
+    let s = speedup(&workload, &design, &base, 1.0);
+    println!(
+        "speed-up over the VAX: {s:.0}x = {:.2}M events/sec",
+        events_per_second(&workload, &design, 1.0) / 1e6
+    );
+
+    // The paper's headline: even a moderate machine gains hundreds; the
+    // network caps further scaling.
+    assert!(s > 500.0);
+}

@@ -1,0 +1,30 @@
+use logicsim::circuits::Benchmark;
+use logicsim::{measure_benchmark, MeasureOptions};
+
+fn main() {
+    let opts = MeasureOptions {
+        window_ticks: 10_000,
+        ..MeasureOptions::default()
+    };
+    println!(
+        "{:<14} {:>6} {:>5} {:>5} {:>9} {:>7} {:>8} {:>7} {:>9} {:>6}",
+        "circuit", "comps", "sw", "gates", "B/(B+I)", "N", "act", "F", "E", "cov"
+    );
+    for b in Benchmark::ALL {
+        let m = measure_benchmark(b, &opts);
+        let n = m.nature();
+        println!(
+            "{:<14} {:>6} {:>5} {:>5} {:>9.4} {:>7.0} {:>8.4} {:>7.2} {:>9.0} {:>6.2}",
+            m.name,
+            m.components,
+            m.characteristics.switches,
+            m.characteristics.gates,
+            n.busy_fraction,
+            n.simultaneity,
+            n.activity,
+            n.fanout,
+            m.workload.events,
+            m.coverage
+        );
+    }
+}

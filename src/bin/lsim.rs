@@ -1,0 +1,310 @@
+//! `lsim` — a command-line gate/switch-level logic simulator, in the
+//! spirit of the UNIX tool the paper's workload data was collected with.
+//!
+//! ```text
+//! lsim stats   <netlist> [options]   measure workload statistics
+//! lsim sim     <netlist> [options]   simulate and print output values
+//! lsim machine <netlist> [options]   replay the measured workload on the
+//!                                    modeled multiprocessor and compare
+//!                                    against the paper's analytical model
+//! lsim dot     <netlist>             emit Graphviz
+//! lsim bench   <name>                write a built-in benchmark circuit
+//!
+//! options:
+//!   --until T              simulate T ticks (default 10000)
+//!   --warmup T             discard the first T ticks from statistics
+//!   --seed N               stimulus RNG seed (default 1987)
+//!   --clock NET:HALF       drive NET as a clock
+//!   --random NET:PERIOD:P  drive NET randomly (toggle probability P)
+//!   --const NET=0|1        hold NET constant
+//!   --pulse NET:WIDTH      drive NET high for WIDTH ticks, then low
+//!   --vcd FILE             write output-net waveforms as VCD
+//!
+//! machine options (with defaults):
+//!   --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)
+//! ```
+
+use logicsim::netlist::text;
+use logicsim::netlist::{Level, Netlist};
+use logicsim::sim::stimulus::{run_with_stimulus, Stimulus};
+use logicsim::sim::{SignalRole, SimConfig, Simulator, StimulusSpec};
+use std::process::ExitCode;
+
+struct Options {
+    until: u64,
+    warmup: u64,
+    seed: u64,
+    stimulus: StimulusSpec,
+    vcd_path: Option<String>,
+    machine_p: u32,
+    machine_l: u32,
+    machine_w: u32,
+    machine_h: f64,
+    machine_tm: f64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lsim <stats|sim|machine|dot> <netlist-file> [options]\n\
+         \x20      lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>\n\
+         options: --until T --warmup T --seed N --vcd FILE\n\
+         \x20        --clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        until: 10_000,
+        warmup: 0,
+        seed: 1987,
+        stimulus: StimulusSpec::new(),
+        vcd_path: None,
+        machine_p: 8,
+        machine_l: 5,
+        machine_w: 1,
+        machine_h: 100.0,
+        machine_tm: 3.0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut need = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--until" => opts.until = need("--until")?.parse().map_err(|e| format!("--until: {e}"))?,
+            "--warmup" => {
+                opts.warmup = need("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--seed" => opts.seed = need("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--clock" => {
+                let v = need("--clock")?;
+                let (net, half) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--clock expects NET:HALF, got `{v}`"))?;
+                let half_period = half.parse().map_err(|e| format!("--clock: {e}"))?;
+                opts.stimulus = std::mem::take(&mut opts.stimulus)
+                    .with(net, SignalRole::Clock { half_period, phase: 0 });
+            }
+            "--random" => {
+                let v = need("--random")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--random expects NET:PERIOD:PROB, got `{v}`"));
+                }
+                let period = parts[1].parse().map_err(|e| format!("--random: {e}"))?;
+                let toggle_prob = parts[2].parse().map_err(|e| format!("--random: {e}"))?;
+                opts.stimulus = std::mem::take(&mut opts.stimulus).with(
+                    parts[0],
+                    SignalRole::Random { period, phase: 0, toggle_prob },
+                );
+            }
+            "--const" => {
+                let v = need("--const")?;
+                let (net, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--const expects NET=0|1, got `{v}`"))?;
+                let level = match val {
+                    "0" => Level::Zero,
+                    "1" => Level::One,
+                    other => return Err(format!("--const level must be 0 or 1, got `{other}`")),
+                };
+                opts.stimulus = std::mem::take(&mut opts.stimulus).with(net, SignalRole::Const(level));
+            }
+            "--pulse" => {
+                let v = need("--pulse")?;
+                let (net, width) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--pulse expects NET:WIDTH, got `{v}`"))?;
+                let width = width.parse().map_err(|e| format!("--pulse: {e}"))?;
+                opts.stimulus = std::mem::take(&mut opts.stimulus)
+                    .with(net, SignalRole::Pulse { active: Level::One, width });
+            }
+            "--vcd" => opts.vcd_path = Some(need("--vcd")?),
+            "--p" => opts.machine_p = need("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--l" => opts.machine_l = need("--l")?.parse().map_err(|e| format!("--l: {e}"))?,
+            "--w" => opts.machine_w = need("--w")?.parse().map_err(|e| format!("--w: {e}"))?,
+            "--h" => opts.machine_h = need("--h")?.parse().map_err(|e| format!("--h: {e}"))?,
+            "--tm" => opts.machine_tm = need("--tm")?.parse().map_err(|e| format!("--tm: {e}"))?,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    text::parse(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(netlist: &Netlist, opts: &Options, print_outputs: bool) -> Result<(), String> {
+    let mut stim = opts
+        .stimulus
+        .build(netlist, opts.seed)
+        .map_err(|e| format!("stimulus: {e}"))?;
+    let mut sim = Simulator::with_config(netlist, SimConfig::default());
+    if opts.warmup > 0 {
+        run_with_stimulus(&mut sim, &mut stim, opts.warmup);
+        sim.reset_measurements();
+    }
+    if let Some(path) = &opts.vcd_path {
+        if netlist.outputs().is_empty() {
+            return Err("--vcd needs `output` declarations in the netlist".into());
+        }
+        let mut vcd = logicsim::sim::VcdRecorder::of_outputs(netlist, "1ns");
+        let end = opts.warmup + opts.until;
+        while sim.now() < end {
+            let now = sim.now();
+            stim.apply(&mut sim, now);
+            sim.step();
+            vcd.sample(&sim);
+        }
+        std::fs::write(path, vcd.finish()).map_err(|e| format!("write {path}: {e}"))?;
+    } else {
+        run_with_stimulus(&mut sim, &mut stim, opts.warmup + opts.until);
+    }
+    let c = sim.counters();
+    println!("circuit     : {}", netlist.name());
+    println!(
+        "components  : {} ({} gates, {} switches)",
+        netlist.num_simulated_components(),
+        netlist.num_gates(),
+        netlist.num_switches()
+    );
+    println!("ticks       : {} ({} busy, {} idle)", c.total_ticks(), c.busy_ticks, c.idle_ticks);
+    println!("B/(B+I)     : {:.4}", c.busy_fraction());
+    println!("events E    : {}", c.events);
+    println!("M_inf       : {}", c.messages_inf);
+    println!("N = E/B     : {:.1}", c.simultaneity());
+    println!("F = M/E     : {:.2}", c.average_fanout());
+    println!(
+        "event list  : mean {:.2}, peak {}",
+        c.mean_event_list_size(),
+        c.event_list_peak
+    );
+    println!("coverage    : {:.1}%", sim.activity().coverage() * 100.0);
+    if print_outputs {
+        println!("outputs at t={}:", sim.now());
+        for &o in netlist.outputs() {
+            println!("  {} = {}", netlist.net_name(o), sim.level(o));
+        }
+    }
+    Ok(())
+}
+
+fn run_machine(netlist: &Netlist, opts: &Options) -> Result<(), String> {
+    use logicsim::core::BaseMachine;
+    use logicsim::machine::{validate_against_model, MachineConfig, NetworkKind};
+    use logicsim::partition::{Partitioner, RandomPartitioner};
+
+    let mut stim = opts
+        .stimulus
+        .build(netlist, opts.seed)
+        .map_err(|e| format!("stimulus: {e}"))?;
+    let mut sim = Simulator::with_config(
+        netlist,
+        SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        },
+    );
+    if opts.warmup > 0 {
+        run_with_stimulus(&mut sim, &mut stim, opts.warmup);
+        sim.reset_measurements();
+    }
+    run_with_stimulus(&mut sim, &mut stim, opts.warmup + opts.until);
+    let trace = sim.take_trace();
+    if trace.total_events() == 0 {
+        return Err("no activity measured; add --clock/--random stimulus".into());
+    }
+    let config = MachineConfig::paper_design(
+        opts.machine_p,
+        opts.machine_l,
+        NetworkKind::BusSet { width: opts.machine_w },
+        opts.machine_h,
+        opts.machine_tm,
+    );
+    let partition = RandomPartitioner::new(opts.seed).partition(netlist, opts.machine_p);
+    let v = validate_against_model(&config, &trace, &partition, &BaseMachine::vax_11_750());
+    println!("machine     : {}", config.arch_class());
+    println!(
+        "workload    : B={} I={} E={} M_inf={}",
+        trace.busy_ticks(),
+        trace.idle_ticks(),
+        trace.total_events(),
+        trace.total_messages_inf()
+    );
+    println!("model R_P   : {:.0} syncs", v.model_runtime);
+    println!("machine R_P : {:.0} syncs", v.machine_runtime);
+    println!("model error : {:+.1}%", v.relative_error() * 100.0);
+    println!(
+        "speed-up    : {:.0}x over the VAX 11/750 ({} bound, beta {:.2})",
+        v.machine_speedup,
+        v.report.bottleneck(),
+        v.beta
+    );
+    Ok(())
+}
+
+fn bench_source(name: &str) -> Option<String> {
+    use logicsim::circuits::Benchmark;
+    let b = match name {
+        "stopwatch" => Benchmark::StopWatch,
+        "assoc_mem" => Benchmark::AssocMem,
+        "priority_queue" => Benchmark::PriorityQueue,
+        "rtp" => Benchmark::RtpChip,
+        "crossbar" => Benchmark::CrossbarSwitch,
+        _ => return None,
+    };
+    Some(text::serialize(&b.build_default().netlist))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let result: Result<(), String> = (|| match cmd {
+        "stats" | "sim" => {
+            let (path, optargs) = rest
+                .split_first()
+                .ok_or_else(|| "missing netlist file".to_string())?;
+            let netlist = load(path)?;
+            let opts = parse_options(optargs)?;
+            run(&netlist, &opts, cmd == "sim")
+        }
+        "machine" => {
+            let (path, optargs) = rest
+                .split_first()
+                .ok_or_else(|| "missing netlist file".to_string())?;
+            let netlist = load(path)?;
+            let opts = parse_options(optargs)?;
+            run_machine(&netlist, &opts)
+        }
+        "dot" => {
+            let path = rest.first().ok_or_else(|| "missing netlist file".to_string())?;
+            let netlist = load(path)?;
+            print!("{}", logicsim::netlist::dot::to_dot(&netlist));
+            Ok(())
+        }
+        "bench" => {
+            let name = rest.first().ok_or_else(|| "missing benchmark name".to_string())?;
+            let src = bench_source(name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            print!("{src}");
+            Ok(())
+        }
+        _ => Err(format!("unknown command `{cmd}`")),
+    })();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lsim: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end integration: circuit generation -> event-driven
+//! simulation -> workload statistics -> analytical model -> machine
+//! simulation, across crate boundaries.
+
+use logicsim::circuits::Benchmark;
+use logicsim::core::runtime::{max_useful_processors, run_time};
+use logicsim::core::speedup::speedup;
+use logicsim::core::{BaseMachine, MachineDesign};
+use logicsim::machine::{validate_against_model, MachineConfig, NetworkKind};
+use logicsim::partition::{
+    measured_messages, PartitionQuality, Partitioner, RandomPartitioner,
+};
+use logicsim::{measure_benchmark, MeasureOptions};
+
+fn quick_trace_opts() -> MeasureOptions {
+    MeasureOptions {
+        collect_trace: true,
+        ..MeasureOptions::quick()
+    }
+}
+
+#[test]
+fn full_pipeline_stopwatch() {
+    let m = measure_benchmark(Benchmark::StopWatch, &quick_trace_opts());
+    assert!(m.workload.events > 50.0, "stopwatch produced no activity");
+    // Feed the measured workload to the model.
+    let base = BaseMachine::vax_11_750();
+    let design = MachineDesign::new(4, 5, 1.0, base.t_eval / 10.0, 3.0, 1.0);
+    let s = speedup(&m.normalized, &design, &base, 1.0);
+    assert!(s > 1.0, "a 4-processor specialized machine must win: {s}");
+    // The model's validity bound: P <= N.
+    assert!(max_useful_processors(&m.normalized) >= 4);
+}
+
+#[test]
+fn measured_messages_respect_eq6_bound() {
+    // Random partitioning is the upper bound: no strategy's measured
+    // M_P may exceed M_inf, and random should be within 25% of Eq. 6
+    // even on a short window.
+    let m = measure_benchmark(Benchmark::CrossbarSwitch, &quick_trace_opts());
+    let inst = Benchmark::CrossbarSwitch.build_default();
+    let m_inf = m.trace.total_messages_inf();
+    for p in [2u32, 4, 8] {
+        let part = RandomPartitioner::new(5).partition(&inst.netlist, p);
+        let measured = measured_messages(&m.trace, &part);
+        assert!(measured <= m_inf, "M_P {measured} > M_inf {m_inf}");
+        let predicted = m_inf as f64 * (1.0 - 1.0 / f64::from(p));
+        let err = (measured as f64 - predicted).abs() / predicted;
+        assert!(
+            err < 0.25,
+            "P={p}: measured {measured} vs Eq.6 {predicted} (err {err:.2})"
+        );
+    }
+}
+
+#[test]
+fn machine_simulation_of_real_trace_brackets_model() {
+    let m = measure_benchmark(Benchmark::AssocMem, &quick_trace_opts());
+    let inst = Benchmark::AssocMem.build_default();
+    let base = BaseMachine::vax_11_750();
+    let cfg = MachineConfig::paper_design(4, 5, NetworkKind::BusSet { width: 2 }, 10.0, 3.0);
+    let part = RandomPartitioner::new(9).partition(&inst.netlist, 4);
+    let v = validate_against_model(&cfg, &m.trace, &part, &base);
+    // The machine can never beat the model by much (the model's
+    // assumptions are optimistic), and on real traces the model should
+    // stay within a factor-2 envelope.
+    assert!(
+        v.model_runtime <= v.machine_runtime * 1.10,
+        "model pessimistic beyond tolerance: {v}"
+    );
+    assert!(
+        v.model_runtime >= v.machine_runtime * 0.5,
+        "model wildly optimistic: {v}"
+    );
+}
+
+#[test]
+fn partition_quality_report_is_self_consistent() {
+    let m = measure_benchmark(Benchmark::RtpChip, &quick_trace_opts());
+    let inst = Benchmark::RtpChip.build_default();
+    let part = RandomPartitioner::new(2).partition(&inst.netlist, 8);
+    let q = PartitionQuality::evaluate("random", &m.trace, &part);
+    assert_eq!(q.parts, 8);
+    assert!(q.beta >= 1.0 && q.beta <= 8.0, "beta = {}", q.beta);
+    assert!(q.messages as f64 <= m.trace.total_messages_inf() as f64);
+    assert!(q.reduction_vs_random() > 0.0);
+}
+
+#[test]
+fn model_components_decompose_consistently() {
+    // run_time total = sync + max(eval, comm) at every point of the
+    // Table 7 sweep on a measured workload.
+    let m = measure_benchmark(Benchmark::PriorityQueue, &MeasureOptions::quick());
+    let base = BaseMachine::vax_11_750();
+    for p in [1u32, 5, 20, 50] {
+        for l in [1u32, 5] {
+            let d = MachineDesign::new(p, l, 2.0, base.t_eval / 10.0, 3.0, 1.0);
+            let rt = run_time(&m.normalized, &d, 1.0);
+            assert!(
+                (rt.total - (rt.sync + rt.eval.max(rt.comm))).abs() < 1e-6,
+                "decomposition broken at P={p} L={l}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests for the `lsim` command-line front end.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn lsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsim"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("logicsim_test_{name}_{}.lsim", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp netlist");
+    f.write_all(contents.as_bytes()).expect("write temp netlist");
+    path
+}
+
+const TOGGLE: &str = "\
+circuit toggle
+input clk
+input d
+gate XOR y clk d
+output y
+";
+
+#[test]
+fn stats_subcommand_reports_workload() {
+    let path = write_temp("stats", TOGGLE);
+    let out = lsim()
+        .args(["stats", path.to_str().unwrap(), "--until", "200"])
+        .args(["--clock", "clk:10", "--const", "d=1"])
+        .output()
+        .expect("run lsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("circuit     : toggle"), "{stdout}");
+    assert!(stdout.contains("events E"), "{stdout}");
+    // A 10-tick clock over 200 ticks produces ~20 clk events + ~20 y
+    // events.
+    let events: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("events E"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("events line");
+    assert!((30..=45).contains(&events), "events = {events}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn sim_subcommand_prints_outputs() {
+    let path = write_temp("sim", TOGGLE);
+    let out = lsim()
+        .args(["sim", path.to_str().unwrap(), "--until", "50"])
+        .args(["--const", "clk=0", "--const", "d=1"])
+        .output()
+        .expect("run lsim");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("y = 1"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn dot_subcommand_emits_graphviz() {
+    let path = write_temp("dot", TOGGLE);
+    let out = lsim()
+        .args(["dot", path.to_str().unwrap()])
+        .output()
+        .expect("run lsim");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("XOR"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bench_subcommand_round_trips_through_parser() {
+    let out = lsim().args(["bench", "rtp"]).output().expect("run lsim");
+    assert!(out.status.success());
+    let source = String::from_utf8_lossy(&out.stdout);
+    let netlist = logicsim::netlist::text::parse(&source).expect("parseable");
+    assert!(netlist.num_simulated_components() > 500);
+    assert!(netlist.num_switches() > 0);
+}
+
+#[test]
+fn bad_input_fails_with_message() {
+    let out = lsim().args(["stats", "/nonexistent.lsim"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let out = lsim().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn vcd_option_writes_waveforms() {
+    let path = write_temp("vcd_src", TOGGLE);
+    let vcd_path = std::env::temp_dir().join(format!(
+        "logicsim_test_wave_{}.vcd",
+        std::process::id()
+    ));
+    let out = lsim()
+        .args(["sim", path.to_str().unwrap(), "--until", "100"])
+        .args(["--clock", "clk:10", "--const", "d=1"])
+        .args(["--vcd", vcd_path.to_str().unwrap()])
+        .output()
+        .expect("run lsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let vcd = std::fs::read_to_string(&vcd_path).expect("vcd written");
+    assert!(vcd.starts_with("$version"));
+    assert!(vcd.contains("$var wire 1 ! y $end"));
+    // The clock drives y, so the waveform must contain both states.
+    assert!(vcd.contains("\n1!") || vcd.contains("\n0!"));
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(vcd_path);
+}
+
+#[test]
+fn machine_subcommand_compares_model_and_machine() {
+    let path = write_temp("machine", TOGGLE);
+    let out = lsim()
+        .args(["machine", path.to_str().unwrap(), "--until", "400"])
+        .args(["--clock", "clk:10", "--random", "d:16:0.5"])
+        .args(["--p", "4", "--l", "1", "--w", "1", "--h", "10"])
+        .output()
+        .expect("run lsim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("UI/GC/Q=4/P=4/L=1"), "{stdout}");
+    assert!(stdout.contains("model R_P"), "{stdout}");
+    assert!(stdout.contains("speed-up"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
