@@ -12,7 +12,7 @@ fn bench_circuit(c: &mut Criterion, bench: Benchmark, window: u64) {
     // Count events once so Criterion can report events/second.
     let events = {
         let mut stim = inst.stimulus.build(&inst.netlist, 1).unwrap();
-        let mut sim = Simulator::new(&inst.netlist);
+        let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
         run_with_stimulus(&mut sim, &mut stim, window);
         sim.counters().events.max(1)
     };
@@ -23,7 +23,7 @@ fn bench_circuit(c: &mut Criterion, bench: Benchmark, window: u64) {
         b.iter_batched(
             || {
                 (
-                    Simulator::new(&inst.netlist),
+                    Simulator::new(&inst.netlist).expect("pre-flight"),
                     inst.stimulus.build(&inst.netlist, 1).unwrap(),
                 )
             },

@@ -23,7 +23,7 @@ fn main() {
 
     banner("Event-driven engine on the crossbar switch");
     let mut stim = inst.stimulus.build(netlist, 0x1987).expect("stimulus");
-    let mut sim = Simulator::new(netlist);
+    let mut sim = Simulator::new(netlist).expect("pre-flight");
     let t0 = Instant::now();
     run_with_stimulus(&mut sim, &mut stim, window);
     let ed_elapsed = t0.elapsed();
@@ -45,7 +45,7 @@ fn main() {
     // boundary through a throwaway event simulator's input schedule:
     // simplest is to re-apply the stimulus to a small shadow simulator
     // and copy input levels across.
-    let mut shadow = Simulator::new(netlist);
+    let mut shadow = Simulator::new(netlist).expect("pre-flight");
     let cycles = window / inst.vector_period.max(1);
     let t1 = Instant::now();
     for cycle in 0..cycles {
@@ -59,10 +59,7 @@ fn main() {
     let cm_elapsed = t1.elapsed();
     println!(
         "cycles {}, gate evaluations = {} (= {} gates x {} cycles + feedback iterations)",
-        cycles,
-        compiled.evaluations,
-        gates,
-        cycles
+        cycles, compiled.evaluations, gates, cycles
     );
 
     banner("The activity argument");
@@ -92,7 +89,7 @@ fn main() {
         vector_period: 64,
     });
     let n2 = &small.netlist;
-    let mut ed = Simulator::new(n2);
+    let mut ed = Simulator::new(n2).expect("pre-flight");
     let mut cm = CompiledSim::new(n2);
     for (i, &input) in n2.inputs().iter().enumerate() {
         let lvl = if i % 3 == 0 {

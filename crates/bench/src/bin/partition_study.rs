@@ -23,7 +23,11 @@ fn main() {
         Box::new(KernighanLinPartitioner::new(11)),
         Box::new(FiducciaMattheysesPartitioner::new(11)),
     ];
-    for bench in [Benchmark::PriorityQueue, Benchmark::RtpChip, Benchmark::CrossbarSwitch] {
+    for bench in [
+        Benchmark::PriorityQueue,
+        Benchmark::RtpChip,
+        Benchmark::CrossbarSwitch,
+    ] {
         let m = measure_benchmark(bench, &opts);
         let inst = bench.build_default();
         banner(&format!(

@@ -17,9 +17,18 @@ fn main() {
     let workload = average_workload_table8();
     let base = BaseMachine::vax_11_750();
     let designs = [
-        ("eval-limited (H=1, P=50, L=5, W=1)", design(50, 5, 1.0, 1.0)),
-        ("balanced    (H=10, P=15, L=5, W=1)", design(15, 5, 1.0, 10.0)),
-        ("comm-limited (H=100, P=20, L=5, W=1)", design(20, 5, 1.0, 100.0)),
+        (
+            "eval-limited (H=1, P=50, L=5, W=1)",
+            design(50, 5, 1.0, 1.0),
+        ),
+        (
+            "balanced    (H=10, P=15, L=5, W=1)",
+            design(15, 5, 1.0, 10.0),
+        ),
+        (
+            "comm-limited (H=100, P=20, L=5, W=1)",
+            design(20, 5, 1.0, 100.0),
+        ),
         ("sync-visible (H=1000, P=50, L=5, W=8)", {
             let b = BaseMachine::vax_11_750();
             MachineDesign::new(50, 5, 8.0, b.t_eval / 1_000.0, 0.1, 1.0)

@@ -11,7 +11,13 @@ fn main() {
     banner("Table 4: Circuit Characteristics (paper vs this reproduction)");
     println!(
         "{:<14} {:<6} {:<6} {:>18} {:>18} {:>18} {:>22}",
-        "Circuit", "Tech.", "Type", "Switches (p/ours)", "Gates (p/ours)", "Total (p/ours)", "Approx.Trans (p/ours)"
+        "Circuit",
+        "Tech.",
+        "Type",
+        "Switches (p/ours)",
+        "Gates (p/ours)",
+        "Total (p/ours)",
+        "Approx.Trans (p/ours)"
     );
     let paper = five_circuits();
     let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);

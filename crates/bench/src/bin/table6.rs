@@ -43,15 +43,7 @@ fn main() {
     }
     println!(
         "{:<14} {:>8.4} /{:>8.4} {:>7.0} /{:>7.0} {:>8.4} /{:>8.4} {:>6.1} /{:>6.1}",
-        "Average",
-        avg.0[0],
-        avg.1[0],
-        avg.0[1],
-        avg.1[1],
-        avg.0[2],
-        avg.1[2],
-        avg.0[3],
-        avg.1[3],
+        "Average", avg.0[0], avg.1[0], avg.0[1], avg.1[1], avg.0[2], avg.1[2], avg.0[3], avg.1[3],
     );
     println!(
         "\nShape checks (the paper's qualitative findings):\n\

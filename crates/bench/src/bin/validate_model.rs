@@ -8,9 +8,7 @@
 use logicsim::circuits::Benchmark;
 use logicsim::core::BaseMachine;
 use logicsim::machine::synthetic::SyntheticWorkload;
-use logicsim::machine::{
-    validate_against_model, MachineConfig, NetworkKind,
-};
+use logicsim::machine::{validate_against_model, MachineConfig, NetworkKind};
 use logicsim::measure_benchmark;
 use logicsim::partition::{Partitioner, RandomPartitioner};
 use logicsim_bench::{banner, measure_options};
@@ -50,13 +48,7 @@ fn main() {
     ];
     for (label, w) in &cases {
         for (p, l, width, h) in [(4u32, 1u32, 3u32, 1.0), (8, 5, 1, 10.0), (16, 5, 2, 100.0)] {
-            let cfg = MachineConfig::paper_design(
-                p,
-                l,
-                NetworkKind::BusSet { width },
-                h,
-                3.0,
-            );
+            let cfg = MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, 3.0);
             let trace = w.generate(42);
             let part = random_component_partition(w.components, p, 43);
             let v = validate_against_model(&cfg, &trace, &part, &base);
@@ -81,13 +73,7 @@ fn main() {
     for bench in Benchmark::ALL {
         let m = measure_benchmark(bench, &opts);
         for (p, l, width, h) in [(4u32, 1u32, 1u32, 10.0), (8, 5, 2, 100.0)] {
-            let cfg = MachineConfig::paper_design(
-                p,
-                l,
-                NetworkKind::BusSet { width },
-                h,
-                3.0,
-            );
+            let cfg = MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, 3.0);
             // Partition the actual netlist randomly (the model's
             // assumption) and replay the measured trace.
             let inst = bench.build_default();

@@ -9,8 +9,8 @@
 
 use crate::cells::{self, Rails};
 use crate::BenchmarkInstance;
-use logicsim_netlist::{Level, NetId, NetlistBuilder, SwitchKind};
 use logicsim_netlist::{Clocking, Technology};
+use logicsim_netlist::{Level, NetId, NetlistBuilder, SwitchKind};
 use logicsim_sim::{SignalRole, StimulusSpec};
 
 /// Associative memory generator parameters.
@@ -45,15 +45,21 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
     let write_en = b.input("write_en");
     let search_req = b.input("search_req");
     let addr_bits = (params.words as f64).log2().ceil() as usize;
-    let addr: Vec<NetId> = (0..addr_bits).map(|i| b.input(format!("addr{i}"))).collect();
-    let data: Vec<NetId> = (0..params.bits).map(|i| b.input(format!("data{i}"))).collect();
-    let key: Vec<NetId> = (0..params.bits).map(|i| b.input(format!("key{i}"))).collect();
+    let addr: Vec<NetId> = (0..addr_bits)
+        .map(|i| b.input(format!("addr{i}")))
+        .collect();
+    let data: Vec<NetId> = (0..params.bits)
+        .map(|i| b.input(format!("data{i}")))
+        .collect();
+    let key: Vec<NetId> = (0..params.bits)
+        .map(|i| b.input(format!("key{i}")))
+        .collect();
 
-    // Word-write decode.
-    let word_sel = cells::decoder(&mut b, &addr, "wsel");
+    // Word-write decode. Only the first `words` codes are populated;
+    // the rest of the decode space would be dead logic (LS0003).
+    let word_sel = cells::decoder_limited(&mut b, &addr, params.words, "wsel");
     let word_write: Vec<NetId> = word_sel
         .iter()
-        .take(params.words)
         .enumerate()
         .map(|(w, &sel)| cells::and2(&mut b, sel, write_en, &format!("ww{w}")))
         .collect();
@@ -63,14 +69,14 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
     // the word's precharged (pulled-up) match line.
     let mut stored: Vec<Vec<NetId>> = Vec::with_capacity(params.words);
     let mut match_lines: Vec<NetId> = Vec::with_capacity(params.words);
-    for w in 0..params.words {
+    for (w, &ww) in word_write.iter().enumerate() {
         let ml = b.net(format!("match{w}"));
         b.pull(ml, Level::One);
         let mut word_bits = Vec::with_capacity(params.bits);
         for bit in 0..params.bits {
             let hint = format!("c{w}_{bit}");
             // Write port: stored node charged from the data line.
-            let stored_raw = cells::nmos_pass(&mut b, word_write[w], data[bit], &hint);
+            let stored_raw = cells::nmos_pass(&mut b, ww, data[bit], &hint);
             // Restore to a driven level for the read plane and XOR.
             let stored_n = cells::nmos_inv(&mut b, rails, stored_raw, &hint);
             let stored_bit = cells::nmos_inv(&mut b, rails, stored_n, &hint);
@@ -85,8 +91,11 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
 
     // Read plane: read_bit = OR over words of (word_sel AND stored).
     for bit in 0..params.bits {
-        let terms: Vec<NetId> = (0..params.words)
-            .map(|w| cells::and2(&mut b, word_sel[w], stored[w][bit], &format!("rd{w}_{bit}")))
+        let terms: Vec<NetId> = word_sel
+            .iter()
+            .zip(&stored)
+            .enumerate()
+            .map(|(w, (&sel, word))| cells::and2(&mut b, sel, word[bit], &format!("rd{w}_{bit}")))
             .collect();
         let read = cells::or_n(&mut b, &terms, &format!("read{bit}"));
         b.mark_output(read);
@@ -96,7 +105,12 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
     // plus a match-found flag.
     let found_raw = cells::or_n(&mut b, &match_lines, "found_raw");
     let found = b.net("found");
-    b.gate(logicsim_netlist::GateKind::Buf, &[found_raw], found, cells::d1());
+    b.gate(
+        logicsim_netlist::GateKind::Buf,
+        &[found_raw],
+        found,
+        cells::d1(),
+    );
     b.mark_output(found);
     let mut blocked = Vec::with_capacity(params.words);
     let mut grant = Vec::with_capacity(params.words);
@@ -107,10 +121,14 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
             let none_above = cells::inv(&mut b, blocked[w - 1], &format!("na{w}"));
             cells::and2(&mut b, match_lines[w], none_above, &format!("g{w}"))
         };
+        // The last word's block term has no consumer (nothing below it
+        // to block), so building it would be dead logic (LS0003).
         let blk = if w == 0 {
             g
-        } else {
+        } else if w + 1 < params.words {
             cells::or2(&mut b, blocked[w - 1], match_lines[w], &format!("blk{w}"))
+        } else {
+            blocked[w - 1]
         };
         blocked.push(blk);
         grant.push(g);
@@ -134,7 +152,12 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
     let mut delayed = search_req;
     for i in 0..6 {
         let next = b.fresh(&format!("dl{i}"));
-        b.gate(logicsim_netlist::GateKind::Buf, &[delayed], next, cells::d1());
+        b.gate(
+            logicsim_netlist::GateKind::Buf,
+            &[delayed],
+            next,
+            cells::d1(),
+        );
         delayed = next;
     }
     let ack = cells::c_element(&mut b, search_req, delayed, "ack");
@@ -142,18 +165,50 @@ pub fn build(params: &AssocMemParams) -> BenchmarkInstance {
 
     let vp = params.vector_period;
     let mut stimulus = StimulusSpec::new()
-        .with("write_en", SignalRole::Random { period: vp, phase: 3, toggle_prob: 0.5 })
-        .with("search_req", SignalRole::Random { period: vp / 2, phase: 11, toggle_prob: 0.6 });
+        .with(
+            "write_en",
+            SignalRole::Random {
+                period: vp,
+                phase: 3,
+                toggle_prob: 0.5,
+            },
+        )
+        .with(
+            "search_req",
+            SignalRole::Random {
+                period: vp / 2,
+                phase: 11,
+                toggle_prob: 0.6,
+            },
+        );
     for i in 0..addr_bits {
         stimulus = stimulus.with(
             format!("addr{i}"),
-            SignalRole::Random { period: vp, phase: 5 * i as u64 + 1, toggle_prob: 0.4 },
+            SignalRole::Random {
+                period: vp,
+                phase: 5 * i as u64 + 1,
+                toggle_prob: 0.4,
+            },
         );
     }
     for i in 0..params.bits {
         stimulus = stimulus
-            .with(format!("data{i}"), SignalRole::Random { period: vp, phase: 7 * i as u64 + 2, toggle_prob: 0.3 })
-            .with(format!("key{i}"), SignalRole::Random { period: vp / 2, phase: 3 * i as u64, toggle_prob: 0.3 });
+            .with(
+                format!("data{i}"),
+                SignalRole::Random {
+                    period: vp,
+                    phase: 7 * i as u64 + 2,
+                    toggle_prob: 0.3,
+                },
+            )
+            .with(
+                format!("key{i}"),
+                SignalRole::Random {
+                    period: vp / 2,
+                    phase: 3 * i as u64,
+                    toggle_prob: 0.3,
+                },
+            );
     }
 
     BenchmarkInstance {
@@ -185,14 +240,17 @@ mod tests {
         let inst = build(&params);
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
 
         let write_word = |sim: &mut Simulator<'_>, w: u32, value: u32| {
             for i in 0..2 {
                 sim.set_input(net(&format!("addr{i}")), Level::from_bool(w >> i & 1 == 1));
             }
             for i in 0..4 {
-                sim.set_input(net(&format!("data{i}")), Level::from_bool(value >> i & 1 == 1));
+                sim.set_input(
+                    net(&format!("data{i}")),
+                    Level::from_bool(value >> i & 1 == 1),
+                );
             }
             settle(sim);
             sim.set_input(net("write_en"), Level::One);
@@ -210,7 +268,10 @@ mod tests {
 
         // Search for 0b1100: only word 2 should match.
         for i in 0..4 {
-            sim.set_input(net(&format!("key{i}")), Level::from_bool(0b1100 >> i & 1 == 1));
+            sim.set_input(
+                net(&format!("key{i}")),
+                Level::from_bool(0b1100 >> i & 1 == 1),
+            );
         }
         settle(&mut sim);
         for w in 0..4 {
@@ -247,14 +308,17 @@ mod tests {
         let inst = build(&params);
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         sim.set_input(net("search_req"), Level::Zero);
         // Write 0b1010 to word 3.
         for i in 0..2 {
             sim.set_input(net(&format!("addr{i}")), Level::One);
         }
         for i in 0..4 {
-            sim.set_input(net(&format!("data{i}")), Level::from_bool(0b1010 >> i & 1 == 1));
+            sim.set_input(
+                net(&format!("data{i}")),
+                Level::from_bool(0b1010 >> i & 1 == 1),
+            );
         }
         for i in 0..4 {
             sim.set_input(net(&format!("key{i}")), Level::Zero);

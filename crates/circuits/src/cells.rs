@@ -10,8 +10,8 @@
 //! * **CMOS transmission-gate** cells (TG muxes and TG dynamic
 //!   flip-flops) — used by the cmos priority queue.
 
-use logicsim_netlist::{Delay, GateKind, Level, NetId, NetlistBuilder};
 use logicsim_netlist::SwitchKind;
+use logicsim_netlist::{Delay, GateKind, Level, NetId, NetlistBuilder};
 
 /// Power and ground rails for switch-level cells.
 #[derive(Debug, Clone, Copy)]
@@ -190,6 +190,38 @@ pub fn ripple_adder(
     (sums, carry)
 }
 
+/// Ripple-carry adder that drops the final carry-out — for saturating or
+/// modular accumulators where the carry chain's last gates would be dead
+/// logic (LS0003). Returns only the sum bits.
+///
+/// # Panics
+///
+/// Panics if operand widths differ or are zero.
+pub fn ripple_adder_mod(
+    b: &mut NetlistBuilder,
+    a: &[NetId],
+    bb: &[NetId],
+    cin: NetId,
+    hint: &str,
+) -> Vec<NetId> {
+    assert!(!a.is_empty() && a.len() == bb.len(), "width mismatch");
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(a.len());
+    let last = a.len() - 1;
+    for (i, (&ai, &bi)) in a.iter().zip(bb).enumerate() {
+        if i == last {
+            // Sum only: the carry-out of the top bit is discarded.
+            let axb = xor2(b, ai, bi, hint);
+            sums.push(xor2(b, axb, carry, hint));
+        } else {
+            let (s, c) = full_adder(b, ai, bi, carry, hint);
+            sums.push(s);
+            carry = c;
+        }
+    }
+    sums
+}
+
 /// N-bit register of edge-triggered DFFs; returns the `q` bits.
 pub fn register(b: &mut NetlistBuilder, clk: NetId, d: &[NetId], hint: &str) -> Vec<NetId> {
     d.iter().map(|&di| dff(b, clk, di, hint)).collect()
@@ -212,13 +244,17 @@ pub fn counter(
     let rst_n = inv(b, rst, hint);
     let mut qs = Vec::with_capacity(bits);
     let mut carry = en;
-    for _ in 0..bits {
+    for i in 0..bits {
         let din = b.fresh(hint);
         let q = dff(b, clk, din, hint);
         let toggled = xor2(b, q, carry, hint);
         let next = and2(b, toggled, rst_n, hint);
         b.gate(GateKind::Buf, &[next], din, d1());
-        carry = and2(b, carry, q, hint);
+        // The MSB's carry-out would be dead logic (LS0003): no caller
+        // consumes it, so don't build it.
+        if i + 1 < bits {
+            carry = and2(b, carry, q, hint);
+        }
         qs.push(q);
     }
     qs
@@ -256,9 +292,25 @@ pub fn lt_comparator(b: &mut NetlistBuilder, a: &[NetId], bb: &[NetId], hint: &s
 
 /// n-to-2^n decoder; returns the one-hot outputs.
 pub fn decoder(b: &mut NetlistBuilder, sel: &[NetId], hint: &str) -> Vec<NetId> {
+    decoder_limited(b, sel, 1usize << sel.len(), hint)
+}
+
+/// Decoder emitting only the first `count` one-hot outputs — for
+/// non-power-of-two structures, where the trailing codes would be dead
+/// logic (LS0003).
+pub fn decoder_limited(
+    b: &mut NetlistBuilder,
+    sel: &[NetId],
+    count: usize,
+    hint: &str,
+) -> Vec<NetId> {
     assert!(!sel.is_empty(), "decoder needs select bits");
+    assert!(
+        count >= 1 && count <= 1usize << sel.len(),
+        "bad decoder count"
+    );
     let sel_n: Vec<NetId> = sel.iter().map(|&s| inv(b, s, hint)).collect();
-    (0..(1usize << sel.len()))
+    (0..count)
         .map(|code| {
             let terms: Vec<NetId> = sel
                 .iter()
@@ -324,7 +376,13 @@ pub fn nmos_pass(b: &mut NetlistBuilder, ctl: NetId, a: NetId, hint: &str) -> Ne
 /// Dynamic nmos latch: pass transistor into an nmos inverter; the
 /// stored node keeps its charge while the clock is low. Returns the
 /// (inverting) output.
-pub fn nmos_dyn_latch(b: &mut NetlistBuilder, rails: Rails, clk: NetId, d: NetId, hint: &str) -> NetId {
+pub fn nmos_dyn_latch(
+    b: &mut NetlistBuilder,
+    rails: Rails,
+    clk: NetId,
+    d: NetId,
+    hint: &str,
+) -> NetId {
     let stored = nmos_pass(b, clk, d, hint);
     nmos_inv(b, rails, stored, hint)
 }
@@ -388,13 +446,7 @@ pub fn tg_mux2_buf(
 
 /// Dynamic CMOS TG flip-flop (master-slave, positive edge): two TGs and
 /// two inverters; 4 switches + 2 gates. Non-inverting.
-pub fn tg_dff(
-    b: &mut NetlistBuilder,
-    clk: NetId,
-    clk_n: NetId,
-    d: NetId,
-    hint: &str,
-) -> NetId {
+pub fn tg_dff(b: &mut NetlistBuilder, clk: NetId, clk_n: NetId, d: NetId, hint: &str) -> NetId {
     let m = b.fresh(hint);
     b.transmission_gate(clk_n, clk, d, m);
     let mi = inv(b, m, hint);
@@ -430,8 +482,11 @@ mod tests {
         b.mark_output(y);
         let n = finish(b);
         let y = n.outputs()[0];
-        let mut sim = Simulator::new(&n);
-        settle(&mut sim, &[(s, Level::Zero), (a0, Level::One), (a1, Level::Zero)]);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
+        settle(
+            &mut sim,
+            &[(s, Level::Zero), (a0, Level::One), (a1, Level::Zero)],
+        );
         assert_eq!(sim.level(y), Level::One);
         settle(&mut sim, &[(s, Level::One)]);
         assert_eq!(sim.level(y), Level::Zero);
@@ -445,7 +500,7 @@ mod tests {
         b.mark_output(q);
         let n = finish(b);
         let q = n.outputs()[0];
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         settle(&mut sim, &[(clk, Level::Zero), (d, Level::One)]);
         settle(&mut sim, &[(clk, Level::One)]); // rising edge: capture 1
         assert_eq!(sim.level(q), Level::One);
@@ -467,7 +522,7 @@ mod tests {
         }
         b.mark_output(cout);
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         // 11 + 6 + 1 = 18 = 0b10010.
         let mut drives = vec![(cin, Level::One)];
         for (i, &ai) in a.iter().enumerate() {
@@ -498,9 +553,12 @@ mod tests {
             b.mark_output(*q);
         }
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         // Synchronous reset flushes the all-X power-up state.
-        settle(&mut sim, &[(en, Level::One), (rst, Level::One), (clk, Level::Zero)]);
+        settle(
+            &mut sim,
+            &[(en, Level::One), (rst, Level::One), (clk, Level::Zero)],
+        );
         for _ in 0..2 {
             settle(&mut sim, &[(clk, Level::One)]);
             settle(&mut sim, &[(clk, Level::Zero)]);
@@ -544,7 +602,7 @@ mod tests {
         b.mark_output(eq);
         b.mark_output(lt);
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         let set = |sim: &mut Simulator<'_>, av: u32, bv: u32| {
             let mut drives = Vec::new();
             for i in 0..4 {
@@ -573,7 +631,7 @@ mod tests {
             b.mark_output(*o);
         }
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         for code in 0..4u32 {
             settle(
                 &mut sim,
@@ -596,7 +654,7 @@ mod tests {
         let c = c_element(&mut b, x, y, "c");
         b.mark_output(c);
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         settle(&mut sim, &[(x, Level::Zero), (y, Level::Zero)]);
         assert_eq!(sim.level(c), Level::Zero);
         settle(&mut sim, &[(x, Level::One)]);
@@ -621,7 +679,7 @@ mod tests {
             b.mark_output(o);
         }
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         settle(&mut sim, &[(x, Level::One), (y, Level::Zero)]);
         assert_eq!(sim.level(ni), Level::Zero);
         assert_eq!(sim.level(nn), Level::One);
@@ -643,10 +701,13 @@ mod tests {
         let q = nmos_dyn_dff(&mut b, rails, phi1, phi2, d, "ff");
         b.mark_output(q);
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         // Load 0 through phi1, transfer through phi2 (q is double
         // inverted -> follows d).
-        settle(&mut sim, &[(d, Level::Zero), (phi1, Level::One), (phi2, Level::Zero)]);
+        settle(
+            &mut sim,
+            &[(d, Level::Zero), (phi1, Level::One), (phi2, Level::Zero)],
+        );
         settle(&mut sim, &[(phi1, Level::Zero)]);
         settle(&mut sim, &[(phi2, Level::One)]);
         settle(&mut sim, &[(phi2, Level::Zero)]);
@@ -674,8 +735,11 @@ mod tests {
         b.mark_output(y);
         b.mark_output(q);
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
-        settle(&mut sim, &[(sel, Level::One), (a0, Level::Zero), (a1, Level::One)]);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
+        settle(
+            &mut sim,
+            &[(sel, Level::One), (a0, Level::Zero), (a1, Level::One)],
+        );
         assert_eq!(sim.level(y), Level::One);
         settle(&mut sim, &[(sel, Level::Zero)]);
         assert_eq!(sim.level(y), Level::Zero);
@@ -696,8 +760,11 @@ mod tests {
         let q = dff_en(&mut b, clk, en, d, "fe");
         b.mark_output(q);
         let n = finish(b);
-        let mut sim = Simulator::new(&n);
-        settle(&mut sim, &[(clk, Level::Zero), (en, Level::One), (d, Level::One)]);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
+        settle(
+            &mut sim,
+            &[(clk, Level::Zero), (en, Level::One), (d, Level::One)],
+        );
         settle(&mut sim, &[(clk, Level::One)]);
         settle(&mut sim, &[(clk, Level::Zero)]);
         assert_eq!(sim.level(q), Level::One);

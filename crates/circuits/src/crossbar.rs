@@ -39,7 +39,10 @@ impl Default for CrossbarParams {
 #[must_use]
 pub fn build(params: &CrossbarParams) -> BenchmarkInstance {
     assert!(params.ports >= 2, "crossbar needs at least two ports");
-    assert!(params.ports.is_power_of_two(), "ports must be a power of two");
+    assert!(
+        params.ports.is_power_of_two(),
+        "ports must be a power of two"
+    );
     let mut b = NetlistBuilder::new("crossbar");
     let ports = params.ports;
     let width = params.width;
@@ -52,8 +55,12 @@ pub fn build(params: &CrossbarParams) -> BenchmarkInstance {
     for i in 0..ports {
         let r = b.input(format!("req{i}"));
         req.push(r);
-        let d: Vec<NetId> = (0..width).map(|k| b.input(format!("data{i}_{k}"))).collect();
-        let dst: Vec<NetId> = (0..sel_bits).map(|k| b.input(format!("dst{i}_{k}"))).collect();
+        let d: Vec<NetId> = (0..width)
+            .map(|k| b.input(format!("data{i}_{k}")))
+            .collect();
+        let dst: Vec<NetId> = (0..sel_bits)
+            .map(|k| b.input(format!("dst{i}_{k}")))
+            .collect();
         // Latch data and destination while the request is low (input
         // register, transparent when idle, frozen during a transaction).
         let rn = cells::inv(&mut b, r, &format!("rn{i}"));
@@ -95,16 +102,23 @@ pub fn build(params: &CrossbarParams) -> BenchmarkInstance {
                     cells::and2(&mut b, r, free, &format!("g{i}_{j}"))
                 }
             };
-            any_above = Some(match any_above {
-                None => r,
-                Some(above) => cells::or2(&mut b, above, r, &format!("ab{i}_{j}")),
-            });
+            // The lowest-priority input has no successor to block, so
+            // its `any_above` OR would be dead logic (LS0003).
+            if i + 1 < r_j.len() {
+                any_above = Some(match any_above {
+                    None => r,
+                    Some(above) => cells::or2(&mut b, above, r, &format!("ab{i}_{j}")),
+                });
+            }
             g_j.push(g);
         }
         // Data plane: out bit = OR_i (g_ij AND data_i).
         for k in 0..width {
-            let terms: Vec<NetId> = (0..ports)
-                .map(|i| cells::and2(&mut b, g_j[i], data[i][k], &format!("dp{i}_{j}_{k}")))
+            let terms: Vec<NetId> = g_j
+                .iter()
+                .zip(&data)
+                .enumerate()
+                .map(|(i, (&g, di))| cells::and2(&mut b, g, di[k], &format!("dp{i}_{j}_{k}")))
                 .collect();
             let out = b.net(format!("out{j}_{k}"));
             b.gate(GateKind::Or, &terms, out, cells::d1());
@@ -129,8 +143,11 @@ pub fn build(params: &CrossbarParams) -> BenchmarkInstance {
 
     // Input acks: ack_i = OR_j (g_ij AND ack_out_j).
     for i in 0..ports {
-        let terms: Vec<NetId> = (0..ports)
-            .map(|j| cells::and2(&mut b, grant[j][i], ack_out[j], &format!("ak{i}_{j}")))
+        let terms: Vec<NetId> = grant
+            .iter()
+            .zip(&ack_out)
+            .enumerate()
+            .map(|(j, (gj, &ack))| cells::and2(&mut b, gj[i], ack, &format!("ak{i}_{j}")))
             .collect();
         let ack = cells::or_n(&mut b, &terms, &format!("aterm{i}"));
         let named = b.net(format!("ack_in{i}"));
@@ -149,11 +166,19 @@ pub fn build(params: &CrossbarParams) -> BenchmarkInstance {
         stimulus = stimulus
             .with(
                 format!("req{i}"),
-                SignalRole::Random { period: vp + 7 * pi, phase: 13 * pi, toggle_prob: 0.3 },
+                SignalRole::Random {
+                    period: vp + 7 * pi,
+                    phase: 13 * pi,
+                    toggle_prob: 0.3,
+                },
             )
             .with(
                 format!("ack_out{i}"),
-                SignalRole::Random { period: vp + 5 * pi + 3, phase: 29 * pi + 7, toggle_prob: 0.3 },
+                SignalRole::Random {
+                    period: vp + 5 * pi + 3,
+                    phase: 29 * pi + 7,
+                    toggle_prob: 0.3,
+                },
             );
         for k in 0..sel_bits {
             stimulus = stimulus.with(
@@ -236,7 +261,7 @@ mod tests {
         let inst = small();
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         // Quiesce all inputs.
         for i in 0..4 {
             sim.set_input(net(&format!("req{i}")), Level::Zero);
@@ -251,7 +276,10 @@ mod tests {
         settle(&mut sim);
         // Input 1 sends 0b1010 to output 2.
         for k in 0..4 {
-            sim.set_input(net(&format!("data1_{k}")), Level::from_bool(0b1010 >> k & 1 == 1));
+            sim.set_input(
+                net(&format!("data1_{k}")),
+                Level::from_bool(0b1010 >> k & 1 == 1),
+            );
         }
         sim.set_input(net("dst1_0"), Level::Zero);
         sim.set_input(net("dst1_1"), Level::One); // dst = 2
@@ -281,7 +309,7 @@ mod tests {
         let inst = small();
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         for i in 0..4 {
             sim.set_input(net(&format!("req{i}")), Level::Zero);
             sim.set_input(net(&format!("ack_out{i}")), Level::Zero);
@@ -295,8 +323,14 @@ mod tests {
         settle(&mut sim);
         // Inputs 0 and 3 both target output 0 with different data.
         for k in 0..4 {
-            sim.set_input(net(&format!("data0_{k}")), Level::from_bool(0b0110 >> k & 1 == 1));
-            sim.set_input(net(&format!("data3_{k}")), Level::from_bool(0b1001 >> k & 1 == 1));
+            sim.set_input(
+                net(&format!("data0_{k}")),
+                Level::from_bool(0b0110 >> k & 1 == 1),
+            );
+            sim.set_input(
+                net(&format!("data3_{k}")),
+                Level::from_bool(0b1001 >> k & 1 == 1),
+            );
         }
         settle(&mut sim);
         sim.set_input(net("req0"), Level::One);

@@ -24,11 +24,6 @@
 //! assert!(inst.netlist.num_gates() > 500);
 //! ```
 
-// Generators index parallel per-bit/per-word arrays by position; the
-// index *is* the hardware coordinate, so range loops read better than
-// iterator zips here.
-#![allow(clippy::needless_range_loop)]
-
 pub mod assoc_mem;
 pub mod cells;
 pub mod crossbar;

@@ -57,7 +57,9 @@ pub fn build(params: &PriorityQueueParams) -> BenchmarkInstance {
     let rst = b.input("rst");
     let insert = b.input("insert");
     let extract = b.input("extract");
-    let data: Vec<NetId> = (0..params.bits).map(|i| b.input(format!("data{i}"))).collect();
+    let data: Vec<NetId> = (0..params.bits)
+        .map(|i| b.input(format!("data{i}")))
+        .collect();
 
     // Gate insert/extract so they are mutually exclusive (insert wins).
     let rst_n = cells::inv(&mut b, rst, "ri");
@@ -103,19 +105,19 @@ pub fn build(params: &PriorityQueueParams) -> BenchmarkInstance {
         let hint = format!("cell{r}");
         // Compare the incoming record's key field (low key_bits) with
         // the stored record's.
-        let lt = cells::lt_comparator(
-            &mut b,
-            &incoming[..key_bits],
-            &stored[r][..key_bits],
-            &hint,
-        );
+        let lt = cells::lt_comparator(&mut b, &incoming[..key_bits], &stored[r][..key_bits], &hint);
         let lt_n = cells::inv(&mut b, lt, &hint);
         let mut next_incoming = Vec::with_capacity(params.bits);
         for i in 0..params.bits {
             // Keep the smaller record: new stored = lt ? incoming : stored.
             let kept = cells::tg_mux2_buf(&mut b, lt, lt_n, stored[r][i], incoming[i], &hint);
             // Pass the larger one down: out = lt ? stored : incoming.
-            let passed = cells::tg_mux2_buf(&mut b, lt, lt_n, incoming[i], stored[r][i], &hint);
+            // The last cell's passed record falls off the end of the
+            // array, so building its mux would be dead logic (LS0003).
+            if r + 1 < params.records {
+                let passed = cells::tg_mux2_buf(&mut b, lt, lt_n, incoming[i], stored[r][i], &hint);
+                next_incoming.push(passed);
+            }
             // Extraction shift: pull from the record below (all-ones at
             // the tail).
             let from_below = if r + 1 < params.records {
@@ -130,20 +132,30 @@ pub fn build(params: &PriorityQueueParams) -> BenchmarkInstance {
             let shifted = cells::tg_mux2_buf(&mut b, ext_en, ext_n, kept, from_below, &hint);
             // Reset forces all-ones (also flushes power-up X).
             let d = cells::or2(&mut b, shifted, rst, &hint);
-            b.gate(logicsim_netlist::GateKind::Buf, &[d], d_nets[r][i], cells::d1());
-            next_incoming.push(passed);
+            b.gate(
+                logicsim_netlist::GateKind::Buf,
+                &[d],
+                d_nets[r][i],
+                cells::d1(),
+            );
         }
         incoming = next_incoming;
     }
 
     // Head record is the retrieval port.
-    for i in 0..params.bits {
-        b.mark_output(stored[0][i]);
+    for &head_bit in &stored[0] {
+        b.mark_output(head_bit);
     }
 
     let hp = params.clock_half_period;
     let mut stimulus = StimulusSpec::new()
-        .with("clk", SignalRole::Clock { half_period: hp, phase: 0 })
+        .with(
+            "clk",
+            SignalRole::Clock {
+                half_period: hp,
+                phase: 0,
+            },
+        )
         .with(
             "rst",
             SignalRole::Pulse {
@@ -151,12 +163,30 @@ pub fn build(params: &PriorityQueueParams) -> BenchmarkInstance {
                 width: 6 * hp,
             },
         )
-        .with("insert", SignalRole::Random { period: 2 * hp, phase: 1, toggle_prob: 0.6 })
-        .with("extract", SignalRole::Random { period: 2 * hp, phase: 1, toggle_prob: 0.4 });
+        .with(
+            "insert",
+            SignalRole::Random {
+                period: 2 * hp,
+                phase: 1,
+                toggle_prob: 0.6,
+            },
+        )
+        .with(
+            "extract",
+            SignalRole::Random {
+                period: 2 * hp,
+                phase: 1,
+                toggle_prob: 0.4,
+            },
+        );
     for i in 0..params.bits {
         stimulus = stimulus.with(
             format!("data{i}"),
-            SignalRole::Random { period: 2 * hp, phase: 1, toggle_prob: 0.3 },
+            SignalRole::Random {
+                period: 2 * hp,
+                phase: 1,
+                toggle_prob: 0.3,
+            },
         );
     }
 
@@ -230,7 +260,7 @@ mod tests {
 
     fn setup(params: &PriorityQueueParams, n: &'static logicsim_netlist::Netlist) -> Pq<'static> {
         let mut pq = Pq {
-            sim: Simulator::new(n),
+            sim: Simulator::new(n).expect("pre-flight"),
             n,
             bits: params.bits,
         };
@@ -288,8 +318,8 @@ mod tests {
         let mut pq = setup(&params, netlist);
         pq.insert(0b11_01); // key 1, payload 3
         pq.insert(0b00_10); // key 2, payload 0
-        // Head must be the key-1 record even though its full value is
-        // numerically larger.
+                            // Head must be the key-1 record even though its full value is
+                            // numerically larger.
         assert_eq!(pq.head(), Some(0b1101));
     }
 

@@ -106,10 +106,10 @@ pub fn build(params: &RtpParams) -> BenchmarkInstance {
     // Multiplicand register M (loaded on `load`, held otherwise) using
     // nmos mux feedback into gate DFFs.
     let mut m_q = Vec::with_capacity(bits);
-    for i in 0..bits {
+    for (i, &w) in w_in.iter().enumerate() {
         let d = b.net(format!("m_d{i}"));
         let q = cells::dff(&mut b, clk, d, &format!("m{i}"));
-        let next = nmos_mux2(&mut b, rails, load_gated, load_n, q, w_in[i], &format!("mx{i}"));
+        let next = nmos_mux2(&mut b, rails, load_gated, load_n, q, w, &format!("mx{i}"));
         // Reset clears (AND with rst_n) so power-up X flushes.
         let cleared = cells::and2(&mut b, next, rst_n, &format!("mc{i}"));
         b.gate(GateKind::Buf, &[cleared], d, cells::d1());
@@ -171,8 +171,24 @@ pub fn build(params: &RtpParams) -> BenchmarkInstance {
     for i in 0..bits {
         let shifted = if i < bits - 1 { q_q[i + 1] } else { sum[0] };
         let busy_n = cells::inv(&mut b, busy, &format!("qbn{i}"));
-        let held = nmos_mux2(&mut b, rails, busy, busy_n, q_q[i], shifted, &format!("qs{i}"));
-        let loaded = nmos_mux2(&mut b, rails, load_gated, load_n, held, d_in[i], &format!("ql{i}"));
+        let held = nmos_mux2(
+            &mut b,
+            rails,
+            busy,
+            busy_n,
+            q_q[i],
+            shifted,
+            &format!("qs{i}"),
+        );
+        let loaded = nmos_mux2(
+            &mut b,
+            rails,
+            load_gated,
+            load_n,
+            held,
+            d_in[i],
+            &format!("ql{i}"),
+        );
         let cleared = cells::and2(&mut b, loaded, rst_n, &format!("qc{i}"));
         b.gate(GateKind::Buf, &[cleared], q_d[i], cells::d1());
     }
@@ -200,10 +216,18 @@ pub fn build(params: &RtpParams) -> BenchmarkInstance {
         dose_d.push(d);
         dose_q.push(q);
     }
-    let (dose_sum, _) = cells::ripple_adder(&mut b, &dose_q, &product, zero, "dacc");
+    let dose_sum = cells::ripple_adder_mod(&mut b, &dose_q, &product, zero, "dacc");
     for i in 0..params.accum_bits {
         let en_n = cells::inv(&mut b, accum_en, &format!("den{i}"));
-        let held = nmos_mux2(&mut b, rails, accum_en, en_n, dose_q[i], dose_sum[i], &format!("dm{i}"));
+        let held = nmos_mux2(
+            &mut b,
+            rails,
+            accum_en,
+            en_n,
+            dose_q[i],
+            dose_sum[i],
+            &format!("dm{i}"),
+        );
         let cleared = cells::and2(&mut b, held, rst_n, &format!("dc{i}"));
         b.gate(GateKind::Buf, &[cleared], dose_d[i], cells::d1());
         b.mark_output(dose_q[i]);
@@ -211,7 +235,13 @@ pub fn build(params: &RtpParams) -> BenchmarkInstance {
 
     let hp = params.clock_half_period;
     let mut stimulus = StimulusSpec::new()
-        .with("clk", SignalRole::Clock { half_period: hp, phase: 0 })
+        .with(
+            "clk",
+            SignalRole::Clock {
+                half_period: hp,
+                phase: 0,
+            },
+        )
         .with(
             "rst",
             SignalRole::Pulse {
@@ -230,8 +260,22 @@ pub fn build(params: &RtpParams) -> BenchmarkInstance {
     for i in 0..params.bits {
         let period = 2 * hp * (params.bits as u64 + 4);
         stimulus = stimulus
-            .with(format!("w{i}"), SignalRole::Random { period, phase: 1, toggle_prob: 0.5 })
-            .with(format!("dist{i}"), SignalRole::Random { period, phase: 1, toggle_prob: 0.5 });
+            .with(
+                format!("w{i}"),
+                SignalRole::Random {
+                    period,
+                    phase: 1,
+                    toggle_prob: 0.5,
+                },
+            )
+            .with(
+                format!("dist{i}"),
+                SignalRole::Random {
+                    period,
+                    phase: 1,
+                    toggle_prob: 0.5,
+                },
+            );
     }
 
     BenchmarkInstance {
@@ -327,7 +371,7 @@ mod tests {
         let inst = build(&params);
         let netlist = Box::leak(Box::new(inst.netlist));
         let mut rig = Rig {
-            sim: Simulator::new(netlist),
+            sim: Simulator::new(netlist).expect("pre-flight"),
             n: netlist,
             bits: 4,
         };

@@ -77,9 +77,13 @@ pub fn build(params: &StopwatchParams) -> BenchmarkInstance {
             params.bits_per_stage,
             &format!("st{s}"),
         );
-        // Next stage counts when this one rolls over.
-        let tc = cells::and_n(&mut b, &stage, &format!("tc{s}"));
-        enable = cells::and2(&mut b, enable, tc, &format!("en{s}"));
+        // Next stage counts when this one rolls over. The last stage
+        // has no successor, so its terminal-count logic would be dead
+        // (LS0003) — skip it.
+        if s + 1 < params.stages {
+            let tc = cells::and_n(&mut b, &stage, &format!("tc{s}"));
+            enable = cells::and2(&mut b, enable, tc, &format!("en{s}"));
+        }
         count_bits.extend(stage);
     }
 
@@ -100,7 +104,13 @@ pub fn build(params: &StopwatchParams) -> BenchmarkInstance {
 
     let hp = params.clock_half_period;
     let stimulus = StimulusSpec::new()
-        .with("clk", SignalRole::Clock { half_period: hp, phase: 0 })
+        .with(
+            "clk",
+            SignalRole::Clock {
+                half_period: hp,
+                phase: 0,
+            },
+        )
         .with(
             "reset",
             SignalRole::Pulse {
@@ -108,8 +118,22 @@ pub fn build(params: &StopwatchParams) -> BenchmarkInstance {
                 width: 4 * hp,
             },
         )
-        .with("start", SignalRole::Random { period: 64 * hp, phase: 17, toggle_prob: 0.7 })
-        .with("stop", SignalRole::Random { period: 96 * hp, phase: 41, toggle_prob: 0.5 });
+        .with(
+            "start",
+            SignalRole::Random {
+                period: 64 * hp,
+                phase: 17,
+                toggle_prob: 0.7,
+            },
+        )
+        .with(
+            "stop",
+            SignalRole::Random {
+                period: 96 * hp,
+                phase: 41,
+                toggle_prob: 0.5,
+            },
+        );
 
     BenchmarkInstance {
         netlist: b.finish().expect("stopwatch netlist is valid"),
@@ -146,10 +170,9 @@ mod tests {
         let inst = build(&params);
         let n = &inst.netlist;
         let nets = |s: &str| n.find_net(s).unwrap();
-        let (clk, start, stop, reset) =
-            (nets("clk"), nets("start"), nets("stop"), nets("reset"));
+        let (clk, start, stop, reset) = (nets("clk"), nets("start"), nets("stop"), nets("reset"));
         let run = nets("run");
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         // Reset with a few clocks.
         for (net, l) in [
             (reset, Level::One),
@@ -179,11 +202,7 @@ mod tests {
         // Clock while running: display eventually becomes known and
         // changes (prescaler_bits=1 -> chain enabled every other clock).
         let read_display = |sim: &Simulator<'_>| -> Vec<Level> {
-            n.outputs()
-                .iter()
-                .take(3)
-                .map(|&o| sim.level(o))
-                .collect()
+            n.outputs().iter().take(3).map(|&o| sim.level(o)).collect()
         };
         for _ in 0..6 {
             clock_cycle(&mut sim, clk);

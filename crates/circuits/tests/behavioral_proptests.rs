@@ -54,7 +54,7 @@ proptest! {
         let inst = build_pq(&params);
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         let clock = |sim: &mut Simulator<'_>| {
             sim.set_input(net("clk"), Level::One);
             settle(sim, 200);
@@ -111,7 +111,7 @@ proptest! {
         let inst = build_rtp(&params);
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         let clock = |sim: &mut Simulator<'_>| {
             sim.set_input(net("clk"), Level::One);
             settle(sim, 200);
@@ -168,7 +168,7 @@ proptest! {
         let inst = build_am(&params);
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         sim.set_input(net("write_en"), Level::Zero);
         sim.set_input(net("search_req"), Level::Zero);
         for (w, &value) in perm.iter().enumerate() {
@@ -207,7 +207,7 @@ proptest! {
         });
         let n = &inst.netlist;
         let net = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(n);
+        let mut sim = Simulator::new(n).expect("pre-flight");
         for i in 0..4 {
             sim.set_input(net(&format!("req{i}")), Level::Zero);
             sim.set_input(net(&format!("ack_out{i}")), Level::Zero);

@@ -43,7 +43,7 @@ proptest! {
         let cn = builder.input("cin");
         let (sum, cout) = cells::ripple_adder(&mut builder, &an, &bn, cn, "add");
         let netlist = builder.finish().expect("valid");
-        let mut sim = Simulator::new(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("pre-flight");
         drive_bits(&mut sim, &an, av);
         drive_bits(&mut sim, &bn, bv);
         sim.set_input(cn, Level::from_bool(cin));
@@ -70,7 +70,7 @@ proptest! {
         let eq = cells::eq_comparator(&mut builder, &an, &bn, "eq");
         let lt = cells::lt_comparator(&mut builder, &an, &bn, "lt");
         let netlist = builder.finish().expect("valid");
-        let mut sim = Simulator::new(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("pre-flight");
         drive_bits(&mut sim, &an, av);
         drive_bits(&mut sim, &bn, bv);
         sim.run_to_quiescence(100_000);
@@ -89,7 +89,7 @@ proptest! {
         let sel: Vec<NetId> = (0..bits).map(|i| builder.input(format!("s{i}"))).collect();
         let outs = cells::decoder(&mut builder, &sel, "d");
         let netlist = builder.finish().expect("valid");
-        let mut sim = Simulator::new(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("pre-flight");
         drive_bits(&mut sim, &sel, code);
         sim.run_to_quiescence(100_000);
         for (i, &o) in outs.iter().enumerate() {
@@ -110,7 +110,7 @@ proptest! {
         let rst = builder.input("rst");
         let qs = cells::counter(&mut builder, clk, en, rst, bits, "c");
         let netlist = builder.finish().expect("valid");
-        let mut sim = Simulator::new(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("pre-flight");
         let clock = |sim: &mut Simulator<'_>| {
             sim.set_input(clk, Level::One);
             let t = sim.now();

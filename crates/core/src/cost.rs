@@ -169,7 +169,10 @@ mod tests {
                         let s = crate::speedup::speedup(&w, &dd, &base, 1.0);
                         if s >= 500.0 {
                             let c = cost.machine_cost(p, h, stages, buses);
-                            assert!(c >= d.cost - 1e-9, "missed cheaper {h}/{stages}/{buses}/{p}");
+                            assert!(
+                                c >= d.cost - 1e-9,
+                                "missed cheaper {h}/{stages}/{buses}/{p}"
+                            );
                             break;
                         }
                     }
@@ -182,8 +185,9 @@ mod tests {
     fn unreachable_target_returns_none() {
         let (w, base, cost) = setup();
         // The communication cap is ~3.3k; 50k is unreachable in-space.
-        assert!(cheapest_design(&w, &base, &cost, 50_000.0, &[1.0, 10.0, 100.0], 50, 3.0)
-            .is_none());
+        assert!(
+            cheapest_design(&w, &base, &cost, 50_000.0, &[1.0, 10.0, 100.0], 50, 3.0).is_none()
+        );
     }
 
     #[test]

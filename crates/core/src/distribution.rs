@@ -65,7 +65,12 @@ pub fn run_time_distribution(
 /// The mean-value (Eq. 10) prediction for the same aggregate workload,
 /// for gap computation.
 #[must_use]
-pub fn run_time_mean_value(ticks: &[TickLoad], idle_ticks: f64, design: &MachineDesign, beta: f64) -> f64 {
+pub fn run_time_mean_value(
+    ticks: &[TickLoad],
+    idle_ticks: f64,
+    design: &MachineDesign,
+    beta: f64,
+) -> f64 {
     let workload = aggregate(ticks, idle_ticks);
     crate::runtime::run_time(&workload, design, beta).total
 }

@@ -6,11 +6,13 @@
 //! and measured by `logicsim-circuits` + `logicsim-sim`).
 
 use logicsim_stats::{NatureRow, Workload};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One benchmark circuit as published: Table 4 structure plus the
 /// Table 5 workload normalized to 100,000 components.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// `Deserialize` is deliberately absent: this is compiled-in published
+// data, and the borrowed `&'static str` fields cannot be deserialized.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PaperCircuit {
     /// Circuit name as printed.
     pub name: &'static str,
@@ -192,8 +194,6 @@ mod tests {
         let printed = average_workload_table8();
         assert!((derived.busy_ticks - printed.busy_ticks).abs() <= 5.0);
         assert!((derived.events - printed.events).abs() / printed.events < 0.002);
-        assert!(
-            (derived.messages_inf - printed.messages_inf).abs() / printed.messages_inf < 0.025
-        );
+        assert!((derived.messages_inf - printed.messages_inf).abs() / printed.messages_inf < 0.025);
     }
 }

@@ -99,10 +99,7 @@ mod tests {
         let base = BaseMachine::vax_11_750();
         let _ = &base;
         let eps = events_per_second(&w, &design(7, 5, 3.0, 100.0, 2.0), 1.0);
-        assert!(
-            (eps - 8.3e6).abs() / 8.3e6 < 0.02,
-            "events/sec = {eps:.3e}"
-        );
+        assert!((eps - 8.3e6).abs() / 8.3e6 < 0.02, "events/sec = {eps:.3e}");
     }
 
     #[test]

@@ -232,7 +232,12 @@ mod tests {
         let q_1 = run_time_central_list(&w, &d, 1.0);
         // Dispatch floor: E * t_dispatch.
         assert!(q_1.total >= w.events * 1.0);
-        assert!(q_1.total > 5.0 * q_p.total, "q1 {} vs qP {}", q_1.total, q_p.total);
+        assert!(
+            q_1.total > 5.0 * q_p.total,
+            "q1 {} vs qP {}",
+            q_1.total,
+            q_p.total
+        );
         // With negligible dispatch cost the variants agree (beta=1).
         let q_1_fast = run_time_central_list(&w, &d, 1e-9);
         assert!((q_1_fast.total - q_p.total).abs() / q_p.total < 1e-6);

@@ -10,29 +10,27 @@ use logicsim_core::partition_model::{messages_approx, messages_exact};
 use logicsim_core::pipeline::pipeline_time;
 use logicsim_core::runtime::run_time;
 use logicsim_core::speedup::speedup;
-use logicsim_core::variants::{
-    run_time_event_increment, run_time_unit_increment, SyncModel,
-};
+use logicsim_core::variants::{run_time_event_increment, run_time_unit_increment, SyncModel};
 use logicsim_core::{BaseMachine, MachineDesign, Workload};
 use proptest::prelude::*;
 
 fn any_workload() -> impl Strategy<Value = Workload> {
     (
-        1.0f64..1e5,    // busy
-        0.0f64..1e6,    // idle
-        1.0f64..1e8,    // events
-        1.0f64..3e8,    // messages
+        1.0f64..1e5, // busy
+        0.0f64..1e6, // idle
+        1.0f64..1e8, // events
+        1.0f64..3e8, // messages
     )
         .prop_map(|(b, i, e, m)| Workload::new(b, i, e.max(b), m))
 }
 
 fn any_design() -> impl Strategy<Value = MachineDesign> {
     (
-        1u32..200,        // P
-        1u32..8,          // L
-        1.0f64..8.0,      // W
-        1.0f64..5_000.0,  // tE
-        0.5f64..5.0,      // tM
+        1u32..200,       // P
+        1u32..8,         // L
+        1.0f64..8.0,     // W
+        1.0f64..5_000.0, // tE
+        0.5f64..5.0,     // tM
     )
         .prop_map(|(p, l, w, te, tm)| MachineDesign::new(p, l, w, te, tm, 1.0))
 }

@@ -20,12 +20,7 @@ pub type Message = (f64, u32, u32);
 /// Panics if the message list is not sorted by ready time, or a
 /// processor index is out of range.
 #[must_use]
-pub fn drain(
-    kind: NetworkKind,
-    processors: u32,
-    messages: &[Message],
-    t_msg: f64,
-) -> (f64, f64) {
+pub fn drain(kind: NetworkKind, processors: u32, messages: &[Message], t_msg: f64) -> (f64, f64) {
     debug_assert!(
         messages.windows(2).all(|w| w[0].0 <= w[1].0),
         "messages must be sorted by ready time"

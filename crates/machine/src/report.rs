@@ -57,11 +57,7 @@ impl MachineReport {
         if mean == 0.0 {
             return 1.0;
         }
-        self.per_slave_busy
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max)
-            / mean
+        self.per_slave_busy.iter().copied().fold(0.0f64, f64::max) / mean
     }
 
     /// Mean slave utilization in `[0, 1]`.

@@ -106,8 +106,7 @@ impl<'a> MachineSim<'a> {
                     }
                 })
                 .fold(0.0f64, f64::max);
-            let (net_finish, net_busy) =
-                network::drain(cfg.network, p, &messages, cfg.t_msg);
+            let (net_finish, net_busy) = network::drain(cfg.network, p, &messages, cfg.t_msg);
 
             let body = eval_finish.max(net_finish);
             report.total_cycles += cfg.t_sync() + body;
@@ -150,7 +149,8 @@ pub fn simulate_synthetic(
     seed: u64,
 ) -> MachineReport {
     let trace = workload.generate(seed);
-    let partition = random_component_partition(workload.components, config.processors, seed ^ 0x5eed);
+    let partition =
+        random_component_partition(workload.components, config.processors, seed ^ 0x5eed);
     MachineSim::new(config).run(&trace, &partition)
 }
 
@@ -204,7 +204,10 @@ mod tests {
             "got {} expected {expected}",
             r.total_cycles
         );
-        assert_eq!(r.bottleneck(), logicsim_core::runtime::Bottleneck::Evaluation);
+        assert_eq!(
+            r.bottleneck(),
+            logicsim_core::runtime::Bottleneck::Evaluation
+        );
     }
 
     #[test]
@@ -226,7 +229,10 @@ mod tests {
         let cfg = bus(1, 8, 5, 100.0, 3.0);
         let w = SyntheticWorkload::uniform(50, 0, 200.0, 2.0, 10_000);
         let r = simulate_synthetic(&cfg, &w, 4);
-        assert_eq!(r.bottleneck(), logicsim_core::runtime::Bottleneck::Communication);
+        assert_eq!(
+            r.bottleneck(),
+            logicsim_core::runtime::Bottleneck::Communication
+        );
         assert!(r.messages > 0);
     }
 

@@ -68,13 +68,7 @@ impl SyntheticWorkload {
     #[must_use]
     pub fn paper_average(scale: u64) -> SyntheticWorkload {
         assert!(scale >= 1);
-        SyntheticWorkload::uniform(
-            8_106 / scale,
-            51_894 / scale,
-            1_279.0,
-            2.1,
-            100_000,
-        )
+        SyntheticWorkload::uniform(8_106 / scale, 51_894 / scale, 1_279.0, 2.1, 100_000)
     }
 
     /// Generates the tick trace with a seeded RNG.

@@ -149,8 +149,7 @@ mod tests {
         w: &SyntheticWorkload,
         seed: u64,
     ) -> ValidationResult {
-        let cfg =
-            MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, tm);
+        let cfg = MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, tm);
         let trace = w.generate(seed);
         let part = random_component_partition(w.components, p, seed ^ 1);
         validate_against_model(&cfg, &trace, &part, &BaseMachine::vax_11_750())
@@ -227,8 +226,7 @@ mod tests {
         // distribution model still idealizes).
         let mut w = SyntheticWorkload::uniform(60, 300, 64.0, 2.0, 4_000);
         w.burstiness = 0.9;
-        let cfg =
-            MachineConfig::paper_design(8, 5, NetworkKind::BusSet { width: 1 }, 100.0, 3.0);
+        let cfg = MachineConfig::paper_design(8, 5, NetworkKind::BusSet { width: 1 }, 100.0, 3.0);
         let trace = w.generate(31);
         let part = random_component_partition(w.components, 8, 32);
         let c = compare_three_way(&cfg, &trace, &part);

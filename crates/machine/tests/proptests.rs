@@ -17,13 +17,20 @@ fn any_network() -> impl Strategy<Value = NetworkKind> {
 }
 
 fn any_config() -> impl Strategy<Value = MachineConfig> {
-    (1u32..12, 1u32..7, any_network(), 1.0f64..200.0, 1.0f64..4.0).prop_map(
-        |(p, l, net, h, tm)| MachineConfig::paper_design(p, l, net, h, tm),
-    )
+    (1u32..12, 1u32..7, any_network(), 1.0f64..200.0, 1.0f64..4.0)
+        .prop_map(|(p, l, net, h, tm)| MachineConfig::paper_design(p, l, net, h, tm))
 }
 
 fn any_workload() -> impl Strategy<Value = SyntheticWorkload> {
-    (1u64..30, 0u64..200, 1.0f64..60.0, 1.0f64..3.5, 20u32..500, 0.0f64..0.9, 0.0f64..0.9)
+    (
+        1u64..30,
+        0u64..200,
+        1.0f64..60.0,
+        1.0f64..3.5,
+        20u32..500,
+        0.0f64..0.9,
+        0.0f64..0.9,
+    )
         .prop_map(|(b, i, n, f, c, burst, hot)| {
             let mut w = SyntheticWorkload::uniform(b, i, n, f, c);
             w.burstiness = burst;

@@ -149,7 +149,12 @@ impl NetlistBuilder {
     /// Adds a bidirectional MOS switch; returns its component id.
     pub fn switch(&mut self, kind: SwitchKind, control: NetId, a: NetId, b: NetId) -> CompId {
         let id = CompId(self.components.len() as u32);
-        self.components.push(Component::Switch { kind, control, a, b });
+        self.components.push(Component::Switch {
+            kind,
+            control,
+            a,
+            b,
+        });
         id
     }
 

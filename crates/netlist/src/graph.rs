@@ -55,14 +55,13 @@ impl ChannelGroups {
         let mut group_ids: HashMap<u32, u32> = HashMap::new();
         let mut group_of = vec![0u32; n];
         let mut members: Vec<Vec<NetId>> = Vec::new();
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..n {
+        for (i, slot) in group_of.iter_mut().enumerate() {
             let root = find(&mut parent, i as u32);
             let gid = *group_ids.entry(root).or_insert_with(|| {
                 members.push(Vec::new());
                 (members.len() - 1) as u32
             });
-            group_of[i] = gid;
+            *slot = gid;
             members[gid as usize].push(NetId(i as u32));
         }
         let mut switches: Vec<Vec<CompId>> = vec![Vec::new(); members.len()];
@@ -130,11 +129,18 @@ impl ChannelGroups {
 pub struct ConnectivityGraph {
     /// Simulated components in netlist order.
     nodes: Vec<CompId>,
-    /// Position of each component id in `nodes` (u32::MAX for
+    /// Position of each component id in `nodes` (`u32::MAX` for
     /// non-simulated components).
     node_index: Vec<u32>,
     /// Adjacency: for node `i`, list of `(neighbor_node, weight)`.
     adj: Vec<Vec<(u32, u32)>>,
+    /// Per-node partitioning weight: 1 for live components, 0 for dead
+    /// ones (logic that cannot reach a primary output, per the LS0003
+    /// analysis). Dead components are still nodes — they must be placed
+    /// somewhere — but balanced partitioners should not count them
+    /// toward processor load, since they never generate events that
+    /// matter.
+    weight: Vec<u32>,
 }
 
 impl ConnectivityGraph {
@@ -156,6 +162,8 @@ impl ConnectivityGraph {
         for (i, id) in nodes.iter().enumerate() {
             node_index[id.index()] = i as u32;
         }
+        let live = crate::analyze::live_components(netlist);
+        let weight: Vec<u32> = nodes.iter().map(|id| u32::from(live[id.index()])).collect();
         let mut weights: HashMap<(u32, u32), u32> = HashMap::new();
         let mut bump = |a: u32, b: u32| {
             if a == b {
@@ -206,6 +214,7 @@ impl ConnectivityGraph {
             nodes,
             node_index,
             adj,
+            weight,
         }
     }
 
@@ -242,6 +251,23 @@ impl ConnectivityGraph {
     #[must_use]
     pub fn neighbors(&self, i: u32) -> &[(u32, u32)] {
         &self.adj[i as usize]
+    }
+
+    /// Partitioning weight of node `i`: 1 when live, 0 when the LS0003
+    /// analysis proved the component dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node_weight(&self, i: u32) -> u32 {
+        self.weight[i as usize]
+    }
+
+    /// Sum of all node weights (the number of live components).
+    #[must_use]
+    pub fn total_node_weight(&self) -> u64 {
+        self.weight.iter().map(|&w| u64::from(w)).sum()
     }
 
     /// Total edge weight of the graph.
@@ -339,6 +365,33 @@ mod tests {
         let r0 = g.node_of(readers[0]).unwrap();
         let r1 = g.node_of(readers[1]).unwrap();
         assert!(!g.neighbors(r0).iter().any(|&(x, _)| x == r1));
+    }
+
+    #[test]
+    fn dead_components_get_zero_weight() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let y = b.net("y");
+        let w = b.net("w");
+        let live = b.gate(GateKind::Not, &[a], y, Delay::default());
+        let dead = b.gate(GateKind::Buf, &[a], w, Delay::default());
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        let g = ConnectivityGraph::build(&n, 16);
+        assert_eq!(g.node_weight(g.node_of(live).unwrap()), 1);
+        assert_eq!(g.node_weight(g.node_of(dead).unwrap()), 0);
+        assert_eq!(g.total_node_weight(), 1);
+    }
+
+    #[test]
+    fn all_weights_one_without_outputs() {
+        let mut b = NetlistBuilder::new("g");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        let n = b.finish().unwrap();
+        let g = ConnectivityGraph::build(&n, 16);
+        assert_eq!(g.total_node_weight(), g.num_nodes() as u64);
     }
 
     #[test]

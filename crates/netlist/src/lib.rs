@@ -28,6 +28,7 @@
 //! assert_eq!(netlist.fanout(q).len(), 1);
 //! ```
 
+pub mod analyze;
 pub mod builder;
 pub mod component;
 pub mod dot;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod text;
 pub mod value;
 
+pub use analyze::{analyze, analyze_with, AnalyzeConfig, Code, Diagnostic, Report, Severity};
 pub use builder::{BuildError, NetlistBuilder};
 pub use component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
 pub use graph::{ChannelGroups, ConnectivityGraph};

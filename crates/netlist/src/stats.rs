@@ -58,6 +58,10 @@ pub struct CircuitCharacteristics {
     pub total: usize,
     /// Approximate transistor count.
     pub approx_transistors: u64,
+    /// Maximum topological logic depth over all nets (levelization).
+    pub max_logic_depth: u32,
+    /// Net count per logic depth level, indices `0..=max_logic_depth`.
+    pub depth_histogram: Vec<usize>,
 }
 
 impl CircuitCharacteristics {
@@ -69,6 +73,7 @@ impl CircuitCharacteristics {
         technology: Technology,
         clocking: Clocking,
     ) -> CircuitCharacteristics {
+        let levels = crate::analyze::Levelization::compute(netlist);
         CircuitCharacteristics {
             name: netlist.name().to_string(),
             technology,
@@ -77,6 +82,8 @@ impl CircuitCharacteristics {
             gates: netlist.num_gates(),
             total: netlist.num_simulated_components(),
             approx_transistors: netlist.approx_transistors(),
+            max_logic_depth: levels.max_depth(),
+            depth_histogram: levels.depth_histogram(),
         }
     }
 }
@@ -85,14 +92,15 @@ impl fmt::Display for CircuitCharacteristics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<16} {:<5} {:<5} {:>8} {:>7} {:>7} {:>8}",
+            "{:<16} {:<5} {:<5} {:>8} {:>7} {:>7} {:>8} {:>6}",
             self.name,
             self.technology,
             self.clocking,
             self.switches,
             self.gates,
             self.total,
-            self.approx_transistors
+            self.approx_transistors,
+            self.max_logic_depth
         )
     }
 }
@@ -117,6 +125,9 @@ mod tests {
         assert_eq!(ch.gates, 1);
         assert_eq!(ch.total, 2);
         assert_eq!(ch.approx_transistors, 3); // NOT=2 + switch=1
+                                              // NOT is depth 1; the switch adds another level on `z`.
+        assert_eq!(ch.max_logic_depth, 2);
+        assert_eq!(ch.depth_histogram.iter().sum::<usize>(), n.num_nets());
         assert!(ch.to_string().contains("mix"));
     }
 }

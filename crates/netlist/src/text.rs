@@ -88,13 +88,11 @@ fn parse_delay(token: &str, line: usize) -> Result<Delay, ParseError> {
         Some(f) => parse(f)?,
         None => rise,
     };
-    if rise == 0 || fall == 0 {
-        return Err(ParseError {
-            line,
-            message: "delays must be at least 1 tick".into(),
-        });
-    }
-    Ok(Delay::rise_fall(rise, fall))
+    // Zero delays parse: they are a *semantic* problem only when they
+    // close a cycle, which the LS0001 lint (`analyze`) reports with the
+    // offending components named — a far better diagnostic than a
+    // parse-time rejection could give.
+    Ok(Delay { rise, fall })
 }
 
 /// Parses the text format into a validated [`Netlist`].
@@ -131,14 +129,18 @@ pub fn parse(source: &str) -> Result<Netlist, ParseError> {
         };
         match keyword {
             "circuit" => {
-                let name = rest.first().ok_or_else(|| err("circuit needs a name".into()))?;
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err("circuit needs a name".into()))?;
                 if !b.is_empty() {
                     return Err(err("`circuit` must precede all components".into()));
                 }
                 *b = NetlistBuilder::new(*name);
             }
             "input" => {
-                let name = rest.first().ok_or_else(|| err("input needs a net name".into()))?;
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err("input needs a net name".into()))?;
                 b.input(*name);
             }
             "net" => {
@@ -146,7 +148,9 @@ pub fn parse(source: &str) -> Result<Netlist, ParseError> {
                 b.net(*name);
             }
             "gate" => {
-                let kind_tok = rest.first().ok_or_else(|| err("gate needs a kind".into()))?;
+                let kind_tok = rest
+                    .first()
+                    .ok_or_else(|| err("gate needs a kind".into()))?;
                 let kind = gate_kind(kind_tok)
                     .ok_or_else(|| err(format!("unknown gate kind `{kind_tok}`")))?;
                 let mut rest_iter = rest[1..].iter().peekable();
@@ -204,7 +208,9 @@ pub fn parse(source: &str) -> Result<Netlist, ParseError> {
                 b.supply(net, level);
             }
             "output" => {
-                let name = rest.first().ok_or_else(|| err("output needs a net name".into()))?;
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err("output needs a net name".into()))?;
                 pending.push(((*name).to_string(), line_no));
             }
             other => return Err(err(format!("unknown keyword `{other}`"))),
@@ -240,14 +246,31 @@ pub fn serialize(netlist: &Netlist) -> String {
                 output,
                 delay,
             } => {
-                let _ = write!(out, "gate {kind} d={},{} {}", delay.rise, delay.fall, name(*output));
+                let _ = write!(
+                    out,
+                    "gate {kind} d={},{} {}",
+                    delay.rise,
+                    delay.fall,
+                    name(*output)
+                );
                 for &i in inputs {
                     let _ = write!(out, " {}", name(i));
                 }
                 out.push('\n');
             }
-            Component::Switch { kind, control, a, b } => {
-                let _ = writeln!(out, "switch {kind} {} {} {}", name(*control), name(*a), name(*b));
+            Component::Switch {
+                kind,
+                control,
+                a,
+                b,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "switch {kind} {} {} {}",
+                    name(*control),
+                    name(*a),
+                    name(*b)
+                );
             }
             Component::Pull { net, level } => {
                 let dir = if *level == Level::One { "up" } else { "down" };
@@ -290,7 +313,11 @@ output carry
         let carry_gate = n
             .iter()
             .find_map(|(_, c)| match c {
-                Component::Gate { kind: GateKind::And, delay, .. } => Some(*delay),
+                Component::Gate {
+                    kind: GateKind::And,
+                    delay,
+                    ..
+                } => Some(*delay),
                 _ => None,
             })
             .unwrap();
@@ -364,9 +391,21 @@ output y
 
     #[test]
     fn bad_delay_rejected() {
-        for bad in ["gate AND d=0 y a b", "gate AND d=x y a b"] {
+        for bad in ["gate AND d=x y a b", "gate AND d= y a b"] {
             let src = format!("input a\ninput b\n{bad}\n");
             assert!(parse(&src).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn zero_delay_parses_for_lint_to_catch() {
+        // `d=0` is accepted structurally; the LS0001 analysis decides
+        // whether it is harmful (only when it closes a cycle).
+        let n = parse("input a\ninput b\ngate AND d=0 y a b\noutput y\n").unwrap();
+        let report = crate::analyze::analyze(&n);
+        assert!(!report.has_errors());
+        let looped = parse("input e\ngate NAND d=0 y e y\noutput y\n").unwrap();
+        let report = crate::analyze::analyze(&looped);
+        assert!(report.has_errors());
     }
 }

@@ -135,9 +135,7 @@ impl fmt::Display for Level {
 /// ordered, so `Ord` picks winners. This five-level ladder is the
 /// minimal one that makes ratioed nmos logic, pass-transistor networks,
 /// and CMOS transmission gates all resolve correctly.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Strength {
     /// No driver: the net floats (charge storage).
     HighZ,

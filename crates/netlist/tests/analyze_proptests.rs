@@ -1,0 +1,117 @@
+//! Property tests for the static netlist analyzer behind `lsim lint`.
+//!
+//! The analyzer's core claims are structural: feed-forward netlists
+//! never trip the cycle check, an injected zero-delay back-edge always
+//! does, and liveness never flags logic that feeds a primary output.
+//! Random layered DAGs exercise those claims over many shapes.
+
+use logicsim_netlist::analyze::{self, live_components, Code, Levelization};
+use logicsim_netlist::{Delay, GateKind, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+/// Builds a layered random DAG. Gate `i` reads the most recently
+/// created net (keeping the netlist connected front-to-back, so every
+/// gate lies on the path to the single output) plus one arbitrary
+/// earlier net chosen by `src`. Feed-forward structure is guaranteed by
+/// construction: gates only ever read nets that already exist.
+fn build_dag(picks: &[(u8, u8)], zero_delays: bool) -> Netlist {
+    let mut b = NetlistBuilder::new("dag");
+    let mut nets = vec![b.input("a"), b.input("b")];
+    for &(src, d) in picks {
+        let prev = *nets.last().unwrap();
+        let other = nets[src as usize % nets.len()];
+        let out = b.fresh("g");
+        let delay = if zero_delays {
+            // Constructible only field-by-field; the lint exists to
+            // catch the harmful uses.
+            Delay { rise: 0, fall: 0 }
+        } else {
+            Delay::rise_fall(u32::from(d % 3) + 1, u32::from(d % 2) + 1)
+        };
+        b.gate(GateKind::And, &[prev, other], out, delay);
+        nets.push(out);
+    }
+    b.mark_output(*nets.last().unwrap());
+    b.finish().expect("random DAG is structurally valid")
+}
+
+fn picks() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40)
+}
+
+proptest! {
+    #[test]
+    fn random_dags_are_cycle_free(picks in picks(), zero in any::<bool>()) {
+        let n = build_dag(&picks, zero);
+        let report = analyze::analyze(&n);
+        // Even with all-zero delays a DAG cannot livelock: LS0001 is
+        // about cycles, not about zero delays per se.
+        prop_assert!(
+            !report.diagnostics.iter().any(|d| d.code == Code::Ls0001CombinationalCycle),
+            "spurious cycle in a DAG: {}",
+            report.render(&n)
+        );
+        prop_assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn injected_zero_delay_back_edge_is_caught(picks in picks(), k in any::<u8>()) {
+        // Same DAG, all gates zero-delay, plus one feedback net driven
+        // from the final output and read by a randomly chosen gate: the
+        // chain spine makes every gate from that point an ancestor of
+        // the output, closing a zero-time cycle.
+        let mut b = NetlistBuilder::new("looped");
+        let zero = Delay { rise: 0, fall: 0 };
+        let feedback = b.net("feedback");
+        let mut nets = vec![b.input("a"), feedback];
+        let victim = k as usize % picks.len();
+        for (i, &(src, _)) in picks.iter().enumerate() {
+            let prev = *nets.last().unwrap();
+            let other = if i == victim {
+                feedback
+            } else {
+                nets[src as usize % nets.len()]
+            };
+            let out = b.fresh("g");
+            b.gate(GateKind::And, &[prev, other], out, zero);
+            nets.push(out);
+        }
+        let last = *nets.last().unwrap();
+        b.gate(GateKind::Buf, &[last], feedback, zero);
+        b.mark_output(last);
+        let n = b.finish().expect("looped netlist is structurally valid");
+        let report = analyze::analyze(&n);
+        prop_assert!(
+            report.diagnostics.iter().any(|d| d.code == Code::Ls0001CombinationalCycle),
+            "missed an injected zero-delay cycle: {}",
+            report.render(&n)
+        );
+        prop_assert!(report.has_errors());
+    }
+
+    #[test]
+    fn liveness_never_flags_on_path_logic(picks in picks()) {
+        // Every gate in the chain DAG feeds its successor and the last
+        // net is the output, so everything is reachable: zero LS0003.
+        let n = build_dag(&picks, false);
+        let live = live_components(&n);
+        prop_assert!(live.iter().all(|&l| l), "on-path component marked dead");
+        let report = analyze::analyze(&n);
+        prop_assert!(
+            !report.diagnostics.iter().any(|d| d.code == Code::Ls0003DeadLogic),
+            "spurious dead-logic finding: {}",
+            report.render(&n)
+        );
+    }
+
+    #[test]
+    fn levelization_is_bounded_and_total(picks in picks()) {
+        let n = build_dag(&picks, false);
+        let levels = Levelization::compute(&n);
+        // Depth can never exceed the gate count, and the histogram
+        // partitions the nets.
+        prop_assert!(levels.max_depth() as usize <= picks.len());
+        let histogram = levels.depth_histogram();
+        prop_assert_eq!(histogram.iter().sum::<usize>(), n.num_nets());
+    }
+}

@@ -39,12 +39,7 @@ impl FiducciaMattheysesPartitioner {
     }
 
     /// One FM bisection of `nodes`; returns side per position.
-    fn bisect(
-        &self,
-        graph: &ConnectivityGraph,
-        nodes: &[u32],
-        rng: &mut ChaCha8Rng,
-    ) -> Vec<bool> {
+    fn bisect(&self, graph: &ConnectivityGraph, nodes: &[u32], rng: &mut ChaCha8Rng) -> Vec<bool> {
         let n = nodes.len();
         if n <= 1 {
             return vec![false; n];
@@ -240,10 +235,7 @@ mod tests {
             assert_eq!(total, n.num_simulated_components());
             let max = *sizes.iter().max().unwrap();
             let min = *sizes.iter().min().unwrap();
-            assert!(
-                max - min <= total / 2,
-                "parts badly unbalanced: {sizes:?}"
-            );
+            assert!(max - min <= total / 2, "parts badly unbalanced: {sizes:?}");
         }
     }
 

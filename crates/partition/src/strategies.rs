@@ -91,16 +91,31 @@ impl Partitioner for RoundRobinPartitioner {
 /// Contiguous blocks in netlist order. Generators emit structurally
 /// related cells together, so blocks approximate locality-aware
 /// clustering at zero cost.
+///
+/// Block boundaries are placed by **live** component count (LS0003):
+/// dead logic is still assigned to whichever block it falls in, but it
+/// does not consume part capacity, so the live work ends up balanced.
 #[derive(Debug, Clone, Default)]
 pub struct FanoutGreedyPartitioner;
 
 impl Partitioner for FanoutGreedyPartitioner {
     fn partition(&self, netlist: &Netlist, parts: u32) -> Partition {
-        let total = simulated(netlist).len();
-        let per = total.div_ceil(parts as usize).max(1);
-        assignment_from(netlist, parts, |pos, _| {
-            ((pos / per) as u32).min(parts - 1)
-        })
+        let live = logicsim_netlist::analyze::live_components(netlist);
+        let comps = simulated(netlist);
+        let total_live: usize = comps.iter().filter(|id| live[id.index()]).count();
+        let per = total_live.div_ceil(parts as usize).max(1);
+        let mut v = vec![u32::MAX; netlist.num_components()];
+        let mut current = 0u32;
+        let mut filled = 0usize;
+        for id in comps {
+            if filled >= per && current + 1 < parts {
+                current += 1;
+                filled = 0;
+            }
+            v[id.index()] = current;
+            filled += usize::from(live[id.index()]);
+        }
+        Partition::new(v, parts)
     }
 
     fn name(&self) -> &'static str {
@@ -111,6 +126,10 @@ impl Partitioner for FanoutGreedyPartitioner {
 /// Breadth-first clustering over the connectivity graph: grows each
 /// part by BFS from an unassigned seed until the part reaches its size
 /// quota, keeping tightly connected neighborhoods together.
+///
+/// Quotas count node *weight* ([`ConnectivityGraph::node_weight`]):
+/// dead components weigh zero, so they attach to whichever cluster
+/// reaches them without displacing live work.
 #[derive(Debug, Clone, Default)]
 pub struct BfsClusterPartitioner;
 
@@ -118,7 +137,9 @@ impl Partitioner for BfsClusterPartitioner {
     fn partition(&self, netlist: &Netlist, parts: u32) -> Partition {
         let graph = ConnectivityGraph::build(netlist, 16);
         let n = graph.num_nodes();
-        let quota = n.div_ceil(parts as usize).max(1);
+        let quota = (graph.total_node_weight() as usize)
+            .div_ceil(parts as usize)
+            .max(1);
         let mut node_part = vec![u32::MAX; n];
         let mut current_part = 0u32;
         let mut filled = 0usize;
@@ -133,7 +154,7 @@ impl Partitioner for BfsClusterPartitioner {
                     continue;
                 }
                 node_part[node as usize] = current_part;
-                filled += 1;
+                filled += graph.node_weight(node) as usize;
                 if filled >= quota && current_part + 1 < parts {
                     current_part += 1;
                     filled = 0;
@@ -222,8 +243,7 @@ impl KernighanLinPartitioner {
                 // Best unlocked pair (a in false side, b in true side).
                 let mut best: Option<(i64, usize, usize)> = None;
                 // Candidate subsets keep this O(n^2)-ish affordable.
-                let candidates: Vec<usize> =
-                    (0..n).filter(|&i| !locked[i]).collect();
+                let candidates: Vec<usize> = (0..n).filter(|&i| !locked[i]).collect();
                 for &a in candidates.iter().filter(|&&i| !work_side[i]).take(64) {
                     let da = d_value(&work_side, a);
                     for &bb in candidates.iter().filter(|&&i| work_side[i]).take(64) {
@@ -377,10 +397,7 @@ mod tests {
         let n = two_clusters(32);
         let p = RandomPartitioner::new(3).partition(&n, 4);
         let sizes = p.sizes();
-        let (min, max) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(max - min <= 1, "sizes {sizes:?}");
     }
 
@@ -425,6 +442,37 @@ mod tests {
             kl_cut <= random_cut,
             "kl {kl_cut} should not lose to random {random_cut}"
         );
+    }
+
+    #[test]
+    fn block_partitioner_balances_live_work_around_dead_logic() {
+        // 8 live gates followed by 8 dead ones (unreachable from the
+        // output). A raw-count block split at 2 parts would put all the
+        // live gates in part 0; the live-weighted split balances them.
+        let mut b = NetlistBuilder::new("half_dead");
+        let a = b.input("a");
+        let mut prev = a;
+        for i in 0..8 {
+            let y = b.net(format!("live{i}"));
+            b.gate(GateKind::Not, &[prev], y, Delay::uniform(1));
+            prev = y;
+        }
+        b.mark_output(prev);
+        for i in 0..8 {
+            let y = b.net(format!("dead{i}"));
+            b.gate(GateKind::Not, &[a], y, Delay::uniform(1));
+        }
+        let n = b.finish().unwrap();
+        let p = FanoutGreedyPartitioner.partition(&n, 2);
+        check_valid(&p, &n, 2);
+        let live = logicsim_netlist::analyze::live_components(&n);
+        let mut live_per_part = [0usize; 2];
+        for (id, c) in n.iter() {
+            if (c.is_gate() || c.is_switch()) && live[id.index()] {
+                live_per_part[p.part_of(id).unwrap() as usize] += 1;
+            }
+        }
+        assert_eq!(live_per_part, [4, 4], "live work must split evenly");
     }
 
     #[test]

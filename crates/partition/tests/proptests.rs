@@ -14,8 +14,7 @@ fn random_circuit(ops: &[(u8, usize, usize)]) -> Netlist {
     let mut b = NetlistBuilder::new("random");
     let mut nets = vec![b.input("i0"), b.input("i1")];
     for &(k, x, y) in ops {
-        let kind = [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Xor]
-            [k as usize % 4];
+        let kind = [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Xor][k as usize % 4];
         let a = nets[x % nets.len()];
         let c = nets[y % nets.len()];
         let out = b.fresh("w");

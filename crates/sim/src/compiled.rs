@@ -66,10 +66,8 @@ impl Levelizer {
         let mut indegree: Vec<u32> = vec![0; netlist.num_components()];
         for &g in &gate_ids {
             if let Component::Gate { inputs, .. } = netlist.component(g) {
-                indegree[g.index()] = inputs
-                    .iter()
-                    .filter(|&&n| driver_gate(n).is_some())
-                    .count() as u32;
+                indegree[g.index()] =
+                    inputs.iter().filter(|&&n| driver_gate(n).is_some()).count() as u32;
             }
         }
         let mut queue: Vec<(CompId, u32)> = gate_ids
@@ -170,7 +168,13 @@ impl<'a> CompiledSim<'a> {
     }
 
     fn eval_gate(&mut self, g: CompId) -> bool {
-        let Component::Gate { kind, inputs, output, .. } = self.netlist.component(g) else {
+        let Component::Gate {
+            kind,
+            inputs,
+            output,
+            ..
+        } = self.netlist.component(g)
+        else {
             unreachable!("levelizer only emits gates")
         };
         let levels: Vec<Level> = inputs.iter().map(|&n| self.values[n.index()]).collect();

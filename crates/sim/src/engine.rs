@@ -20,8 +20,41 @@ use crate::instrument::{ActivityProfile, WorkloadCounters};
 use crate::solver;
 use crate::trace::{EventRecord, TickRecord, TickTrace};
 use crate::wheel::TimingWheel;
+use logicsim_netlist::analyze::{self, Diagnostic};
 use logicsim_netlist::{ChannelGroups, CompId, Component, Level, NetId, Netlist, Signal};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The netlist failed the static pre-flight: it contains at least one
+/// error-level finding (see [`logicsim_netlist::analyze`]) and cannot
+/// be simulated faithfully, so [`Simulator::new`] refuses it.
+#[derive(Debug, Clone)]
+pub struct PreflightError {
+    /// Name of the rejected circuit.
+    pub circuit: String,
+    /// The error-level findings (never empty).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The findings rendered with net/component names resolved, one
+    /// per entry of `diagnostics`.
+    pub rendered: Vec<String>,
+}
+
+impl fmt::Display for PreflightError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist `{}` fails pre-flight with {} error(s)",
+            self.circuit,
+            self.diagnostics.len()
+        )?;
+        for r in &self.rendered {
+            write!(f, "\n{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PreflightError {}
 
 /// A scheduled output change: at its tick, `comp` starts driving `drive`
 /// onto its output net. `seq` implements inertial descheduling: only
@@ -96,14 +129,34 @@ pub struct Simulator<'a> {
 impl<'a> Simulator<'a> {
     /// Creates a simulator with default configuration and computes the
     /// power-up state (all nets settle from `X` without counting events).
-    #[must_use]
-    pub fn new(netlist: &'a Netlist) -> Simulator<'a> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] when the static pre-flight finds an
+    /// error-level diagnostic (e.g. LS0001, a combinational cycle
+    /// closed in zero time): such netlists would livelock the event
+    /// loop inside a single tick, so they are refused up front.
+    pub fn new(netlist: &'a Netlist) -> Result<Simulator<'a>, PreflightError> {
         Simulator::with_config(netlist, SimConfig::default())
     }
 
     /// Creates a simulator with explicit configuration.
-    #[must_use]
-    pub fn with_config(netlist: &'a Netlist, config: SimConfig) -> Simulator<'a> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] as for [`Simulator::new`].
+    pub fn with_config(
+        netlist: &'a Netlist,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, PreflightError> {
+        let errors = analyze::preflight(netlist);
+        if !errors.is_empty() {
+            return Err(PreflightError {
+                circuit: netlist.name().to_string(),
+                rendered: errors.iter().map(|d| d.render(netlist)).collect(),
+                diagnostics: errors,
+            });
+        }
         let nc = netlist.num_components();
         let mut comp_out = vec![None; nc];
         let mut comp_drive = vec![Signal::FLOATING; nc];
@@ -139,7 +192,7 @@ impl<'a> Simulator<'a> {
             config,
         };
         sim.initialize();
-        sim
+        Ok(sim)
     }
 
     /// Zero-delay relaxation to a consistent power-up state: evaluate
@@ -175,8 +228,10 @@ impl<'a> Simulator<'a> {
             // Re-evaluate all gates.
             for (id, comp) in self.netlist.iter() {
                 if let Component::Gate { kind, inputs, .. } = comp {
-                    let levels: Vec<Level> =
-                        inputs.iter().map(|&n| self.net_values[n.index()].level).collect();
+                    let levels: Vec<Level> = inputs
+                        .iter()
+                        .map(|&n| self.net_values[n.index()].level)
+                        .collect();
                     let out = kind.evaluate(&levels);
                     if self.comp_drive[id.index()] != out {
                         self.comp_drive[id.index()] = out;
@@ -500,7 +555,7 @@ mod tests {
         let n = inverter();
         let a = n.find_net("a").unwrap();
         let y = n.find_net("y").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(a, Level::Zero);
         sim.step(); // tick 0: input applied, gate evaluated, change at t+2
         assert_eq!(sim.level(y), Level::X);
@@ -518,7 +573,7 @@ mod tests {
         b.gate(GateKind::Buf, &[a], y, Delay::rise_fall(5, 1));
         let n = b.finish().unwrap();
         let (a, y) = (n.find_net("a").unwrap(), n.find_net("y").unwrap());
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(a, Level::One);
         sim.run_until(4); // rise takes 5 ticks: t0 eval -> change at t5
         assert_eq!(sim.level(y), Level::X);
@@ -533,7 +588,7 @@ mod tests {
     fn counters_track_busy_idle_events() {
         let n = inverter();
         let a = n.find_net("a").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(a, Level::Zero);
         sim.run_until(10);
         let c = sim.counters();
@@ -550,7 +605,7 @@ mod tests {
     fn no_change_input_generates_no_events() {
         let n = inverter();
         let a = n.find_net("a").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(a, Level::One);
         sim.run_until(5);
         sim.reset_measurements();
@@ -576,7 +631,7 @@ mod tests {
         let n = b.finish().unwrap();
         let start_net = n.find_net("start").unwrap();
         let n0_net = n.find_net("n0").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         // A ring cannot bootstrap from all-X: hold start low so the NAND
         // forces a known 1 into the loop, then release.
         sim.set_input(start_net, Level::Zero);
@@ -601,7 +656,7 @@ mod tests {
         let n = b.finish().unwrap();
         let (s_n, r_n) = (n.find_net("s_n").unwrap(), n.find_net("r_n").unwrap());
         let (q, qn) = (n.find_net("q").unwrap(), n.find_net("qn").unwrap());
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         // Set: s_n=0, r_n=1 -> q=1.
         sim.set_input(s_n, Level::Zero);
         sim.set_input(r_n, Level::One);
@@ -633,7 +688,7 @@ mod tests {
         b.switch(SwitchKind::Nmos, sel_n, bb, z);
         let n = b.finish().unwrap();
         let nets = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(nets("a"), Level::One);
         sim.set_input(nets("b"), Level::Zero);
         sim.set_input(nets("sel"), Level::One);
@@ -654,7 +709,8 @@ mod tests {
                 collect_trace: true,
                 ..SimConfig::default()
             },
-        );
+        )
+        .expect("pre-flight");
         sim.set_input(a, Level::Zero);
         sim.run_until(10);
         let t = sim.trace();
@@ -676,7 +732,7 @@ mod tests {
         b.gate(GateKind::Tristate, &[d1, e1], bus, Delay::uniform(1));
         let n = b.finish().unwrap();
         let nets = |s: &str| n.find_net(s).unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(nets("d0"), Level::One);
         sim.set_input(nets("e0"), Level::One);
         sim.set_input(nets("d1"), Level::Zero);
@@ -698,9 +754,24 @@ mod tests {
     fn quiescence_stops_early() {
         let n = inverter();
         let a = n.find_net("a").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(a, Level::Zero);
         let end = sim.run_to_quiescence(1_000_000);
         assert!(end < 100, "quiesced at {end}");
+    }
+
+    #[test]
+    fn preflight_refuses_zero_delay_loop() {
+        let mut b = NetlistBuilder::new("livelock");
+        let e = b.input("e");
+        let y = b.net("y");
+        b.gate(GateKind::Nand, &[e, y], y, Delay { rise: 0, fall: 0 });
+        let n = b.finish().unwrap();
+        let err = Simulator::new(&n).expect_err("zero-delay loop must be refused");
+        assert_eq!(err.circuit, "livelock");
+        assert_eq!(err.diagnostics.len(), 1);
+        let text = err.to_string();
+        assert!(text.contains("LS0001"), "{text}");
+        assert!(text.contains("fails pre-flight"), "{text}");
     }
 }

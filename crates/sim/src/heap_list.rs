@@ -93,9 +93,7 @@ impl<T> HeapEventList<T> {
     /// Advances to the next tick.
     pub fn advance(&mut self) {
         debug_assert!(
-            self.heap
-                .peek()
-                .is_none_or(|&Reverse((t, _))| t > self.now),
+            self.heap.peek().is_none_or(|&Reverse((t, _))| t > self.now),
             "advancing past unpopped events"
         );
         self.now += 1;

@@ -1,7 +1,7 @@
 //! Event-driven gate/switch-level logic simulator.
 //!
 //! This crate substitutes for *lsim*, the UNIX/C simulator Wong & Franklin
-//! collected their workload data with [CH85, CH86a]. It implements the
+//! collected their workload data with `[CH85, CH86a]`. It implements the
 //! paper's **fixed delay model** (separate low-to-high and high-to-low
 //! propagation times per gate), an Ulrich-style timing wheel for
 //! near-constant-time event-list manipulation \[UL78\], four-valued logic
@@ -25,7 +25,7 @@
 //! b.gate(GateKind::Not, &[a], y, Delay::uniform(2));
 //! let n = b.finish().expect("valid");
 //!
-//! let mut sim = Simulator::new(&n);
+//! let mut sim = Simulator::new(&n).expect("passes pre-flight");
 //! sim.set_input(a, Level::Zero);
 //! sim.run_until(10);
 //! assert_eq!(sim.level(y), Level::One);
@@ -42,10 +42,10 @@ pub mod vcd;
 pub mod wheel;
 
 pub use compiled::{CompiledSim, Levelizer};
-pub use engine::{SimConfig, Simulator};
+pub use engine::{PreflightError, SimConfig, Simulator};
+pub use heap_list::HeapEventList;
 pub use instrument::{ActivityProfile, WorkloadCounters};
 pub use stimulus::{RandomStimulus, SignalRole, Stimulus, StimulusSpec};
 pub use trace::{EventRecord, TickRecord, TickTrace};
 pub use vcd::VcdRecorder;
-pub use heap_list::HeapEventList;
 pub use wheel::TimingWheel;

@@ -47,12 +47,7 @@ where
     let local = |net: NetId| -> usize {
         members
             .binary_search(&net)
-            .or_else(|_| {
-                members
-                    .iter()
-                    .position(|&m| m == net)
-                    .ok_or(())
-            })
+            .or_else(|_| members.iter().position(|&m| m == net).ok_or(()))
             .expect("switch channel net must belong to its group")
     };
     let mut contrib: Vec<Signal> = members.iter().map(|&n| ext_drive(n)).collect();
@@ -61,7 +56,13 @@ where
     // Some(true) conducting, Some(false) open, None unknown.
     let mut edges = Vec::new();
     for &sw in groups.switches(group) {
-        if let Component::Switch { kind, control, a, b } = netlist.component(sw) {
+        if let Component::Switch {
+            kind,
+            control,
+            a,
+            b,
+        } = netlist.component(sw)
+        {
             let cond = kind.conducts(control_level(*control));
             if cond != Some(false) {
                 edges.push((local(*a), local(*b), cond.is_none()));
@@ -287,9 +288,6 @@ mod tests {
             |net| if net == ctl { Level::Zero } else { Level::X },
             |net| if net == z { Level::One } else { Level::X },
         );
-        assert_eq!(
-            value_of(&r, z),
-            Signal::new(Level::One, Strength::HighZ)
-        );
+        assert_eq!(value_of(&r, z), Signal::new(Level::One, Strength::HighZ));
     }
 }

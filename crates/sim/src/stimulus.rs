@@ -204,10 +204,16 @@ mod tests {
     fn clock_toggles_at_half_period() {
         let n = buf_circuit();
         let spec = StimulusSpec::new()
-            .with("clk", SignalRole::Clock { half_period: 5, phase: 0 })
+            .with(
+                "clk",
+                SignalRole::Clock {
+                    half_period: 5,
+                    phase: 0,
+                },
+            )
             .with("a", SignalRole::Const(Level::One));
         let mut stim = spec.build(&n, 1).unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         run_with_stimulus(&mut sim, &mut stim, 30);
         // clk toggled at ticks 5,10,...: expect ~5 clk events visible as
         // busy activity.
@@ -225,11 +231,24 @@ mod tests {
     fn random_stimulus_is_deterministic_per_seed() {
         let n = buf_circuit();
         let spec = StimulusSpec::new()
-            .with("a", SignalRole::Random { period: 3, phase: 0, toggle_prob: 0.5 })
-            .with("clk", SignalRole::Clock { half_period: 2, phase: 0 });
+            .with(
+                "a",
+                SignalRole::Random {
+                    period: 3,
+                    phase: 0,
+                    toggle_prob: 0.5,
+                },
+            )
+            .with(
+                "clk",
+                SignalRole::Clock {
+                    half_period: 2,
+                    phase: 0,
+                },
+            );
         let run = |seed| {
             let mut stim = spec.build(&n, seed).unwrap();
-            let mut sim = Simulator::new(&n);
+            let mut sim = Simulator::new(&n).expect("pre-flight");
             run_with_stimulus(&mut sim, &mut stim, 200);
             sim.counters().clone()
         };
@@ -242,10 +261,16 @@ mod tests {
     fn pulse_then_release() {
         let n = buf_circuit();
         let spec = StimulusSpec::new()
-            .with("a", SignalRole::Pulse { active: Level::Zero, width: 4 })
+            .with(
+                "a",
+                SignalRole::Pulse {
+                    active: Level::Zero,
+                    width: 4,
+                },
+            )
             .with("clk", SignalRole::Const(Level::One));
         let mut stim = spec.build(&n, 0).unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         let y = n.find_net("y").unwrap();
         run_with_stimulus(&mut sim, &mut stim, 3);
         assert_eq!(sim.level(y), Level::Zero);

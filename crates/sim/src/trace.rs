@@ -185,10 +185,7 @@ mod tests {
     fn message_pairs_enumerated() {
         let t = sample();
         let pairs: Vec<_> = t.message_pairs().collect();
-        assert_eq!(
-            pairs,
-            vec![(0, 1), (0, 2), (3, 4), (1, 0), (1, 2), (1, 3)]
-        );
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (3, 4), (1, 0), (1, 2), (1, 3)]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The IEEE-1364 VCD format every waveform viewer reads. A
 //! [`VcdRecorder`] watches a set of nets and appends a timestamped
 //! change record whenever a watched net's level changes; the result
-//! renders in GTKWave and friends. Strength information is reduced to
+//! renders in `GTKWave` and friends. Strength information is reduced to
 //! the four VCD states `0`, `1`, `x`, `z` (`z` when the net is
 //! undriven).
 
@@ -135,7 +135,7 @@ mod tests {
     fn emits_header_and_changes() {
         let n = toggle_circuit();
         let a = n.find_net("a").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         let mut vcd = VcdRecorder::of_outputs(&n, "1ns");
         vcd.sample(&sim);
         sim.set_input(a, Level::Zero);
@@ -165,7 +165,7 @@ mod tests {
     fn unchanged_nets_emit_nothing() {
         let n = toggle_circuit();
         let a = n.find_net("a").unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(a, Level::Zero);
         sim.run_until(5);
         let mut vcd = VcdRecorder::of_outputs(&n, "1ns");
@@ -197,7 +197,7 @@ mod tests {
         b.gate(GateKind::Tristate, &[d, en], bus, Delay::uniform(1));
         b.mark_output(bus);
         let n = b.finish().unwrap();
-        let mut sim = Simulator::new(&n);
+        let mut sim = Simulator::new(&n).expect("pre-flight");
         sim.set_input(n.find_net("d").unwrap(), Level::One);
         sim.set_input(n.find_net("en").unwrap(), Level::Zero);
         sim.run_until(5);

@@ -114,7 +114,7 @@ proptest! {
         let inputs: Vec<Level> = (0..num_inputs)
             .map(|i| Level::from_bool(input_bits >> i & 1 == 1))
             .collect();
-        let mut sim = Simulator::new(&netlist);
+        let mut sim = Simulator::new(&netlist).expect("pre-flight");
         for (i, &l) in inputs.iter().enumerate() {
             let net = netlist.find_net(&format!("in{i}")).expect("input net");
             sim.set_input(net, l);
@@ -142,7 +142,7 @@ proptest! {
             let mut sim = Simulator::with_config(&netlist, SimConfig {
                 collect_trace: true,
                 ..SimConfig::default()
-            });
+            }).expect("pre-flight");
             for (chunk, &(which, up)) in flips.iter().enumerate() {
                 let net = netlist.find_net(&format!("in{which}")).expect("input");
                 sim.set_input(net, Level::from_bool(up));
@@ -169,7 +169,7 @@ proptest! {
         let mut sim = Simulator::with_config(&netlist, SimConfig {
             collect_trace: true,
             ..SimConfig::default()
-        });
+        }).expect("pre-flight");
         for (chunk, &(which, up)) in flips.iter().enumerate() {
             let net = netlist.find_net(&format!("in{which}")).expect("input");
             sim.set_input(net, Level::from_bool(up));
@@ -211,7 +211,7 @@ proptest! {
         let inputs: Vec<Level> = (0..num_inputs)
             .map(|i| Level::from_bool(input_bits >> i & 1 == 1))
             .collect();
-        let mut event_sim = Simulator::new(&netlist);
+        let mut event_sim = Simulator::new(&netlist).expect("pre-flight");
         let mut compiled = CompiledSim::new(&netlist);
         for (i, &l) in inputs.iter().enumerate() {
             let net = netlist.find_net(&format!("in{i}")).expect("input net");

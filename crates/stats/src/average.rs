@@ -59,8 +59,16 @@ mod tests {
         // Paper: B=8,106 I=51,894 E=10,367,574 M_inf=21,771,905.
         // The paper rounded the intermediate means (.1351, 1,279, 2.1);
         // we keep full precision, so allow sub-percent slack.
-        assert!((w.busy_ticks - 8_106.0).abs() <= 5.0, "B = {}", w.busy_ticks);
-        assert!((w.idle_ticks - 51_894.0).abs() <= 5.0, "I = {}", w.idle_ticks);
+        assert!(
+            (w.busy_ticks - 8_106.0).abs() <= 5.0,
+            "B = {}",
+            w.busy_ticks
+        );
+        assert!(
+            (w.idle_ticks - 51_894.0).abs() <= 5.0,
+            "I = {}",
+            w.idle_ticks
+        );
         assert!(
             (w.events - 10_367_574.0).abs() / 10_367_574.0 < 0.002,
             "E = {}",

@@ -44,7 +44,10 @@ impl Workload {
             ("events", events),
             ("messages_inf", messages_inf),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and >= 0, got {v}"
+            );
         }
         Workload {
             busy_ticks,
@@ -188,7 +191,11 @@ mod tests {
         let scaled = measured.normalized_to(3_680, 100_000);
         let x = Workload::scale_factor(3_680, 100_000);
         assert!((x - 27.17).abs() < 0.01, "X={x}");
-        assert!((scaled.events / 1e6 - 16.1).abs() < 0.1, "E={}", scaled.events);
+        assert!(
+            (scaled.events / 1e6 - 16.1).abs() < 0.1,
+            "E={}",
+            scaled.events
+        );
         assert_eq!(scaled.busy_ticks, 10_620.0);
     }
 

@@ -105,13 +105,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Simulate under a clock, with a reset pulse to flush power-up X.
     let spec = StimulusSpec::new()
-        .with("clk", SignalRole::Clock { half_period: 24, phase: 0 })
+        .with(
+            "clk",
+            SignalRole::Clock {
+                half_period: 24,
+                phase: 0,
+            },
+        )
         .with(
             "rst_n",
-            SignalRole::Pulse { active: logicsim::netlist::Level::Zero, width: 100 },
+            SignalRole::Pulse {
+                active: logicsim::netlist::Level::Zero,
+                width: 100,
+            },
         );
     let mut stim = spec.build(&netlist, 7)?;
-    let mut sim = Simulator::new(&netlist);
+    let mut sim = Simulator::new(&netlist).expect("pre-flight");
     run_with_stimulus(&mut sim, &mut stim, 480); // warm-up
     sim.reset_measurements();
     run_with_stimulus(&mut sim, &mut stim, 480 + 4_800);

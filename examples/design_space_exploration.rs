@@ -5,9 +5,7 @@
 //! Run with `cargo run --release --example design_space_exploration`.
 
 use logicsim::core::cost::{cheapest_design, CostModel};
-use logicsim::core::design::{
-    best_operating_point, saturation_knee, table9, DesignSpace,
-};
+use logicsim::core::design::{best_operating_point, saturation_knee, table9, DesignSpace};
 use logicsim::core::paper_data::average_workload_table8;
 use logicsim::core::BaseMachine;
 
@@ -21,18 +19,18 @@ fn main() {
     let rows = table9(&workload, &base, &space);
     let best = rows
         .iter()
-        .map(|r| if r.tm2.speedup > r.tm3.speedup { (r, r.tm2, 2.0) } else { (r, r.tm3, 3.0) })
+        .map(|r| {
+            if r.tm2.speedup > r.tm3.speedup {
+                (r, r.tm2, 2.0)
+            } else {
+                (r, r.tm3, 3.0)
+            }
+        })
         .max_by(|a, b| a.1.speedup.partial_cmp(&b.1.speedup).expect("finite"))
         .expect("non-empty space");
     println!(
         "  fastest: H={} W={} L={} tM={} at P={} -> S = {:.0} ({})",
-        best.0.h,
-        best.0.w,
-        best.0.l,
-        best.2,
-        best.1.processors,
-        best.1.speedup,
-        best.1.bottleneck
+        best.0.h, best.0.w, best.0.l, best.2, best.1.processors, best.1.speedup, best.1.bottleneck
     );
 
     // 2. Design rules of thumb: where does each network width saturate?

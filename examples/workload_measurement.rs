@@ -1,3 +1,6 @@
+//! Measures the workload characteristics (activity, simultaneity, busy
+//! fraction) of one benchmark circuit and prints the summary table row.
+
 use logicsim::circuits::Benchmark;
 use logicsim::{measure_benchmark, MeasureOptions};
 

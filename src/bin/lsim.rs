@@ -7,8 +7,14 @@
 //! lsim machine <netlist> [options]   replay the measured workload on the
 //!                                    modeled multiprocessor and compare
 //!                                    against the paper's analytical model
+//! lsim lint    <netlist> [options]   static netlist analysis (LS0001..)
 //! lsim dot     <netlist>             emit Graphviz
 //! lsim bench   <name>                write a built-in benchmark circuit
+//!
+//! `lint` accepts `bench:NAME` in place of a file to check a built-in
+//! benchmark, prints findings (or a JSON report with `--json`), and
+//! exits nonzero on error-level findings — or on warnings too with
+//! `--deny warnings`.
 //!
 //! options:
 //!   --until T              simulate T ticks (default 10000)
@@ -22,8 +28,13 @@
 //!
 //! machine options (with defaults):
 //!   --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)
+//!
+//! lint options:
+//!   --json                 print the report as JSON
+//!   --deny warnings        exit nonzero on warnings as well as errors
 //! ```
 
+use logicsim::netlist::analyze::{analyze, Severity};
 use logicsim::netlist::text;
 use logicsim::netlist::{Level, Netlist};
 use logicsim::sim::stimulus::{run_with_stimulus, Stimulus};
@@ -45,10 +56,12 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lsim <stats|sim|machine|dot> <netlist-file> [options]\n\
+        "usage: lsim <stats|sim|machine|dot|lint> <netlist-file> [options]\n\
          \x20      lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>\n\
+         \x20      lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]\n\
          options: --until T --warmup T --seed N --vcd FILE\n\
-         \x20        --clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH"
+         \x20        --clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH\n\
+         machine options: --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)"
     );
     ExitCode::FAILURE
 }
@@ -74,19 +87,34 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--until" => opts.until = need("--until")?.parse().map_err(|e| format!("--until: {e}"))?,
-            "--warmup" => {
-                opts.warmup = need("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?;
+            "--until" => {
+                opts.until = need("--until")?
+                    .parse()
+                    .map_err(|e| format!("--until: {e}"))?;
             }
-            "--seed" => opts.seed = need("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--warmup" => {
+                opts.warmup = need("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = need("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
             "--clock" => {
                 let v = need("--clock")?;
                 let (net, half) = v
                     .split_once(':')
                     .ok_or_else(|| format!("--clock expects NET:HALF, got `{v}`"))?;
                 let half_period = half.parse().map_err(|e| format!("--clock: {e}"))?;
-                opts.stimulus = std::mem::take(&mut opts.stimulus)
-                    .with(net, SignalRole::Clock { half_period, phase: 0 });
+                opts.stimulus = std::mem::take(&mut opts.stimulus).with(
+                    net,
+                    SignalRole::Clock {
+                        half_period,
+                        phase: 0,
+                    },
+                );
             }
             "--random" => {
                 let v = need("--random")?;
@@ -98,7 +126,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let toggle_prob = parts[2].parse().map_err(|e| format!("--random: {e}"))?;
                 opts.stimulus = std::mem::take(&mut opts.stimulus).with(
                     parts[0],
-                    SignalRole::Random { period, phase: 0, toggle_prob },
+                    SignalRole::Random {
+                        period,
+                        phase: 0,
+                        toggle_prob,
+                    },
                 );
             }
             "--const" => {
@@ -111,7 +143,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     "1" => Level::One,
                     other => return Err(format!("--const level must be 0 or 1, got `{other}`")),
                 };
-                opts.stimulus = std::mem::take(&mut opts.stimulus).with(net, SignalRole::Const(level));
+                opts.stimulus =
+                    std::mem::take(&mut opts.stimulus).with(net, SignalRole::Const(level));
             }
             "--pulse" => {
                 let v = need("--pulse")?;
@@ -119,8 +152,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .split_once(':')
                     .ok_or_else(|| format!("--pulse expects NET:WIDTH, got `{v}`"))?;
                 let width = width.parse().map_err(|e| format!("--pulse: {e}"))?;
-                opts.stimulus = std::mem::take(&mut opts.stimulus)
-                    .with(net, SignalRole::Pulse { active: Level::One, width });
+                opts.stimulus = std::mem::take(&mut opts.stimulus).with(
+                    net,
+                    SignalRole::Pulse {
+                        active: Level::One,
+                        width,
+                    },
+                );
             }
             "--vcd" => opts.vcd_path = Some(need("--vcd")?),
             "--p" => opts.machine_p = need("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
@@ -135,8 +173,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn load(path: &str) -> Result<Netlist, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     text::parse(&source).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -145,7 +182,8 @@ fn run(netlist: &Netlist, opts: &Options, print_outputs: bool) -> Result<(), Str
         .stimulus
         .build(netlist, opts.seed)
         .map_err(|e| format!("stimulus: {e}"))?;
-    let mut sim = Simulator::with_config(netlist, SimConfig::default());
+    let mut sim =
+        Simulator::with_config(netlist, SimConfig::default()).map_err(|e| e.to_string())?;
     if opts.warmup > 0 {
         run_with_stimulus(&mut sim, &mut stim, opts.warmup);
         sim.reset_measurements();
@@ -174,7 +212,12 @@ fn run(netlist: &Netlist, opts: &Options, print_outputs: bool) -> Result<(), Str
         netlist.num_gates(),
         netlist.num_switches()
     );
-    println!("ticks       : {} ({} busy, {} idle)", c.total_ticks(), c.busy_ticks, c.idle_ticks);
+    println!(
+        "ticks       : {} ({} busy, {} idle)",
+        c.total_ticks(),
+        c.busy_ticks,
+        c.idle_ticks
+    );
     println!("B/(B+I)     : {:.4}", c.busy_fraction());
     println!("events E    : {}", c.events);
     println!("M_inf       : {}", c.messages_inf);
@@ -210,7 +253,8 @@ fn run_machine(netlist: &Netlist, opts: &Options) -> Result<(), String> {
             collect_trace: true,
             ..SimConfig::default()
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     if opts.warmup > 0 {
         run_with_stimulus(&mut sim, &mut stim, opts.warmup);
         sim.reset_measurements();
@@ -223,7 +267,9 @@ fn run_machine(netlist: &Netlist, opts: &Options) -> Result<(), String> {
     let config = MachineConfig::paper_design(
         opts.machine_p,
         opts.machine_l,
-        NetworkKind::BusSet { width: opts.machine_w },
+        NetworkKind::BusSet {
+            width: opts.machine_w,
+        },
         opts.machine_h,
         opts.machine_tm,
     );
@@ -249,7 +295,7 @@ fn run_machine(netlist: &Netlist, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn bench_source(name: &str) -> Option<String> {
+fn bench_netlist(name: &str) -> Option<Netlist> {
     use logicsim::circuits::Benchmark;
     let b = match name {
         "stopwatch" => Benchmark::StopWatch,
@@ -259,7 +305,63 @@ fn bench_source(name: &str) -> Option<String> {
         "crossbar" => Benchmark::CrossbarSwitch,
         _ => return None,
     };
-    Some(text::serialize(&b.build_default().netlist))
+    Some(b.build_default().netlist)
+}
+
+fn bench_source(name: &str) -> Option<String> {
+    Some(text::serialize(&bench_netlist(name)?))
+}
+
+/// Loads a netlist file, or a built-in benchmark via `bench:NAME`.
+fn load_or_bench(path: &str) -> Result<Netlist, String> {
+    match path.strip_prefix("bench:") {
+        Some(name) => bench_netlist(name).ok_or_else(|| format!("unknown benchmark `{name}`")),
+        None => load(path),
+    }
+}
+
+/// `lsim lint`: run the static analyses and report. Exits nonzero when
+/// any finding reaches `deny` (errors always; warnings too with
+/// `--deny warnings`).
+fn run_lint(args: &[String]) -> Result<ExitCode, String> {
+    let (path, flags) = args
+        .split_first()
+        .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
+    let mut json = false;
+    let mut deny = Severity::Error;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny = Severity::Warning,
+                Some("errors") => deny = Severity::Error,
+                other => {
+                    return Err(format!(
+                        "--deny expects `warnings` or `errors`, got `{}`",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    let netlist = load_or_bench(path)?;
+    let report = analyze(&netlist);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json(&netlist))
+                .map_err(|e| format!("json: {e}"))?
+        );
+    } else {
+        print!("{}", report.render(&netlist));
+    }
+    Ok(if report.at_least(deny).count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn main() -> ExitCode {
@@ -268,14 +370,14 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
-    let result: Result<(), String> = (|| match cmd {
+    let result: Result<ExitCode, String> = (|| match cmd {
         "stats" | "sim" => {
             let (path, optargs) = rest
                 .split_first()
                 .ok_or_else(|| "missing netlist file".to_string())?;
             let netlist = load(path)?;
             let opts = parse_options(optargs)?;
-            run(&netlist, &opts, cmd == "sim")
+            run(&netlist, &opts, cmd == "sim").map(|()| ExitCode::SUCCESS)
         }
         "machine" => {
             let (path, optargs) = rest
@@ -283,25 +385,29 @@ fn main() -> ExitCode {
                 .ok_or_else(|| "missing netlist file".to_string())?;
             let netlist = load(path)?;
             let opts = parse_options(optargs)?;
-            run_machine(&netlist, &opts)
+            run_machine(&netlist, &opts).map(|()| ExitCode::SUCCESS)
         }
+        "lint" => run_lint(rest),
         "dot" => {
-            let path = rest.first().ok_or_else(|| "missing netlist file".to_string())?;
+            let path = rest
+                .first()
+                .ok_or_else(|| "missing netlist file".to_string())?;
             let netlist = load(path)?;
             print!("{}", logicsim::netlist::dot::to_dot(&netlist));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "bench" => {
-            let name = rest.first().ok_or_else(|| "missing benchmark name".to_string())?;
-            let src = bench_source(name)
-                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let name = rest
+                .first()
+                .ok_or_else(|| "missing benchmark name".to_string())?;
+            let src = bench_source(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             print!("{src}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         _ => Err(format!("unknown command `{cmd}`")),
     })();
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("lsim: {e}");
             usage()

@@ -137,7 +137,8 @@ pub fn measure_instance(
             collect_trace: options.collect_trace,
             ..SimConfig::default()
         },
-    );
+    )
+    .expect("benchmark netlists pass the static pre-flight");
     let warmup = options.warmup_periods * instance.vector_period.max(1);
     run_with_stimulus(&mut sim, &mut stimulus, warmup);
     sim.reset_measurements();

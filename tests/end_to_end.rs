@@ -7,9 +7,7 @@ use logicsim::core::runtime::{max_useful_processors, run_time};
 use logicsim::core::speedup::speedup;
 use logicsim::core::{BaseMachine, MachineDesign};
 use logicsim::machine::{validate_against_model, MachineConfig, NetworkKind};
-use logicsim::partition::{
-    measured_messages, PartitionQuality, Partitioner, RandomPartitioner,
-};
+use logicsim::partition::{measured_messages, PartitionQuality, Partitioner, RandomPartitioner};
 use logicsim::{measure_benchmark, MeasureOptions};
 
 fn quick_trace_opts() -> MeasureOptions {

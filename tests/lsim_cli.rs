@@ -8,9 +8,11 @@ fn lsim() -> Command {
 }
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("logicsim_test_{name}_{}.lsim", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("logicsim_test_{name}_{}.lsim", std::process::id()));
     let mut f = std::fs::File::create(&path).expect("create temp netlist");
-    f.write_all(contents.as_bytes()).expect("write temp netlist");
+    f.write_all(contents.as_bytes())
+        .expect("write temp netlist");
     path
 }
 
@@ -30,7 +32,11 @@ fn stats_subcommand_reports_workload() {
         .args(["--clock", "clk:10", "--const", "d=1"])
         .output()
         .expect("run lsim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("circuit     : toggle"), "{stdout}");
     assert!(stdout.contains("events E"), "{stdout}");
@@ -86,7 +92,10 @@ fn bench_subcommand_round_trips_through_parser() {
 
 #[test]
 fn bad_input_fails_with_message() {
-    let out = lsim().args(["stats", "/nonexistent.lsim"]).output().unwrap();
+    let out = lsim()
+        .args(["stats", "/nonexistent.lsim"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
     let out = lsim().args(["frobnicate"]).output().unwrap();
@@ -96,17 +105,19 @@ fn bad_input_fails_with_message() {
 #[test]
 fn vcd_option_writes_waveforms() {
     let path = write_temp("vcd_src", TOGGLE);
-    let vcd_path = std::env::temp_dir().join(format!(
-        "logicsim_test_wave_{}.vcd",
-        std::process::id()
-    ));
+    let vcd_path =
+        std::env::temp_dir().join(format!("logicsim_test_wave_{}.vcd", std::process::id()));
     let out = lsim()
         .args(["sim", path.to_str().unwrap(), "--until", "100"])
         .args(["--clock", "clk:10", "--const", "d=1"])
         .args(["--vcd", vcd_path.to_str().unwrap()])
         .output()
         .expect("run lsim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let vcd = std::fs::read_to_string(&vcd_path).expect("vcd written");
     assert!(vcd.starts_with("$version"));
     assert!(vcd.contains("$var wire 1 ! y $end"));
@@ -125,10 +136,91 @@ fn machine_subcommand_compares_model_and_machine() {
         .args(["--p", "4", "--l", "1", "--w", "1", "--h", "10"])
         .output()
         .expect("run lsim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("UI/GC/Q=4/P=4/L=1"), "{stdout}");
     assert!(stdout.contains("model R_P"), "{stdout}");
     assert!(stdout.contains("speed-up"), "{stdout}");
     let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn lint_subcommand_flags_zero_delay_loop() {
+    let path = write_temp(
+        "lint_loop",
+        "\
+circuit livelock
+input s
+input r
+net q
+net qn
+gate NAND d=0,0 q s qn
+gate NAND d=0,0 qn r q
+output q
+",
+    );
+    let out = lsim()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .expect("run lsim");
+    assert!(!out.status.success(), "zero-delay loop must fail lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[LS0001]"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn lint_deny_warnings_rejects_drive_fight() {
+    let path = write_temp(
+        "lint_fight",
+        "\
+circuit fight
+input a
+input b
+gate NOT y a
+gate BUF y b
+output y
+",
+    );
+    // Without --deny: warning reported, exit 0.
+    let out = lsim()
+        .args(["lint", path.to_str().unwrap()])
+        .output()
+        .expect("run lsim");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[LS0002]"));
+    // With --deny warnings: same report, nonzero exit.
+    let out = lsim()
+        .args(["lint", path.to_str().unwrap(), "--deny", "warnings"])
+        .output()
+        .expect("run lsim");
+    assert!(!out.status.success(), "--deny warnings must fail on LS0002");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn lint_json_on_stopwatch_matches_golden_file() {
+    let out = lsim()
+        .args(["lint", "bench:stopwatch", "--json"])
+        .output()
+        .expect("run lsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8_lossy(&out.stdout);
+    let golden = include_str!("golden/lint_stopwatch.json");
+    // Compare normalized line endings so the golden file stays
+    // byte-for-byte meaningful on every platform.
+    assert_eq!(
+        got.trim().replace("\r\n", "\n"),
+        golden.trim().replace("\r\n", "\n"),
+        "lsim lint --json output drifted from tests/golden/lint_stopwatch.json; \
+         if the change is intentional, regenerate the golden file"
+    );
 }

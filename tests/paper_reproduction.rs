@@ -3,9 +3,7 @@
 
 use logicsim::core::bounds::{comm_limit, ideal_speedup};
 use logicsim::core::design::{table9, DesignSpace};
-use logicsim::core::paper_data::{
-    average_workload_table8, five_circuits, table6_as_printed,
-};
+use logicsim::core::paper_data::{average_workload_table8, five_circuits, table6_as_printed};
 use logicsim::core::speedup::speedup;
 use logicsim::core::{BaseMachine, MachineDesign};
 use logicsim::stats::average_workload;

@@ -1,0 +1,524 @@
+//! Minimal offline substitute for `proptest`.
+//!
+//! Covers the surface this workspace uses: the [`strategy::Strategy`]
+//! trait (ranges, tuples, `Just`, `prop_map`, `prop_perturb`,
+//! `prop_oneof!`), [`collection::vec`], [`arbitrary::any`], and the
+//! [`proptest!`]/[`prop_assert*`](prop_assert) macros.
+//!
+//! Differences from the real crate: failing cases are **not shrunk**
+//! (the per-test RNG stream is deterministic, so failures reproduce
+//! exactly), and there is no persistence or fork support.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic test RNG.
+
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The RNG handed to strategies; seeded deterministically from the
+    /// test's full module path so failures reproduce run-to-run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// Creates the RNG for the named test (FNV-1a of the name).
+        #[must_use]
+        pub fn for_test(name: &str) -> TestRng {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0100_0000_01b3);
+            }
+            TestRng(ChaCha8Rng::seed_from_u64(hash))
+        }
+
+        /// Splits off an independent RNG (for `prop_perturb`).
+        pub fn fork(&mut self) -> TestRng {
+            TestRng(ChaCha8Rng::seed_from_u64(self.0.next_u64()))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest);
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Transforms generated values with `f` and a fresh RNG.
+        fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value, TestRng) -> O,
+        {
+            Perturb { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_perturb`].
+    #[derive(Debug, Clone)]
+    pub struct Perturb<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Perturb<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value, TestRng) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            let value = self.source.generate(rng);
+            (self.f)(value, rng.fork())
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies (see [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given options.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    self.clone().sample_single(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// A full-range strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy generating `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::{Rng, RngCore};
+}
+
+/// Defines property tests: `fn name(pat in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body,
+                ));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} (deterministic per-name seed; \
+                         rerun to reproduce)",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+
+    fn any_tri() -> impl Strategy<Value = Tri> {
+        prop_oneof![Just(Tri::A), Just(Tri::B), Just(Tri::C)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in 0usize..=4, f in 1.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((1.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            v in crate::collection::vec(any::<u8>(), 2..6),
+            (a, b) in (0u8..4, any::<bool>()),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn oneof_and_perturb_generate(
+            t in any_tri(),
+            bits in Just(()).prop_perturb(|(), mut rng| rng.next_u32()),
+        ) {
+            prop_assert!(matches!(t, Tri::A | Tri::B | Tri::C));
+            let _ = bits;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(
+            (0..8).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u32()).collect::<Vec<_>>()
+        );
+    }
+}

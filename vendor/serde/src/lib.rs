@@ -1,0 +1,460 @@
+//! Minimal offline substitute for `serde`.
+//!
+//! Instead of the visitor-based `Serializer`/`Deserializer` machinery,
+//! this stub uses a value-tree model: [`Serialize`] converts a value to
+//! a [`Value`] tree and [`Deserialize`] reads one back. The derive
+//! macros (feature `derive`, from the sibling `serde_derive` stub)
+//! generate impls of these traits using serde_json's conventions, so
+//! JSON produced by the vendored `serde_json` matches what the real
+//! crates would emit for the types this workspace defines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed or to-be-printed JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. `BTreeMap` keeps key order deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: a non-negative integer, negative integer, or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integer representable as `u64`.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Value {
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the entries if the value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// Returns `true` for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Short noun for error messages ("string", "object", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error (also used by the vendored `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the tree's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .map_or_else(|| type_error(stringify!($t), value), Ok)
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_u64()
+            .and_then(|n| usize::try_from(n).ok())
+            .map_or_else(|| type_error("usize", value), Ok)
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n < 0 {
+                    Value::Number(Number::NegInt(n))
+                } else {
+                    Value::Number(Number::PosInt(n as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .map_or_else(|| type_error(stringify!($t), value), Ok)
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        i64::from_value(value)
+            .and_then(|n| isize::try_from(n).map_err(|_| Error::custom("isize out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().map_or_else(|| type_error("f64", value), Ok)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map_or_else(|| type_error("f32", value), |f| Ok(f as f32))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .map_or_else(|| type_error("bool", value), Ok)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map_or_else(|| type_error("string", value), |s| Ok(s.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+// Maps become JSON objects; non-string keys are stringified through
+// `Display`/`FromStr`, like serde_json does for integer keys.
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| Error::custom(format!("invalid map key `{k}`")))?;
+                    V::from_value(v).map(|v| (key, v))
+                })
+                .collect(),
+            other => type_error("object", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = match value {
+                    Value::Array(items) => items,
+                    other => return type_error("array", other),
+                };
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of length {expected}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&5u8.to_value()), Ok(Some(5)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn integer_coercion_respects_range() {
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+        assert!(i8::from_value(&(-300i32).to_value()).is_err());
+    }
+}

@@ -1,0 +1,517 @@
+//! Minimal offline substitute for `serde_derive`.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` in this
+//! offline environment) and emits impls of the vendored `serde`
+//! value-tree traits. Supports what the workspace uses: non-generic
+//! named/tuple/unit structs and enums with unit, newtype, tuple, and
+//! struct variants. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives the vendored `serde::Serialize` (value-tree) for an item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree) for an item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("::core::compile_error!({msg:?});")
+                .parse()
+                .expect("compile_error tokens");
+        }
+    };
+    let code = match (which, &item) {
+        (Trait::Serialize, Item::Struct { name, fields }) => struct_ser(name, fields),
+        (Trait::Deserialize, Item::Struct { name, fields }) => struct_de(name, fields),
+        (Trait::Serialize, Item::Enum { name, variants }) => enum_ser(name, variants),
+        (Trait::Deserialize, Item::Enum { name, variants }) => enum_de(name, variants),
+    };
+    code.parse().expect("generated impl tokens")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute sequences.
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            // The bracket group of the attribute.
+            self.next();
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`, etc.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("item name")?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        let Some(tok) = c.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("expected field name, found {tok:?}"));
+        };
+        names.push(field.to_string());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type(&mut c);
+    }
+    Ok(names)
+}
+
+/// Consumes type tokens up to (and including) the next comma at
+/// angle-bracket depth zero.
+fn skip_type(c: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(tok) = c.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let Some(tok) = c.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            return Err(format!("expected variant name, found {tok:?}"));
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while let Some(tok) = c.next() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn named_to_object(out: &mut String, fields: &[String], access: impl Fn(&str) -> String) {
+    out.push_str("{ let mut map = ::std::collections::BTreeMap::new();");
+    for f in fields {
+        let _ = write!(
+            out,
+            " map.insert({f:?}.to_string(), ::serde::Serialize::to_value({}));",
+            access(f)
+        );
+    }
+    out.push_str(" ::serde::Value::Object(map) }");
+}
+
+fn struct_ser(name: &str, fields: &Fields) -> String {
+    let mut body = String::new();
+    match fields {
+        Fields::Named(names) => named_to_object(&mut body, names, |f| format!("&self.{f}")),
+        Fields::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)"),
+        Fields::Tuple(n) => {
+            body.push_str("::serde::Value::Array(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            body.push_str("])");
+        }
+        Fields::Unit => body.push_str("::serde::Value::Null"),
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emits an expression deserializing the named fields of `target` (a
+/// struct name or `Enum::Variant` path) from object expression `obj`.
+fn named_from_object(target: &str, context: &str, fields: &[String], obj: &str) -> String {
+    let mut out = format!("::std::result::Result::Ok({target} {{");
+    for f in fields {
+        let _ = write!(
+            out,
+            " {f}: match {obj}.get({f:?}) {{\n\
+              ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)\n\
+                .map_err(|e| ::serde::Error::custom(::std::format!(\"{context}.{f}: {{e}}\")))?,\n\
+              ::std::option::Option::None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                .map_err(|_| ::serde::Error::custom(\"{context}: missing field `{f}`\"))?,\n\
+            }},"
+        );
+    }
+    out.push_str(" })");
+    out
+}
+
+/// Emits an expression deserializing `n` tuple fields of `target` from
+/// array expression `items`.
+fn tuple_from_items(target: &str, n: usize, items: &str) -> String {
+    let mut out = format!("::std::result::Result::Ok({target}(");
+    for i in 0..n {
+        let _ = write!(out, "::serde::Deserialize::from_value(&{items}[{i}])?,");
+    }
+    out.push_str("))");
+    out
+}
+
+fn expect_array(context: &str, n: usize, value: &str) -> String {
+    format!(
+        "match {value} {{\n\
+           ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+           other => return ::std::result::Result::Err(::serde::Error::custom(\n\
+             ::std::format!(\"{context}: expected array of {n} elements, found {{}}\", other.kind()))),\n\
+         }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let obj_match = format!(
+                "let obj = match value {{\n\
+                   ::serde::Value::Object(m) => m,\n\
+                   other => return ::std::result::Result::Err(::serde::Error::custom(\n\
+                     ::std::format!(\"{name}: expected object, found {{}}\", other.kind()))),\n\
+                 }};"
+            );
+            format!(
+                "{obj_match} {}",
+                named_from_object(name, name, names, "obj")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Fields::Tuple(n) => format!(
+            "let items = {}; {}",
+            expect_array(name, *n, "value"),
+            tuple_from_items(name, *n, "items")
+        ),
+        Fields::Unit => format!(
+            "if value.is_null() {{ ::std::result::Result::Ok({name}) }} else {{\n\
+               ::std::result::Result::Err(::serde::Error::custom(\n\
+                 ::std::format!(\"{name}: expected null, found {{}}\", value.kind())))\n\
+             }}"
+        ),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let mut s = String::from("::serde::Value::Array(::std::vec![");
+                    for b in &binds {
+                        let _ = write!(s, "::serde::Serialize::to_value({b}),");
+                    }
+                    s.push_str("])");
+                    s
+                };
+                let _ = write!(
+                    arms,
+                    "{name}::{vname}({}) => {{\n\
+                       let mut map = ::std::collections::BTreeMap::new();\n\
+                       map.insert({vname:?}.to_string(), {inner});\n\
+                       ::serde::Value::Object(map)\n\
+                     }}\n",
+                    binds.join(", ")
+                );
+            }
+            Fields::Named(fields) => {
+                let mut inner = String::new();
+                named_to_object(&mut inner, fields, |f| f.to_string());
+                let _ = write!(
+                    arms,
+                    "{name}::{vname} {{ {} }} => {{\n\
+                       let inner = {inner};\n\
+                       let mut map = ::std::collections::BTreeMap::new();\n\
+                       map.insert({vname:?}.to_string(), inner);\n\
+                       ::serde::Value::Object(map)\n\
+                     }}\n",
+                    fields.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .collect();
+
+    let mut arms = String::new();
+    if !unit.is_empty() {
+        let mut inner = String::new();
+        for v in &unit {
+            let vname = &v.name;
+            let _ = write!(
+                inner,
+                "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+            );
+        }
+        let _ = write!(
+            arms,
+            "::serde::Value::String(s) => match s.as_str() {{\n\
+             {inner}\
+             other => ::std::result::Result::Err(::serde::Error::custom(\n\
+               ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+             }},\n"
+        );
+    }
+    if !data.is_empty() {
+        let mut inner = String::new();
+        for v in &data {
+            let vname = &v.name;
+            let target = format!("{name}::{vname}");
+            let context = format!("{name}::{vname}");
+            let body = match &v.fields {
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({target}(::serde::Deserialize::from_value(inner)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "{{ let items = {}; {} }}",
+                    expect_array(&context, *n, "inner"),
+                    tuple_from_items(&target, *n, "items")
+                ),
+                Fields::Named(fields) => format!(
+                    "{{ let obj = match inner {{\n\
+                         ::serde::Value::Object(m) => m,\n\
+                         other => return ::std::result::Result::Err(::serde::Error::custom(\n\
+                           ::std::format!(\"{context}: expected object, found {{}}\", other.kind()))),\n\
+                       }}; {} }}",
+                    named_from_object(&target, &context, fields, "obj")
+                ),
+                Fields::Unit => unreachable!("unit variants filtered out"),
+            };
+            let _ = write!(inner, "{vname:?} => {body},\n");
+        }
+        let _ = write!(
+            arms,
+            "::serde::Value::Object(m) if m.len() == 1 => {{\n\
+               let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+               match tag.as_str() {{\n\
+               {inner}\
+               other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                 ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+               }}\n\
+             }},\n"
+        );
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match value {{\n\
+         {arms}\
+         other => ::std::result::Result::Err(::serde::Error::custom(\n\
+           ::std::format!(\"{name}: cannot deserialize enum from {{}}\", other.kind()))),\n\
+         }}\n\
+         }}\n\
+         }}"
+    )
+}
