@@ -47,10 +47,10 @@ fn event_list_benches(c: &mut Criterion) {
     for n in [1_000u64, 10_000, 100_000] {
         group.throughput(Throughput::Elements(n));
         group.bench_with_input(BenchmarkId::new("timing_wheel", n), &n, |b, &n| {
-            b.iter(|| drive_wheel(n))
+            b.iter(|| drive_wheel(n));
         });
         group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
-            b.iter(|| drive_heap(n))
+            b.iter(|| drive_heap(n));
         });
     }
     group.finish();

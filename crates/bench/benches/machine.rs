@@ -22,7 +22,7 @@ fn machine_benches(c: &mut Criterion) {
         let cfg = MachineConfig::paper_design(8, 5, network, 100.0, 3.0);
         group.bench_function(label, |b| {
             let sim = MachineSim::new(&cfg);
-            b.iter(|| sim.run(&trace, &partition))
+            b.iter(|| sim.run(&trace, &partition));
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench_speedup_eval(c: &mut Criterion) {
     let base = BaseMachine::vax_11_750();
     let d = MachineDesign::new(15, 5, 1.0, 400.0, 3.0, 1.0);
     c.bench_function("model/speedup_single_eval", |b| {
-        b.iter(|| speedup(black_box(&w), black_box(&d), black_box(&base), 1.0))
+        b.iter(|| speedup(black_box(&w), black_box(&d), black_box(&base), 1.0));
     });
 }
 
@@ -33,7 +33,7 @@ fn bench_figure_sweep(c: &mut Criterion) {
                 50,
                 1.0,
             )
-        })
+        });
     });
 }
 
@@ -42,7 +42,7 @@ fn bench_table9_search(c: &mut Criterion) {
     let base = BaseMachine::vax_11_750();
     let space = DesignSpace::paper_table7();
     c.bench_function("model/table9_full_search", |b| {
-        b.iter(|| table9(black_box(&w), &base, &space))
+        b.iter(|| table9(black_box(&w), &base, &space));
     });
 }
 

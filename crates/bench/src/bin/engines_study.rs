@@ -12,7 +12,7 @@
 use logicsim::circuits::{crossbar, Benchmark};
 use logicsim::sim::stimulus::run_with_stimulus;
 use logicsim::sim::{CompiledSim, Simulator};
-use logicsim_bench::banner;
+use logicsim_bench::{banner, parallel};
 use std::time::Instant;
 
 fn main() {
@@ -20,13 +20,43 @@ fn main() {
     let netlist = &inst.netlist;
     let gates = netlist.num_gates() as u64;
     let window: u64 = 6_000;
+    let cycles = window / inst.vector_period.max(1);
+
+    // The two engines share nothing but the (immutable) netlist and
+    // stimulus spec, so run them concurrently and report afterwards.
+    let ((sim, ed_elapsed), (compiled, cm_elapsed)) = parallel::par_join(
+        || {
+            let mut stim = inst.stimulus.build(netlist, 0x1987).expect("stimulus");
+            let mut sim = Simulator::new(netlist).expect("pre-flight");
+            let t0 = Instant::now();
+            run_with_stimulus(&mut sim, &mut stim, window);
+            (sim, t0.elapsed())
+        },
+        || {
+            // Compiled mode has no notion of idle ticks: it evaluates
+            // the whole plane once per input vector. Use the same
+            // stimulus cadence. Drive the compiled engine by sampling
+            // the stimulus at each vector boundary through a throwaway
+            // event simulator's input schedule: simplest is to re-apply
+            // the stimulus to a small shadow simulator and copy input
+            // levels across.
+            let mut compiled = CompiledSim::new(netlist);
+            let mut stim2 = inst.stimulus.build(netlist, 0x1987).expect("stimulus");
+            let mut shadow = Simulator::new(netlist).expect("pre-flight");
+            let t1 = Instant::now();
+            for cycle in 0..cycles {
+                let until = (cycle + 1) * inst.vector_period;
+                run_with_stimulus(&mut shadow, &mut stim2, until);
+                for &input in netlist.inputs() {
+                    compiled.set_input(input, shadow.level(input));
+                }
+                compiled.settle(32);
+            }
+            (compiled, t1.elapsed())
+        },
+    );
 
     banner("Event-driven engine on the crossbar switch");
-    let mut stim = inst.stimulus.build(netlist, 0x1987).expect("stimulus");
-    let mut sim = Simulator::new(netlist).expect("pre-flight");
-    let t0 = Instant::now();
-    run_with_stimulus(&mut sim, &mut stim, window);
-    let ed_elapsed = t0.elapsed();
     let c = sim.counters();
     println!(
         "ticks {} (busy {}), events E = {}, function evaluations = {}",
@@ -37,26 +67,6 @@ fn main() {
     );
 
     banner("Compiled-mode engine, one settle per vector period");
-    // Compiled mode has no notion of idle ticks: it evaluates the whole
-    // plane once per input vector. Use the same stimulus cadence.
-    let mut compiled = CompiledSim::new(netlist);
-    let mut stim2 = inst.stimulus.build(netlist, 0x1987).expect("stimulus");
-    // Drive the compiled engine by sampling the stimulus at each vector
-    // boundary through a throwaway event simulator's input schedule:
-    // simplest is to re-apply the stimulus to a small shadow simulator
-    // and copy input levels across.
-    let mut shadow = Simulator::new(netlist).expect("pre-flight");
-    let cycles = window / inst.vector_period.max(1);
-    let t1 = Instant::now();
-    for cycle in 0..cycles {
-        let until = (cycle + 1) * inst.vector_period;
-        run_with_stimulus(&mut shadow, &mut stim2, until);
-        for &input in netlist.inputs() {
-            compiled.set_input(input, shadow.level(input));
-        }
-        compiled.settle(32);
-    }
-    let cm_elapsed = t1.elapsed();
     println!(
         "cycles {}, gate evaluations = {} (= {} gates x {} cycles + feedback iterations)",
         cycles, compiled.evaluations, gates, cycles

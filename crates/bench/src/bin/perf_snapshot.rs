@@ -1,0 +1,155 @@
+//! Machine-readable performance snapshot of the simulation kernel.
+//!
+//! Runs every benchmark circuit through the event-driven engine
+//! *serially* (parallel runs would contend for cores and distort the
+//! per-circuit wall times) and writes a JSON report — events/second,
+//! wall time, event counts, and peak RSS — suitable for committing as
+//! `BENCH_<n>.json` or archiving as a CI artifact. The schema is
+//! documented in `DESIGN.md` under "Performance snapshots".
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p logicsim-bench --bin perf_snapshot -- \
+//!     [--quick] [--only <circuit>] [--pr <n>] [--out <path>]
+//! ```
+//!
+//! `--only` filters by (case-insensitive) substring of the circuit's
+//! `snake_case` name; `--out -` (the default) writes to stdout.
+
+use logicsim::circuits::Benchmark;
+use logicsim::sim::stimulus::run_with_stimulus;
+use logicsim::sim::Simulator;
+use serde_json::{Number, Value};
+use std::time::Instant;
+
+/// Builds a JSON object from key/value pairs (the vendored `serde_json`
+/// stub has no `json!` macro).
+fn obj<const N: usize>(pairs: [(&str, Value); N]) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn uint(n: u64) -> Value {
+    Value::Number(Number::PosInt(n))
+}
+
+fn float(x: f64) -> Value {
+    Value::Number(Number::Float(x))
+}
+
+fn text(t: &str) -> Value {
+    Value::String(t.to_string())
+}
+
+/// Measurement window per circuit: tuned so the full run stays under a
+/// minute while each circuit still processes tens of thousands of
+/// events.
+fn window_for(bench: Benchmark, quick: bool) -> u64 {
+    let full = match bench {
+        Benchmark::StopWatch => 40_000,
+        Benchmark::AssocMem => 6_000,
+        Benchmark::PriorityQueue => 4_000,
+        Benchmark::RtpChip => 6_000,
+        Benchmark::CrossbarSwitch => 8_000,
+    };
+    if quick {
+        full / 8
+    } else {
+        full
+    }
+}
+
+/// Snake-case identifier for a benchmark (stable across renames of the
+/// paper-facing display name).
+fn slug(bench: Benchmark) -> &'static str {
+    match bench {
+        Benchmark::StopWatch => "stopwatch",
+        Benchmark::AssocMem => "assoc_mem",
+        Benchmark::PriorityQueue => "priority_queue",
+        Benchmark::RtpChip => "rtp_chip",
+        Benchmark::CrossbarSwitch => "crossbar_switch",
+    }
+}
+
+/// Peak resident set size in kilobytes from `/proc/self/status`
+/// (`VmHWM`), or `None` where that interface does not exist.
+fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let only = flag_value("--only").map(str::to_ascii_lowercase);
+    let pr = flag_value("--pr").and_then(|v| v.parse::<u64>().ok());
+    let out_path = flag_value("--out").unwrap_or("-");
+
+    let mut circuits = Vec::new();
+    for bench in Benchmark::ALL {
+        if let Some(filter) = &only {
+            if !slug(bench).contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let window = window_for(bench, quick);
+        let inst = bench.build_default();
+        eprintln!("perf_snapshot: {} over {window} ticks ...", slug(bench));
+        let mut stim = inst
+            .stimulus
+            .build(&inst.netlist, 0x1987)
+            .expect("stimulus");
+        let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
+        let t0 = Instant::now();
+        run_with_stimulus(&mut sim, &mut stim, window);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let c = sim.counters();
+        circuits.push(obj([
+            ("circuit", text(slug(bench))),
+            ("paper_name", text(bench.paper_name())),
+            ("components", uint(inst.netlist.num_components() as u64)),
+            ("window_ticks", uint(window)),
+            ("events", uint(c.events)),
+            ("evaluations", uint(c.evaluations)),
+            ("busy_ticks", uint(c.busy_ticks)),
+            ("wall_seconds", float(elapsed)),
+            (
+                "events_per_second",
+                float(c.events as f64 / elapsed.max(1e-12)),
+            ),
+            (
+                "evaluations_per_second",
+                float(c.evaluations as f64 / elapsed.max(1e-12)),
+            ),
+        ]));
+    }
+
+    let report = obj([
+        ("schema", text("logicsim-perf-snapshot-v1")),
+        ("pr", pr.map_or(Value::Null, uint)),
+        ("quick", Value::Bool(quick)),
+        ("peak_rss_kb", peak_rss_kb().map_or(Value::Null, uint)),
+        ("circuits", Value::Array(circuits)),
+    ]);
+    let text = serde_json::to_string_pretty(&report).expect("serializable");
+    if out_path == "-" {
+        println!("{text}");
+    } else {
+        std::fs::write(out_path, text + "\n").unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+        eprintln!("perf_snapshot: wrote {out_path}");
+    }
+}

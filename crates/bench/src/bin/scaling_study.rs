@@ -11,7 +11,7 @@ use logicsim::circuits::assoc_mem::{build as build_am, AssocMemParams};
 use logicsim::circuits::crossbar::{build as build_cb, CrossbarParams};
 use logicsim::circuits::priority_queue::{build as build_pq, PriorityQueueParams};
 use logicsim::measure::{measure_instance, MeasureOptions};
-use logicsim_bench::{banner, quick_mode};
+use logicsim_bench::{banner, parallel, quick_mode};
 
 fn main() {
     let opts = if quick_mode() {
@@ -28,8 +28,45 @@ fn main() {
         "circuit", "comps", "raw N", "N/comps", "B/(B+I)", "F"
     );
 
-    let report = |name: &'static str, inst: &logicsim::circuits::BenchmarkInstance| {
-        let m = measure_instance(name, inst, &opts);
+    // The 9 (circuit, size) cells are independent seeded measurements:
+    // build them all up front, measure concurrently, print in order.
+    let mut cells: Vec<(&'static str, logicsim::circuits::BenchmarkInstance)> = Vec::new();
+    for records in [4usize, 8, 16] {
+        cells.push((
+            "priority_queue",
+            build_pq(&PriorityQueueParams {
+                records,
+                ..PriorityQueueParams::default()
+            }),
+        ));
+    }
+    for words in [6usize, 12, 24] {
+        cells.push((
+            "assoc_mem",
+            build_am(&AssocMemParams {
+                words,
+                ..AssocMemParams::default()
+            }),
+        ));
+    }
+    for width in [16usize, 32, 64] {
+        cells.push((
+            "crossbar",
+            build_cb(&CrossbarParams {
+                width,
+                ..CrossbarParams::default()
+            }),
+        ));
+    }
+
+    // (components, raw N, total events) per measured size.
+    type ScalePoint = (f64, f64, f64);
+    let measured = parallel::par_map(cells, |(name, inst)| {
+        let m = measure_instance(name, &inst, &opts);
+        (name, m)
+    });
+    let mut series: Vec<(&str, Vec<ScalePoint>)> = Vec::new();
+    for (name, m) in &measured {
         let comps = m.components as f64;
         println!(
             "{:<16} {:>8} {:>9.2} {:>9.5} {:>11.4} {:>13.2}",
@@ -40,42 +77,12 @@ fn main() {
             m.workload.busy_fraction(),
             m.workload.average_fanout()
         );
-        (comps, m.workload.simultaneity(), m.workload.events)
-    };
-
-    // (components, raw N, total events) per measured size.
-    type ScalePoint = (f64, f64, f64);
-    let mut series: Vec<(&str, Vec<ScalePoint>)> = Vec::new();
-
-    let mut pq_points = Vec::new();
-    for records in [4usize, 8, 16] {
-        let inst = build_pq(&PriorityQueueParams {
-            records,
-            ..PriorityQueueParams::default()
-        });
-        pq_points.push(report("priority_queue", &inst));
+        let point = (comps, m.workload.simultaneity(), m.workload.events);
+        match series.last_mut() {
+            Some((n, points)) if n == name => points.push(point),
+            _ => series.push((name, vec![point])),
+        }
     }
-    series.push(("priority_queue", pq_points));
-
-    let mut am_points = Vec::new();
-    for words in [6usize, 12, 24] {
-        let inst = build_am(&AssocMemParams {
-            words,
-            ..AssocMemParams::default()
-        });
-        am_points.push(report("assoc_mem", &inst));
-    }
-    series.push(("assoc_mem", am_points));
-
-    let mut cb_points = Vec::new();
-    for width in [16usize, 32, 64] {
-        let inst = build_cb(&CrossbarParams {
-            width,
-            ..CrossbarParams::default()
-        });
-        cb_points.push(report("crossbar", &inst));
-    }
-    series.push(("crossbar", cb_points));
 
     banner("Linearity check (ratios small -> large; linear scaling predicts the size ratio)");
     for (name, points) in &series {

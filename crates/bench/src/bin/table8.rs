@@ -12,7 +12,7 @@ fn main() {
     let derived = average_workload(&table6_as_printed(), 60_000.0);
     let measured_rows: Vec<_> = measure_all(&measure_options(false))
         .iter()
-        .map(|m| m.nature())
+        .map(logicsim::MeasuredCircuit::nature)
         .collect();
     let ours = average_workload(&measured_rows, 60_000.0);
 

@@ -57,7 +57,7 @@ fn main() {
     if !quick_mode() {
         let rows: Vec<_> = measure_all(&measure_options(false))
             .iter()
-            .map(|m| m.nature())
+            .map(logicsim::MeasuredCircuit::nature)
             .collect();
         let measured = average_workload(&rows, 60_000.0);
         print_table(&measured, "measured average workload");

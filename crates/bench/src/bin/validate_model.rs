@@ -11,7 +11,7 @@ use logicsim::machine::synthetic::SyntheticWorkload;
 use logicsim::machine::{validate_against_model, MachineConfig, NetworkKind};
 use logicsim::measure_benchmark;
 use logicsim::partition::{Partitioner, RandomPartitioner};
-use logicsim_bench::{banner, measure_options};
+use logicsim_bench::{banner, measure_options, parallel};
 use logicsim_machine::sim::random_component_partition;
 
 fn header() {
@@ -46,40 +46,54 @@ fn main() {
             SyntheticWorkload::paper_average(100),
         ),
     ];
+    // Every (workload, design) cell is independent: fan out, print in
+    // order.
+    type Design = (u32, u32, u32, f64);
+    let mut synth_cells: Vec<(&str, &SyntheticWorkload, Design)> = Vec::new();
     for (label, w) in &cases {
-        for (p, l, width, h) in [(4u32, 1u32, 3u32, 1.0), (8, 5, 1, 10.0), (16, 5, 2, 100.0)] {
-            let cfg = MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, 3.0);
-            let trace = w.generate(42);
-            let part = random_component_partition(w.components, p, 43);
-            let v = validate_against_model(&cfg, &trace, &part, &base);
-            println!(
-                "{:<26} {:>3} {:>3} {:>3} {:>6} {:>12.0} {:>12.0} {:>+8.1} {:>6.2}",
-                label,
-                p,
-                l,
-                width,
-                h,
-                v.model_runtime,
-                v.machine_runtime,
-                v.relative_error() * 100.0,
-                v.beta
-            );
+        for design in [(4u32, 1u32, 3u32, 1.0), (8, 5, 1, 10.0), (16, 5, 2, 100.0)] {
+            synth_cells.push((label, w, design));
         }
+    }
+    let rows = parallel::par_map(synth_cells, |(label, w, (p, l, width, h))| {
+        let cfg = MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, 3.0);
+        let trace = w.generate(42);
+        let part = random_component_partition(w.components, p, 43);
+        let v = validate_against_model(&cfg, &trace, &part, &base);
+        format!(
+            "{:<26} {:>3} {:>3} {:>3} {:>6} {:>12.0} {:>12.0} {:>+8.1} {:>6.2}",
+            label,
+            p,
+            l,
+            width,
+            h,
+            v.model_runtime,
+            v.machine_runtime,
+            v.relative_error() * 100.0,
+            v.beta
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     banner("Model validation on real circuit traces");
     header();
     let opts = measure_options(true);
-    for bench in Benchmark::ALL {
+    // One cell per benchmark circuit: the expensive trace measurement
+    // dominates, so parallelize at that granularity and sweep the two
+    // (cheap) designs inside the cell.
+    let rows = parallel::par_map(Benchmark::ALL.to_vec(), |bench| {
         let m = measure_benchmark(bench, &opts);
+        let inst = bench.build_default();
+        let mut out = Vec::new();
         for (p, l, width, h) in [(4u32, 1u32, 1u32, 10.0), (8, 5, 2, 100.0)] {
             let cfg = MachineConfig::paper_design(p, l, NetworkKind::BusSet { width }, h, 3.0);
             // Partition the actual netlist randomly (the model's
             // assumption) and replay the measured trace.
-            let inst = bench.build_default();
             let part = RandomPartitioner::new(7).partition(&inst.netlist, p);
             let v = validate_against_model(&cfg, &m.trace, &part, &base);
-            println!(
+            out.push(format!(
                 "{:<26} {:>3} {:>3} {:>3} {:>6} {:>12.0} {:>12.0} {:>+8.1} {:>6.2}",
                 m.name,
                 p,
@@ -90,8 +104,12 @@ fn main() {
                 v.machine_runtime,
                 v.relative_error() * 100.0,
                 v.beta
-            );
+            ));
         }
+        out
+    });
+    for row in rows.into_iter().flatten() {
+        println!("{row}");
     }
     println!(
         "\nReading: negative error = the model is optimistic. On even\n\

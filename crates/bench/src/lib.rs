@@ -24,6 +24,8 @@
 use logicsim::circuits::Benchmark;
 use logicsim::{measure_benchmark, MeasureOptions, MeasuredCircuit};
 
+pub mod parallel;
+
 /// Parses the common `--quick` flag from `std::env::args`.
 #[must_use]
 pub fn quick_mode() -> bool {
@@ -43,16 +45,16 @@ pub fn measure_options(collect_trace: bool) -> MeasureOptions {
     opts
 }
 
-/// Measures all five benchmarks, printing progress to stderr.
+/// Measures all five benchmarks concurrently (one scoped thread per
+/// circuit; `LSIM_THREADS=1` forces serial), printing progress to
+/// stderr. Results are in `Benchmark::ALL` order and independent of the
+/// thread count — each cell is a self-contained seeded measurement.
 #[must_use]
 pub fn measure_all(opts: &MeasureOptions) -> Vec<MeasuredCircuit> {
-    Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            eprintln!("measuring {} ...", b.paper_name());
-            measure_benchmark(b, opts)
-        })
-        .collect()
+    parallel::par_map(Benchmark::ALL.to_vec(), |b| {
+        eprintln!("measuring {} ...", b.paper_name());
+        measure_benchmark(b, opts)
+    })
 }
 
 /// Prints a section banner.

@@ -1,0 +1,116 @@
+//! Scoped-thread fan-out for the study binaries.
+//!
+//! The table/figure binaries sweep independent (circuit, P) cells; each
+//! cell is a self-contained measurement, so they parallelize trivially.
+//! The workspace vendors no thread-pool crate, so this module provides a
+//! small `std::thread::scope`-based work-stealing map that preserves
+//! input order in its output (results are deterministic regardless of
+//! thread count — only wall time changes).
+//!
+//! The worker count defaults to the machine's available parallelism,
+//! capped by the item count; set `LSIM_THREADS=<n>` to override (use
+//! `LSIM_THREADS=1` for fully serial execution).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for `items` independent tasks: the
+/// `LSIM_THREADS` override if set, else available parallelism, capped
+/// by the item count and always at least 1.
+#[must_use]
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::env::var("LSIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    hw.min(items).max(1)
+}
+
+/// Applies `f` to every item on a pool of scoped threads, returning the
+/// results in input order. Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i]
+                    .lock()
+                    .expect("task lock")
+                    .take()
+                    .expect("taken once");
+                let r = f(item);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// Runs two independent closures concurrently and returns both results.
+pub fn par_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if worker_count(2) <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("par_join worker panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<i64>>(), |x| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_join_returns_both() {
+        let (a, b) = par_join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

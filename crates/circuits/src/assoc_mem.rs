@@ -332,10 +332,9 @@ mod tests {
         let t = sim.now();
         sim.run_until(t + 64);
         // Address still 3: read plane should show the stored value.
-        let outs = n.outputs();
-        for i in 0..4 {
+        for (i, &out) in n.outputs().iter().enumerate().take(4) {
             let expect = Level::from_bool(0b1010 >> i & 1 == 1);
-            assert_eq!(sim.level(outs[i]), expect, "read bit {i}");
+            assert_eq!(sim.level(out), expect, "read bit {i}");
         }
     }
 

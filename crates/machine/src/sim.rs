@@ -75,11 +75,12 @@ impl<'a> MachineSim<'a> {
         }
 
         let mut counts = vec![0u64; p as usize];
+        let mut messages: Vec<network::Message> = Vec::new();
         for tick in &trace.ticks {
             counts.fill(0);
+            messages.clear();
             // Assign events to slaves in trace order; compute message
             // ready times from pipeline retirement.
-            let mut messages: Vec<network::Message> = Vec::new();
             for event in &tick.events {
                 let src_part = part_of(event.source);
                 let k = counts[src_part as usize]; // local pipeline slot

@@ -1,0 +1,158 @@
+//! Compressed sparse row (CSR) views of netlist adjacency.
+//!
+//! The simulator's hot loop walks fanout lists, driver lists, and gate
+//! input pins millions of times per run. The `Vec<Vec<CompId>>` indices
+//! on [`Netlist`] are convenient to build but scatter every row across
+//! the heap; a [`Csr`] packs all rows into one contiguous `items` array
+//! addressed through an `offsets` array, so a row lookup is two loads
+//! from memory that stays hot in cache.
+//!
+//! The views are derived (not stored on [`Netlist`], whose serialized
+//! shape is stable); build them once at simulator construction.
+
+use crate::component::{Component, NetId};
+use crate::netlist::Netlist;
+
+/// A compressed sparse row matrix of `u32` items.
+///
+/// Row `i` is `items[offsets[i] .. offsets[i + 1]]`; `offsets` has one
+/// more entry than there are rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an iterator of rows.
+    pub fn from_rows<R, I>(rows: R) -> Csr
+    where
+        R: IntoIterator<Item = I>,
+        I: IntoIterator<Item = u32>,
+    {
+        let mut offsets = vec![0u32];
+        let mut items = Vec::new();
+        for row in rows {
+            items.extend(row);
+            offsets.push(u32::try_from(items.len()).expect("CSR exceeds u32 item capacity"));
+        }
+        Csr { offsets, items }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The items of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Length of row `i` without touching the items array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total number of stored items.
+    #[must_use]
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl Netlist {
+    /// CSR view of per-net fanout (reader component ids per net).
+    #[must_use]
+    pub fn fanout_csr(&self) -> Csr {
+        Csr::from_rows(
+            (0..self.num_nets()).map(|i| self.fanout(NetId(i as u32)).iter().map(|c| c.0)),
+        )
+    }
+
+    /// CSR view of per-net drivers (driver component ids per net).
+    #[must_use]
+    pub fn drivers_csr(&self) -> Csr {
+        Csr::from_rows(
+            (0..self.num_nets()).map(|i| self.drivers(NetId(i as u32)).iter().map(|c| c.0)),
+        )
+    }
+
+    /// CSR view of per-component gate input pins (net ids). Rows for
+    /// non-gate components are empty.
+    #[must_use]
+    pub fn gate_inputs_csr(&self) -> Csr {
+        Csr::from_rows(self.components().iter().map(|c| {
+            let inputs: &[NetId] = match c {
+                Component::Gate { inputs, .. } => inputs,
+                _ => &[],
+            };
+            inputs.iter().map(|n| n.0)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delay, GateKind, NetlistBuilder};
+
+    #[test]
+    fn rows_round_trip() {
+        let csr = Csr::from_rows(vec![vec![1u32, 2], vec![], vec![7]]);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.row(0), &[1, 2]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[7]);
+        assert_eq!(csr.row_len(0), 2);
+        assert_eq!(csr.num_items(), 3);
+    }
+
+    #[test]
+    fn netlist_views_match_vec_indices() {
+        let mut b = NetlistBuilder::new("c");
+        let a = b.input("a");
+        let y = b.net("y");
+        let z = b.net("z");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        b.gate(GateKind::And, &[a, y], z, Delay::default());
+        let n = b.finish().unwrap();
+
+        let fanout = n.fanout_csr();
+        let drivers = n.drivers_csr();
+        for i in 0..n.num_nets() {
+            let net = NetId(i as u32);
+            let want: Vec<u32> = n.fanout(net).iter().map(|c| c.0).collect();
+            assert_eq!(fanout.row(i), &want[..]);
+            let want: Vec<u32> = n.drivers(net).iter().map(|c| c.0).collect();
+            assert_eq!(drivers.row(i), &want[..]);
+        }
+
+        let gin = n.gate_inputs_csr();
+        assert_eq!(gin.num_rows(), n.num_components());
+        for (id, comp) in n.iter() {
+            match comp {
+                Component::Gate { inputs, .. } => {
+                    let want: Vec<u32> = inputs.iter().map(|x| x.0).collect();
+                    assert_eq!(gin.row(id.index()), &want[..]);
+                }
+                _ => assert!(gin.row(id.index()).is_empty()),
+            }
+        }
+    }
+}

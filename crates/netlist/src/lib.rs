@@ -31,6 +31,7 @@
 pub mod analyze;
 pub mod builder;
 pub mod component;
+pub mod csr;
 pub mod dot;
 pub mod graph;
 pub mod netlist;
@@ -41,6 +42,7 @@ pub mod value;
 pub use analyze::{analyze, analyze_with, AnalyzeConfig, Code, Diagnostic, Report, Severity};
 pub use builder::{BuildError, NetlistBuilder};
 pub use component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
+pub use csr::Csr;
 pub use graph::{ChannelGroups, ConnectivityGraph};
 pub use netlist::Netlist;
 pub use stats::{CircuitCharacteristics, Clocking, Technology};

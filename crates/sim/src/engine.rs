@@ -15,14 +15,29 @@
 //! filtered — without this, a glitch injected into a delay-matched
 //! feedback loop (any latch) circulates forever and inflates the
 //! measured event counts unboundedly.
+//!
+//! # Hot-path layout
+//!
+//! The per-tick loop runs over a data-oriented image of the netlist
+//! built once at construction: CSR adjacency ([`logicsim_netlist::Csr`])
+//! for fanout, non-switch drivers, and gate input pins; a dense
+//! [`EvalKind`] dispatch table; and dense per-net group/attribution
+//! maps. Per-tick set semantics (`affected`, `dirty_groups`, `to_eval`)
+//! are provided by epoch-stamped worklists ([`StampSet`]) whose items
+//! are sorted before iteration, reproducing the exact `BTreeMap`/
+//! `BTreeSet` iteration order of the reference implementation — the
+//! golden-trace tests pin this bit-for-bit. All per-tick buffers live in
+//! [`Worklists`] and are reused across ticks, so a settled steady-state
+//! tick performs no heap allocation.
 
 use crate::instrument::{ActivityProfile, WorkloadCounters};
 use crate::solver;
 use crate::trace::{EventRecord, TickRecord, TickTrace};
 use crate::wheel::TimingWheel;
 use logicsim_netlist::analyze::{self, Diagnostic};
-use logicsim_netlist::{ChannelGroups, CompId, Component, Level, NetId, Netlist, Signal};
-use std::collections::{BTreeMap, BTreeSet};
+use logicsim_netlist::{
+    ChannelGroups, CompId, Component, Csr, Delay, GateKind, Level, NetId, Netlist, Signal,
+};
 use std::fmt;
 
 /// The netlist failed the static pre-flight: it contains at least one
@@ -94,6 +109,108 @@ impl Default for SimConfig {
     }
 }
 
+/// How a component reacts to an input-net change, precomputed per
+/// component so the evaluation loop never matches on [`Component`].
+#[derive(Debug, Clone, Copy)]
+enum EvalKind {
+    /// Evaluate the gate function over the input pins and schedule the
+    /// output change after the transition delay.
+    Gate {
+        /// The gate's logic function.
+        kind: GateKind,
+        /// Rise/fall propagation delays.
+        delay: Delay,
+    },
+    /// Mark the switch's channel-connected group dirty for intra-tick
+    /// settling.
+    Switch {
+        /// The channel group both channel terminals belong to.
+        group: u32,
+    },
+    /// Inputs, pulls, and rails: nothing to evaluate.
+    Passive,
+}
+
+/// An epoch-stamped dense worklist over `u32` ids: O(1) insert-if-absent
+/// via a stamp array, O(1) clear by bumping the epoch, and sorted
+/// iteration to reproduce `BTreeSet` ordering.
+#[derive(Debug, Clone, Default)]
+struct StampSet {
+    /// `stamp[i] == epoch` iff `i` is in the set.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Inserted ids in insertion order (unsorted until [`Self::sorted`]).
+    items: Vec<u32>,
+}
+
+impl StampSet {
+    fn with_capacity(n: usize) -> StampSet {
+        StampSet {
+            stamp: vec![0; n],
+            epoch: 1,
+            items: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, id: u32) {
+        let s = &mut self.stamp[id as usize];
+        if *s != self.epoch {
+            *s = self.epoch;
+            self.items.push(id);
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Empties the set. O(1) except when the epoch counter wraps, which
+    /// resets the stamp array to keep stale stamps from matching.
+    fn clear(&mut self) {
+        self.items.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Sorts the contents ascending and returns them; this is what makes
+    /// a `StampSet` a drop-in for sorted `BTreeSet` iteration.
+    fn sorted(&mut self) -> &[u32] {
+        self.items.sort_unstable();
+        &self.items
+    }
+}
+
+/// Persistent per-tick scratch buffers, reused across every [`Simulator::step`].
+#[derive(Debug, Default)]
+struct Worklists {
+    /// Changes popped from the wheel this tick.
+    changes: Vec<Change>,
+    /// Nets whose drive changed in phase 1.
+    affected: StampSet,
+    /// Causing component per affected net (last writer wins, matching
+    /// `BTreeMap::insert` overwrite semantics).
+    affected_cause: Vec<u32>,
+    /// Nontrivial switch groups needing resolution this round.
+    dirty_groups: StampSet,
+    /// Fanout components to evaluate this round.
+    to_eval: StampSet,
+    /// Nets whose resolved value changed, with the causing component.
+    changed_nets: Vec<(NetId, CompId)>,
+    /// Sorted snapshot of `dirty_groups` for the settling pass.
+    groups_now: Vec<u32>,
+    /// Gate input levels gathered for one evaluation.
+    levels: Vec<Level>,
+    /// Output of one group resolution.
+    group_out: Vec<(NetId, Signal)>,
+    /// Switch-solver internal buffers.
+    solver: solver::Scratch,
+}
+
 /// The event-driven gate/switch-level simulator.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
@@ -103,6 +220,24 @@ pub struct Simulator<'a> {
     groups: ChannelGroups,
     config: SimConfig,
     wheel: TimingWheel<Change>,
+    /// Per-component evaluation dispatch.
+    eval: Vec<EvalKind>,
+    /// Per-component gate input pins (net ids; empty for non-gates).
+    gate_inputs: Csr,
+    /// Per-net fanout component ids.
+    fanout: Csr,
+    /// Per-net non-switch driver component ids (the external-drive set).
+    ext_drivers: Csr,
+    /// Channel group of each net.
+    net_group: Vec<u32>,
+    /// Whether each group needs switch-level resolution.
+    group_nontrivial: Vec<bool>,
+    /// Trace attribution per net: the first switch driver if any, else
+    /// the first driver, else component 0.
+    net_attr: Vec<u32>,
+    /// Input component per net (`u32::MAX` when the net is not a
+    /// primary input).
+    input_comp: Vec<u32>,
     /// Resolved value of every net.
     net_values: Vec<Signal>,
     /// Output drive currently applied by every component (gates, inputs;
@@ -113,8 +248,6 @@ pub struct Simulator<'a> {
     last_scheduled: Vec<Signal>,
     /// Output net per component (None for switches).
     comp_out: Vec<Option<NetId>>,
-    /// Input component for each primary-input net.
-    input_comp: BTreeMap<NetId, CompId>,
     /// Sequence number of each component's outstanding scheduled change
     /// (`None` when nothing is in flight); stale wheel entries are
     /// skipped at application time.
@@ -124,6 +257,8 @@ pub struct Simulator<'a> {
     counters: WorkloadCounters,
     activity: ActivityProfile,
     trace: TickTrace,
+    /// Reusable per-tick buffers (taken out of `self` during a step).
+    ws: Worklists,
 }
 
 impl<'a> Simulator<'a> {
@@ -158,15 +293,18 @@ impl<'a> Simulator<'a> {
             });
         }
         let nc = netlist.num_components();
+        let nn = netlist.num_nets();
+        let groups = ChannelGroups::compute(netlist);
+
         let mut comp_out = vec![None; nc];
         let mut comp_drive = vec![Signal::FLOATING; nc];
-        let mut input_comp = BTreeMap::new();
+        let mut input_comp = vec![u32::MAX; nn];
         for (id, comp) in netlist.iter() {
             match comp {
                 Component::Gate { output, .. } => comp_out[id.index()] = Some(*output),
                 Component::Input { net } => {
                     comp_out[id.index()] = Some(*net);
-                    input_comp.insert(*net, id);
+                    input_comp[net.index()] = id.0;
                 }
                 Component::Pull { net, .. } | Component::Supply { net, .. } => {
                     comp_out[id.index()] = Some(*net);
@@ -175,19 +313,73 @@ impl<'a> Simulator<'a> {
                 Component::Switch { .. } => {}
             }
         }
+
+        let eval: Vec<EvalKind> = netlist
+            .components()
+            .iter()
+            .map(|c| match c {
+                Component::Gate { kind, delay, .. } => EvalKind::Gate {
+                    kind: *kind,
+                    delay: *delay,
+                },
+                Component::Switch { a, .. } => EvalKind::Switch {
+                    group: groups.group_of(*a),
+                },
+                _ => EvalKind::Passive,
+            })
+            .collect();
+        let ext_drivers = Csr::from_rows((0..nn).map(|i| {
+            netlist
+                .drivers(NetId(i as u32))
+                .iter()
+                .filter(|&&d| !netlist.component(d).is_switch())
+                .map(|c| c.0)
+        }));
+        let net_attr: Vec<u32> = (0..nn)
+            .map(|i| {
+                let drivers = netlist.drivers(NetId(i as u32));
+                drivers
+                    .iter()
+                    .copied()
+                    .find(|&d| netlist.component(d).is_switch())
+                    .or_else(|| drivers.first().copied())
+                    .unwrap_or(CompId(0))
+                    .0
+            })
+            .collect();
+        let net_group: Vec<u32> = (0..nn).map(|i| groups.group_of(NetId(i as u32))).collect();
+        let group_nontrivial: Vec<bool> = (0..groups.num_groups())
+            .map(|g| groups.is_nontrivial(g as u32))
+            .collect();
+        let num_groups = groups.num_groups();
+
         let mut sim = Simulator {
-            groups: ChannelGroups::compute(netlist),
             wheel: TimingWheel::new(config.wheel_size),
-            net_values: vec![Signal::FLOATING; netlist.num_nets()],
+            eval,
+            gate_inputs: netlist.gate_inputs_csr(),
+            fanout: netlist.fanout_csr(),
+            ext_drivers,
+            net_group,
+            group_nontrivial,
+            net_attr,
+            input_comp,
+            net_values: vec![Signal::FLOATING; nn],
             comp_drive,
             last_scheduled: vec![Signal::FLOATING; nc],
             comp_out,
-            input_comp,
             counters: WorkloadCounters::new(),
             activity: ActivityProfile::new(nc),
             trace: TickTrace::new(),
             pending_seq: vec![None; nc],
             seq_counter: 0,
+            ws: Worklists {
+                affected: StampSet::with_capacity(nn),
+                affected_cause: vec![0; nn],
+                dirty_groups: StampSet::with_capacity(num_groups),
+                to_eval: StampSet::with_capacity(nc),
+                ..Worklists::default()
+            },
+            groups,
             netlist,
             config,
         };
@@ -199,26 +391,28 @@ impl<'a> Simulator<'a> {
     /// every gate against current net levels, re-resolve all nets, and
     /// repeat until stable (or the round bound). No events are counted.
     fn initialize(&mut self) {
+        let mut scratch = solver::Scratch::default();
+        let mut group_out: Vec<(NetId, Signal)> = Vec::new();
+        let mut levels: Vec<Level> = Vec::new();
         for round in 0..self.config.init_rounds {
             // Recompute all net values from current drives.
             let mut changed = false;
             for net_idx in 0..self.netlist.num_nets() {
-                let net = NetId(net_idx as u32);
-                let gid = self.groups.group_of(net);
-                if self.groups.is_nontrivial(gid) {
+                if self.group_nontrivial[self.net_group[net_idx] as usize] {
                     continue; // handled below per group
                 }
-                let v = self.external_drive(net);
+                let v = self.external_drive(NetId(net_idx as u32));
                 if self.net_values[net_idx] != v {
                     self.net_values[net_idx] = v;
                     changed = true;
                 }
             }
             for gid in 0..self.groups.num_groups() as u32 {
-                if !self.groups.is_nontrivial(gid) {
+                if !self.group_nontrivial[gid as usize] {
                     continue;
                 }
-                for (net, v) in self.resolve_group_now(gid) {
+                self.resolve_group_now_into(gid, &mut scratch, &mut group_out);
+                for &(net, v) in &group_out {
                     if self.net_values[net.index()] != v {
                         self.net_values[net.index()] = v;
                         changed = true;
@@ -226,16 +420,19 @@ impl<'a> Simulator<'a> {
                 }
             }
             // Re-evaluate all gates.
-            for (id, comp) in self.netlist.iter() {
-                if let Component::Gate { kind, inputs, .. } = comp {
-                    let levels: Vec<Level> = inputs
-                        .iter()
-                        .map(|&n| self.net_values[n.index()].level)
-                        .collect();
+            for ci in 0..self.eval.len() {
+                if let EvalKind::Gate { kind, .. } = self.eval[ci] {
+                    levels.clear();
+                    levels.extend(
+                        self.gate_inputs
+                            .row(ci)
+                            .iter()
+                            .map(|&n| self.net_values[n as usize].level),
+                    );
                     let out = kind.evaluate(&levels);
-                    if self.comp_drive[id.index()] != out {
-                        self.comp_drive[id.index()] = out;
-                        self.last_scheduled[id.index()] = out;
+                    if self.comp_drive[ci] != out {
+                        self.comp_drive[ci] = out;
+                        self.last_scheduled[ci] = out;
                         changed = true;
                     }
                 }
@@ -321,12 +518,10 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `net` is not a primary input.
     pub fn set_input(&mut self, net: NetId, level: Level) {
-        let comp = *self
-            .input_comp
-            .get(&net)
-            .unwrap_or_else(|| panic!("{net} is not a primary input"));
+        let comp = self.input_comp[net.index()];
+        assert!(comp != u32::MAX, "{net} is not a primary input");
         let now = self.now();
-        self.schedule_change(now, comp, Signal::strong(level));
+        self.schedule_change(now, CompId(comp), Signal::strong(level));
     }
 
     /// Inertial scheduling: replaces any outstanding change for `comp`;
@@ -351,54 +546,58 @@ impl<'a> Simulator<'a> {
 
     /// External (non-switch) drive on a net: the join of all gate/input/
     /// pull/rail drivers' current output.
+    #[inline]
     fn external_drive(&self, net: NetId) -> Signal {
         let mut v = Signal::FLOATING;
-        for &d in self.netlist.drivers(net) {
-            if !self.netlist.component(d).is_switch() {
-                v = v.resolve(self.comp_drive[d.index()]);
-            }
+        for &d in self.ext_drivers.row(net.index()) {
+            v = v.resolve(self.comp_drive[d as usize]);
         }
         v
     }
 
-    fn resolve_group_now(&self, gid: u32) -> Vec<(NetId, Signal)> {
-        solver::resolve_group(
+    /// Resolves one switch group against current drives into `out`
+    /// (cleared first), reusing `scratch`.
+    fn resolve_group_now_into(
+        &self,
+        gid: u32,
+        scratch: &mut solver::Scratch,
+        out: &mut Vec<(NetId, Signal)>,
+    ) {
+        out.clear();
+        solver::resolve_group_into(
             self.netlist,
             &self.groups,
             gid,
+            scratch,
             |net| self.external_drive(net),
             |net| self.net_values[net.index()].level,
             |net| self.net_values[net.index()].level,
-        )
-    }
-
-    /// Attributes a group-net change to a component for trace purposes:
-    /// the first switch driver if any, else the first driver.
-    fn attribute_net_change(&self, net: NetId) -> CompId {
-        let drivers = self.netlist.drivers(net);
-        drivers
-            .iter()
-            .copied()
-            .find(|&d| self.netlist.component(d).is_switch())
-            .or_else(|| drivers.first().copied())
-            .unwrap_or(CompId(0))
+            out,
+        );
     }
 
     /// Executes the current tick (apply changes, settle, evaluate
     /// fanout), then advances the clock by one.
     pub fn step(&mut self) {
+        let mut ws = std::mem::take(&mut self.ws);
+        self.step_inner(&mut ws);
+        self.ws = ws;
+    }
+
+    fn step_inner(&mut self, ws: &mut Worklists) {
         let tick = self.now();
         // Event-list occupancy at the tick boundary ([WO86] statistic).
         let pending = self.wheel.len() as u64;
         self.counters.event_list_peak = self.counters.event_list_peak.max(pending);
         self.counters.event_list_sum += pending;
-        let changes = self.wheel.pop_current();
+        ws.changes.clear();
+        self.wheel.pop_current_into(&mut ws.changes);
 
         // Phase 1: apply drive changes; collect affected nets with the
         // causing component. Stale changes (descheduled by a later
         // re-evaluation) are skipped — that is the inertial filter.
-        let mut affected: BTreeMap<NetId, CompId> = BTreeMap::new();
-        for Change { comp, drive, seq } in changes {
+        ws.affected.clear();
+        for &Change { comp, drive, seq } in &ws.changes {
             if self.pending_seq[comp.index()] != Some(seq) {
                 continue; // descheduled
             }
@@ -408,24 +607,28 @@ impl<'a> Simulator<'a> {
             }
             self.comp_drive[comp.index()] = drive;
             if let Some(net) = self.comp_out[comp.index()] {
-                affected.insert(net, comp);
+                ws.affected.insert(net.0);
+                // Unconditional overwrite = BTreeMap last-writer-wins.
+                ws.affected_cause[net.index()] = comp.0;
             }
         }
 
         // Phase 2/3 loop: recompute net values (settling switch groups
         // instantaneously), record events, evaluate fanout.
         let mut events: Vec<EventRecord> = Vec::new();
-        let mut dirty_groups: BTreeSet<u32> = BTreeSet::new();
-        let mut changed_nets: Vec<(NetId, CompId)> = Vec::new();
-        for (&net, &cause) in &affected {
-            let gid = self.groups.group_of(net);
-            if self.groups.is_nontrivial(gid) {
-                dirty_groups.insert(gid);
+        ws.dirty_groups.clear();
+        ws.changed_nets.clear();
+        for &net_idx in ws.affected.sorted() {
+            let cause = CompId(ws.affected_cause[net_idx as usize]);
+            let gid = self.net_group[net_idx as usize];
+            if self.group_nontrivial[gid as usize] {
+                ws.dirty_groups.insert(gid);
             } else {
+                let net = NetId(net_idx);
                 let v = self.external_drive(net);
-                if self.net_values[net.index()] != v {
-                    self.net_values[net.index()] = v;
-                    changed_nets.push((net, cause));
+                if self.net_values[net_idx as usize] != v {
+                    self.net_values[net_idx as usize] = v;
+                    ws.changed_nets.push((net, cause));
                 }
             }
         }
@@ -434,70 +637,70 @@ impl<'a> Simulator<'a> {
         let mut events_this_tick: u64 = 0;
         loop {
             // Settle dirty switch groups (instantaneous within the tick).
-            let groups_now: Vec<u32> = dirty_groups.iter().copied().collect();
-            dirty_groups.clear();
-            for gid in groups_now {
+            ws.groups_now.clear();
+            ws.groups_now.extend_from_slice(ws.dirty_groups.sorted());
+            ws.dirty_groups.clear();
+            for &gid in &ws.groups_now {
                 self.counters.group_resolutions += 1;
-                for (net, v) in self.resolve_group_now(gid) {
+                self.resolve_group_now_into(gid, &mut ws.solver, &mut ws.group_out);
+                for &(net, v) in &ws.group_out {
                     if self.net_values[net.index()] != v {
                         self.net_values[net.index()] = v;
-                        let cause = self.attribute_net_change(net);
-                        changed_nets.push((net, cause));
+                        let cause = CompId(self.net_attr[net.index()]);
+                        ws.changed_nets.push((net, cause));
                     }
                 }
             }
-            if changed_nets.is_empty() {
+            if ws.changed_nets.is_empty() {
                 break;
             }
 
             // Record events and collect fanout to evaluate.
-            let mut to_eval: BTreeSet<CompId> = BTreeSet::new();
-            for &(net, cause) in &changed_nets {
+            ws.to_eval.clear();
+            for &(net, cause) in &ws.changed_nets {
                 self.counters.events += 1;
                 events_this_tick += 1;
                 self.activity.record(cause.index());
-                let fanout = self.netlist.fanout(net);
+                let fanout = self.fanout.row(net.index());
                 self.counters.messages_inf += fanout.len() as u64;
                 if self.config.collect_trace {
                     events.push(EventRecord {
                         source: cause.0,
-                        dests: fanout.iter().map(|c| c.0).collect(),
+                        dests: fanout.to_vec(),
                     });
                 }
                 for &f in fanout {
-                    to_eval.insert(f);
+                    ws.to_eval.insert(f);
                 }
             }
-            changed_nets.clear();
+            ws.changed_nets.clear();
 
             // Evaluate fanout components: gates schedule delayed output
             // changes; switches mark their group dirty for this tick.
-            for comp in to_eval {
-                match self.netlist.component(comp) {
-                    Component::Gate {
-                        kind,
-                        inputs,
-                        delay,
-                        ..
-                    } => {
+            for &ci in ws.to_eval.sorted() {
+                match self.eval[ci as usize] {
+                    EvalKind::Gate { kind, delay } => {
                         self.counters.evaluations += 1;
-                        let levels: Vec<Level> = inputs
-                            .iter()
-                            .map(|&n| self.net_values[n.index()].level)
-                            .collect();
-                        let out = kind.evaluate(&levels);
+                        ws.levels.clear();
+                        ws.levels.extend(
+                            self.gate_inputs
+                                .row(ci as usize)
+                                .iter()
+                                .map(|&n| self.net_values[n as usize].level),
+                        );
+                        let out = kind.evaluate(&ws.levels);
                         let d = u64::from(delay.for_transition(out.level));
-                        self.schedule_change(tick + d, comp, out);
+                        self.schedule_change(tick + d, CompId(ci), out);
                     }
-                    Component::Switch { a, .. } => {
+                    EvalKind::Switch { group } => {
                         self.counters.evaluations += 1;
-                        dirty_groups.insert(self.groups.group_of(*a));
+                        ws.dirty_groups.insert(group);
                     }
-                    _ => {}
+                    EvalKind::Passive => {}
                 }
             }
 
-            if dirty_groups.is_empty() {
+            if ws.dirty_groups.is_empty() {
                 break;
             }
             rounds += 1;
@@ -773,5 +976,19 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("LS0001"), "{text}");
         assert!(text.contains("fails pre-flight"), "{text}");
+    }
+
+    #[test]
+    fn stamp_set_epoch_wraparound_resets_stamps() {
+        let mut s = StampSet::with_capacity(4);
+        s.epoch = u32::MAX;
+        s.insert(2);
+        assert_eq!(s.sorted(), &[2]);
+        s.clear(); // wraps: stamps must be reset, not left matching
+        assert!(s.is_empty());
+        s.insert(2);
+        s.insert(1);
+        s.insert(2);
+        assert_eq!(s.sorted(), &[1, 2]);
     }
 }

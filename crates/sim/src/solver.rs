@@ -14,6 +14,27 @@
 
 use logicsim_netlist::{ChannelGroups, Component, Level, NetId, Netlist, Signal, Strength};
 
+/// Reusable buffers for [`resolve_group_into`], so the per-tick settling
+/// loop performs no allocation once the buffers have grown to the size
+/// of the largest group.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    contrib: Vec<Signal>,
+    /// `(local_a, local_b, control_unknown)` per possibly-conducting
+    /// switch.
+    edges: Vec<(usize, usize, bool)>,
+    /// CSR adjacency over local nodes: `adj[adj_off[i]..adj_off[i+1]]`
+    /// holds `(neighbor, control_unknown)` for every edge incident to
+    /// `i`. Built per call (conduction states change between calls);
+    /// lets the relaxation scan only incident edges instead of the
+    /// whole group's edge list on every pop.
+    adj_off: Vec<u32>,
+    adj: Vec<(u32, bool)>,
+    fill: Vec<u32>,
+    dirty: Vec<usize>,
+    on_list: Vec<bool>,
+}
+
 /// Resolves one channel group to a fixpoint.
 ///
 /// * `ext_drive(net)` — the join of all non-switch drivers currently on
@@ -42,6 +63,42 @@ where
     FC: Fn(NetId) -> Level,
     FP: Fn(NetId) -> Level,
 {
+    let mut scratch = Scratch::default();
+    let mut out = Vec::new();
+    resolve_group_into(
+        netlist,
+        groups,
+        group,
+        &mut scratch,
+        ext_drive,
+        control_level,
+        prev_level,
+        &mut out,
+    );
+    out
+}
+
+/// Allocation-free variant of [`resolve_group`]: relaxes inside
+/// `scratch`'s buffers and appends `(net, resolved)` pairs to `out` in
+/// member order. Results are identical to [`resolve_group`].
+#[expect(
+    clippy::too_many_arguments,
+    reason = "mirrors resolve_group's closure interface plus the two buffers"
+)]
+pub fn resolve_group_into<FD, FC, FP>(
+    netlist: &Netlist,
+    groups: &ChannelGroups,
+    group: u32,
+    scratch: &mut Scratch,
+    ext_drive: FD,
+    control_level: FC,
+    prev_level: FP,
+    out: &mut Vec<(NetId, Signal)>,
+) where
+    FD: Fn(NetId) -> Signal,
+    FC: Fn(NetId) -> Level,
+    FP: Fn(NetId) -> Level,
+{
     let members = groups.members(group);
     // Local dense indexing of member nets.
     let local = |net: NetId| -> usize {
@@ -50,11 +107,14 @@ where
             .or_else(|_| members.iter().position(|&m| m == net).ok_or(()))
             .expect("switch channel net must belong to its group")
     };
-    let mut contrib: Vec<Signal> = members.iter().map(|&n| ext_drive(n)).collect();
+    let contrib = &mut scratch.contrib;
+    contrib.clear();
+    contrib.extend(members.iter().map(|&n| ext_drive(n)));
 
     // Edge list: (local_a, local_b, conduction) where conduction is
     // Some(true) conducting, Some(false) open, None unknown.
-    let mut edges = Vec::new();
+    let edges = &mut scratch.edges;
+    edges.clear();
     for &sw in groups.switches(group) {
         if let Component::Switch {
             kind,
@@ -70,20 +130,45 @@ where
         }
     }
 
+    // Per-node adjacency (CSR over the scratch buffers), so each
+    // relaxation step visits only the popped node's incident edges.
+    // The fixpoint is a monotone join, hence order-independent: the
+    // result is identical to scanning the full edge list per pop.
+    let nloc = members.len();
+    let adj_off = &mut scratch.adj_off;
+    adj_off.clear();
+    adj_off.resize(nloc + 1, 0);
+    for &(a, b, _) in edges.iter() {
+        adj_off[a + 1] += 1;
+        adj_off[b + 1] += 1;
+    }
+    for i in 0..nloc {
+        adj_off[i + 1] += adj_off[i];
+    }
+    let adj = &mut scratch.adj;
+    adj.clear();
+    adj.resize(2 * edges.len(), (0, false));
+    let fill = &mut scratch.fill;
+    fill.clear();
+    fill.extend_from_slice(&adj_off[..nloc]);
+    for &(a, b, unknown) in edges.iter() {
+        adj[fill[a] as usize] = (b as u32, unknown);
+        fill[a] += 1;
+        adj[fill[b] as usize] = (a as u32, unknown);
+        fill[b] += 1;
+    }
+
     // Worklist relaxation to fixpoint.
-    let mut dirty: Vec<usize> = (0..members.len()).collect();
-    let mut on_list = vec![true; members.len()];
+    let dirty = &mut scratch.dirty;
+    dirty.clear();
+    dirty.extend(0..nloc);
+    let on_list = &mut scratch.on_list;
+    on_list.clear();
+    on_list.resize(nloc, true);
     while let Some(i) = dirty.pop() {
         on_list[i] = false;
-        for &(a, b, unknown) in &edges {
-            let (src, dst) = if a == i {
-                (a, b)
-            } else if b == i {
-                (b, a)
-            } else {
-                continue;
-            };
-            let mut cand = contrib[src].through_switch();
+        for &(nbr, unknown) in &adj[adj_off[i] as usize..adj_off[i + 1] as usize] {
+            let mut cand = contrib[i].through_switch();
             if unknown {
                 // Maybe-connected: whatever arrives is of uncertain level.
                 cand.level = Level::X;
@@ -91,6 +176,7 @@ where
             if cand.strength == Strength::HighZ {
                 continue;
             }
+            let dst = nbr as usize;
             let joined = contrib[dst].resolve(cand);
             if joined != contrib[dst] {
                 contrib[dst] = joined;
@@ -102,19 +188,15 @@ where
         }
     }
 
-    members
-        .iter()
-        .zip(contrib)
-        .map(|(&net, sig)| {
-            if sig.strength == Strength::HighZ {
-                // Charge retention: the net keeps its previous level,
-                // flagged as undriven.
-                (net, Signal::new(prev_level(net), Strength::HighZ))
-            } else {
-                (net, sig)
-            }
-        })
-        .collect()
+    out.extend(members.iter().zip(contrib.iter()).map(|(&net, &sig)| {
+        if sig.strength == Strength::HighZ {
+            // Charge retention: the net keeps its previous level,
+            // flagged as undriven.
+            (net, Signal::new(prev_level(net), Strength::HighZ))
+        } else {
+            (net, sig)
+        }
+    }));
 }
 
 #[cfg(test)]

@@ -132,8 +132,10 @@ impl RandomStimulus {
     /// The level an input should hold at `tick`, updating internal
     /// random state as needed.
     fn level_at(&mut self, idx: usize, tick: u64) -> Level {
-        let role = self.inputs[idx].1.clone();
-        match role {
+        // Copy the role's scalar fields out so the `self.inputs` borrow
+        // ends before `self.rng`/`self.levels` are touched; this keeps
+        // the per-input per-tick path allocation- and clone-free.
+        match self.inputs[idx].1 {
             SignalRole::Const(l) => l,
             SignalRole::Clock { half_period, phase } => {
                 if tick < phase {

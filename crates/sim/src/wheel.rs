@@ -4,7 +4,10 @@
 //! management capabilities \[UL78\]"; this module provides exactly that: a
 //! circular array of slots for the near future plus a sorted overflow map
 //! for events scheduled beyond the wheel horizon. Scheduling and popping
-//! are O(1) amortized for delays shorter than the wheel size.
+//! are O(1) amortized for delays shorter than the wheel size, and
+//! [`TimingWheel::next_pending_tick`] answers from a per-slot occupancy
+//! bitmap (word-scanned, O(slots/64)) or the overflow map's first key
+//! (O(log n)) — never by touching the slot vectors themselves.
 
 use std::collections::BTreeMap;
 
@@ -34,9 +37,12 @@ pub struct TimingWheel<T> {
     overflow: BTreeMap<u64, Vec<T>>,
     /// Number of items currently stored (wheel + overflow).
     len: usize,
-    /// Per-slot occupancy bitmap alternative: count of nonempty slots is
-    /// tracked to answer `next_pending_tick` quickly when empty.
+    /// Count of nonempty slots, to short-circuit the bitmap scan when
+    /// everything pending lives in the overflow map.
     nonempty_slots: usize,
+    /// Occupancy bitmap over *physical* slot indices; bit set iff the
+    /// slot is nonempty.
+    occupied: Vec<u64>,
 }
 
 impl<T> TimingWheel<T> {
@@ -55,6 +61,7 @@ impl<T> TimingWheel<T> {
             overflow: BTreeMap::new(),
             len: 0,
             nonempty_slots: 0,
+            occupied: vec![0u64; wheel_size.div_ceil(64)],
         }
     }
 
@@ -77,6 +84,18 @@ impl<T> TimingWheel<T> {
         self.len == 0
     }
 
+    #[inline]
+    fn mark_occupied(&mut self, idx: usize) {
+        self.nonempty_slots += 1;
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn mark_vacant(&mut self, idx: usize) {
+        self.nonempty_slots -= 1;
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
     /// Schedules an item at an absolute tick.
     ///
     /// # Panics
@@ -94,7 +113,7 @@ impl<T> TimingWheel<T> {
         if tick < self.now + horizon {
             let idx = (self.cursor + (tick - self.now) as usize) % self.slots.len();
             if self.slots[idx].is_empty() {
-                self.nonempty_slots += 1;
+                self.mark_occupied(idx);
             }
             self.slots[idx].push(item);
         } else {
@@ -106,12 +125,21 @@ impl<T> TimingWheel<T> {
     /// Removes and returns all items scheduled for the current tick, in
     /// scheduling order. Does not advance time.
     pub fn pop_current(&mut self) -> Vec<T> {
-        let items = std::mem::take(&mut self.slots[self.cursor]);
-        if !items.is_empty() {
-            self.nonempty_slots -= 1;
-            self.len -= items.len();
-        }
+        let mut items = Vec::new();
+        self.pop_current_into(&mut items);
         items
+    }
+
+    /// Drains all items scheduled for the current tick into `out`
+    /// (appended in scheduling order), reusing the caller's allocation.
+    /// Does not advance time.
+    pub fn pop_current_into(&mut self, out: &mut Vec<T>) {
+        let slot = &mut self.slots[self.cursor];
+        if !slot.is_empty() {
+            self.len -= slot.len();
+            out.append(slot);
+            self.mark_vacant(self.cursor);
+        }
     }
 
     /// Advances the wheel by one tick, migrating any overflow items that
@@ -129,7 +157,7 @@ impl<T> TimingWheel<T> {
         if let Some(items) = self.overflow.remove(&incoming_tick) {
             let idx = (self.cursor + self.slots.len() - 1) % self.slots.len();
             if self.slots[idx].is_empty() && !items.is_empty() {
-                self.nonempty_slots += 1;
+                self.mark_occupied(idx);
             }
             self.slots[idx].extend(items);
         }
@@ -138,20 +166,56 @@ impl<T> TimingWheel<T> {
     /// The next tick (>= now) that has scheduled items, or `None` when
     /// the wheel is empty. Used by the engine to skip idle ticks in
     /// event-increment mode while still counting them.
+    ///
+    /// Answers from the occupancy bitmap when any slot is nonempty, and
+    /// from the overflow map's first key otherwise, so a wheel whose
+    /// pending work is entirely beyond the horizon responds in O(log n)
+    /// without scanning slots.
     #[must_use]
     pub fn next_pending_tick(&self) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
         if self.nonempty_slots > 0 {
-            for offset in 0..self.slots.len() {
-                let idx = (self.cursor + offset) % self.slots.len();
-                if !self.slots[idx].is_empty() {
-                    return Some(self.now + offset as u64);
-                }
+            if let Some(phys) = self
+                .find_occupied(self.cursor, self.slots.len())
+                .or_else(|| self.find_occupied(0, self.cursor))
+            {
+                let offset = if phys >= self.cursor {
+                    phys - self.cursor
+                } else {
+                    phys + self.slots.len() - self.cursor
+                };
+                return Some(self.now + offset as u64);
             }
         }
         self.overflow.keys().next().copied()
+    }
+
+    /// First set bit in `occupied` over physical indices `[from, to)`,
+    /// scanned word-wise.
+    fn find_occupied(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= to {
+            return None;
+        }
+        let first_word = from / 64;
+        let last_word = (to - 1) / 64;
+        for w in first_word..=last_word {
+            let mut bits = self.occupied[w];
+            if w == first_word {
+                bits &= !0u64 << (from % 64);
+            }
+            if w == last_word {
+                let top = to - w * 64;
+                if top < 64 {
+                    bits &= (1u64 << top) - 1;
+                }
+            }
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 }
 
@@ -234,5 +298,74 @@ mod tests {
         assert!(w.pop_current().is_empty());
         w.advance();
         assert_eq!(w.pop_current(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_current_into_reuses_buffer() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(4);
+        w.schedule(0, 1);
+        w.schedule(0, 2);
+        let mut buf = Vec::with_capacity(8);
+        w.pop_current_into(&mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_pending_tick(), None);
+        // Draining an empty slot appends nothing and keeps the buffer.
+        buf.clear();
+        w.pop_current_into(&mut buf);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 8);
+    }
+
+    /// The boundary case: `now + wheel_size` is the first tick *outside*
+    /// the horizon, so it must land in the overflow map, be reported by
+    /// `next_pending_tick` without any slot being occupied, and migrate
+    /// into the wheel on the first `advance()`.
+    #[test]
+    fn overflow_edge_at_exactly_now_plus_wheel_size() {
+        let size = 4;
+        let mut w: TimingWheel<&str> = TimingWheel::new(size);
+        w.schedule(size as u64 - 1, "inside"); // last in-horizon tick
+        w.schedule(size as u64, "edge"); // first tick past the horizon
+        assert_eq!(w.nonempty_slots, 1, "edge item must not occupy a slot");
+        assert_eq!(w.overflow.len(), 1);
+        assert_eq!(w.next_pending_tick(), Some(size as u64 - 1));
+
+        // The first advance vacates the slot that then represents
+        // exactly tick `size` (= new now + horizon - 1), so the edge
+        // item migrates immediately.
+        assert!(w.pop_current().is_empty());
+        w.advance();
+        assert!(w.overflow.is_empty(), "edge item must have migrated");
+        assert_eq!(w.nonempty_slots, 2);
+        assert_eq!(w.next_pending_tick(), Some(size as u64 - 1));
+
+        for t in 1..size as u64 - 1 {
+            assert!(w.pop_current().is_empty(), "tick {t} should be empty");
+            w.advance();
+        }
+        assert_eq!(w.pop_current(), vec!["inside"]);
+        w.advance();
+        assert_eq!(w.next_pending_tick(), Some(size as u64));
+        assert_eq!(w.pop_current(), vec!["edge"]);
+        assert!(w.is_empty());
+    }
+
+    /// Bitmap scan must handle a pending slot *behind* the cursor
+    /// (physical index wrapped around zero).
+    #[test]
+    fn next_pending_tick_across_physical_wraparound() {
+        let mut w: TimingWheel<u32> = TimingWheel::new(8);
+        for _ in 0..6 {
+            w.advance();
+        }
+        // cursor = 6; now = 6; tick 11 lands at physical (6 + 5) % 8 = 3.
+        w.schedule(11, 42);
+        assert_eq!(w.next_pending_tick(), Some(11));
+        while w.now() < 11 {
+            assert!(w.pop_current().is_empty());
+            w.advance();
+        }
+        assert_eq!(w.pop_current(), vec![42]);
     }
 }

@@ -1,0 +1,209 @@
+//! Golden differential tests for the event-driven engine.
+//!
+//! Each benchmark circuit is measured over a short window with trace
+//! collection on, and the full [`TickTrace`] (every tick, every event,
+//! every fanout destination, in order) is folded into an FNV-1a digest
+//! that is compared against a value recorded from the engine *before*
+//! the data-oriented kernel rewrite. Together with the exact workload
+//! counters this proves the optimized hot path is tick-for-tick and
+//! event-for-event identical to the reference semantics: any change in
+//! event ordering, inertial cancellation, switch-group settling, or
+//! counter accounting shows up as a digest mismatch.
+//!
+//! Regenerate the table with
+//! `cargo test --test golden_trace -- --ignored --nocapture`.
+
+use logicsim::circuits::Benchmark;
+use logicsim::sim::stimulus::run_with_stimulus;
+use logicsim::sim::{SimConfig, Simulator, TickTrace, WorkloadCounters};
+
+/// FNV-1a 64-bit over a byte slice, continuing from `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn fold_u64(h: &mut u64, v: u64) {
+    fnv1a(h, &v.to_le_bytes());
+}
+
+/// Digests the complete trace structure: span, tick numbers, event
+/// order, sources, and fanout destination lists.
+fn trace_digest(trace: &TickTrace) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fold_u64(&mut h, trace.start);
+    fold_u64(&mut h, trace.end);
+    fold_u64(&mut h, trace.ticks.len() as u64);
+    for tick in &trace.ticks {
+        fold_u64(&mut h, tick.tick);
+        fold_u64(&mut h, tick.events.len() as u64);
+        for ev in &tick.events {
+            fold_u64(&mut h, u64::from(ev.source));
+            fold_u64(&mut h, ev.dests.len() as u64);
+            for &d in &ev.dests {
+                fold_u64(&mut h, u64::from(d));
+            }
+        }
+    }
+    h
+}
+
+/// One golden row: the trace digest plus every workload counter.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    digest: u64,
+    busy_ticks: u64,
+    idle_ticks: u64,
+    events: u64,
+    messages_inf: u64,
+    evaluations: u64,
+    group_resolutions: u64,
+    event_list_peak: u64,
+    event_list_sum: u64,
+}
+
+/// Runs the standard measurement recipe (seed 0x1987, 8 warm-up vector
+/// periods, 3000-tick window) with trace collection.
+fn measure(bench: Benchmark) -> Golden {
+    let inst = bench.build_default();
+    let mut stim = inst
+        .stimulus
+        .build(&inst.netlist, 0x1987)
+        .expect("benchmark stimulus resolves");
+    let mut sim = Simulator::with_config(
+        &inst.netlist,
+        SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        },
+    )
+    .expect("pre-flight");
+    let warmup = 8 * inst.vector_period.max(1);
+    run_with_stimulus(&mut sim, &mut stim, warmup);
+    sim.reset_measurements();
+    run_with_stimulus(&mut sim, &mut stim, warmup + 3_000);
+    let c: WorkloadCounters = sim.counters().clone();
+    let trace = sim.take_trace();
+    Golden {
+        digest: trace_digest(&trace),
+        busy_ticks: c.busy_ticks,
+        idle_ticks: c.idle_ticks,
+        events: c.events,
+        messages_inf: c.messages_inf,
+        evaluations: c.evaluations,
+        group_resolutions: c.group_resolutions,
+        event_list_peak: c.event_list_peak,
+        event_list_sum: c.event_list_sum,
+    }
+}
+
+fn check(bench: Benchmark, expect: Golden) {
+    let got = measure(bench);
+    assert_eq!(
+        got,
+        expect,
+        "{}: trace/counters diverged from the pre-refactor engine",
+        bench.paper_name()
+    );
+}
+
+#[test]
+#[ignore = "regeneration helper: prints the golden table"]
+fn print_golden() {
+    for bench in Benchmark::ALL {
+        let g = measure(bench);
+        println!("{}: {g:#x?}", bench.paper_name());
+    }
+}
+
+#[test]
+fn stop_watch_trace_is_golden() {
+    check(
+        Benchmark::StopWatch,
+        Golden {
+            digest: 0xff79_702d_dbd2_3878,
+            busy_ticks: 0x3e,
+            idle_ticks: 0xb7a,
+            events: 0x149,
+            messages_inf: 0x3df,
+            evaluations: 0x3dd,
+            group_resolutions: 0,
+            event_list_peak: 0x14,
+            event_list_sum: 0x149,
+        },
+    );
+}
+
+#[test]
+fn assoc_mem_trace_is_golden() {
+    check(
+        Benchmark::AssocMem,
+        Golden {
+            digest: 0xccbc_0bb4_d77c_2494,
+            busy_ticks: 0x3a6,
+            idle_ticks: 0x812,
+            events: 0x114c,
+            messages_inf: 0x2602,
+            evaluations: 0x25ce,
+            group_resolutions: 0x493,
+            event_list_peak: 0x1a,
+            event_list_sum: 0xece,
+        },
+    );
+}
+
+#[test]
+fn priority_queue_trace_is_golden() {
+    check(
+        Benchmark::PriorityQueue,
+        Golden {
+            digest: 0xfdcf_bb4e_9709_ee5f,
+            busy_ticks: 0x3fa,
+            idle_ticks: 0x7be,
+            events: 0xd640,
+            messages_inf: 0x3_3e2c,
+            evaluations: 0x2_d33a,
+            group_resolutions: 0x1_071d,
+            event_list_peak: 0x15c,
+            event_list_sum: 0x745b,
+        },
+    );
+}
+
+#[test]
+fn rtp_chip_trace_is_golden() {
+    check(
+        Benchmark::RtpChip,
+        Golden {
+            digest: 0xf3b8_8056_0922_9a80,
+            busy_ticks: 0x22c,
+            idle_ticks: 0x98c,
+            events: 0x3fee,
+            messages_inf: 0xcf41,
+            evaluations: 0xcd36,
+            group_resolutions: 0xcdd,
+            event_list_peak: 0x5c,
+            event_list_sum: 0x3572,
+        },
+    );
+}
+
+#[test]
+fn crossbar_switch_trace_is_golden() {
+    check(
+        Benchmark::CrossbarSwitch,
+        Golden {
+            digest: 0xbe5f_f4c2_f313_bbb4,
+            busy_ticks: 0x19f,
+            idle_ticks: 0xa19,
+            events: 0x6c3,
+            messages_inf: 0xe66,
+            evaluations: 0xe63,
+            group_resolutions: 0,
+            event_list_peak: 0x64,
+            event_list_sum: 0x7db,
+        },
+    );
+}
