@@ -1,0 +1,273 @@
+//! Parallel-engine study: the thread-parallel `ParSimulator` measured
+//! against the paper's model, sweeping `P` in {1, 2, 4, 8} over the
+//! five benchmark circuits.
+//!
+//! For each (circuit, P) cell the study runs the identical seeded
+//! measurement window on the serial engine and on `ParSimulator` under
+//! a random partition (the model's assumption) and under
+//! Fiduccia-Mattheyses min-cut (the paper's "partitioning research in
+//! progress"), then prints, side by side:
+//!
+//! * measured wall-clock speedup vs the serial engine, next to the
+//!   model's Eq. 11 speed-up of the software-analog machine (`P`
+//!   unpipelined processors, `H = 1`, `W = 1`, `t_M = 3`) and the
+//!   Eq. 14 ideal / Eq. 15 communication bounds;
+//! * measured cross-partition message volume `M_P`, next to the Eq. 6
+//!   random-partitioning prediction `M_inf (1 - 1/P)` (over
+//!   component-to-component traffic);
+//! * the measured per-worker load-imbalance factor `beta`.
+//!
+//! Every parallel run's workload counters are asserted identical to the
+//! serial engine's — the study doubles as a release-mode determinism
+//! check. Wall-clock speedup is only meaningful when the host has at
+//! least `P` cores; the header prints the host core count so the
+//! numbers read honestly on any machine.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p logicsim-bench --bin par_study -- \
+//!     [--quick] [--out <path>]
+//! ```
+//!
+//! `--out` additionally writes the full table as JSON (schema
+//! `logicsim-par-study-v1`).
+
+use logicsim::circuits::Benchmark;
+use logicsim::core::bounds::{comm_bound_speedup, ideal_speedup};
+use logicsim::core::speedup::speedup;
+use logicsim::core::{BaseMachine, MachineDesign};
+use logicsim::partition::{FiducciaMattheysesPartitioner, Partitioner, RandomPartitioner};
+use logicsim::sim::stimulus::run_with_stimulus;
+use logicsim::sim::{ParSimulator, Simulator, WorkloadCounters};
+use logicsim::stats::Workload;
+use logicsim_bench::report::{float, host_cores, metadata_v2, obj, text, uint};
+use serde_json::Value;
+use std::time::Instant;
+
+const SEED: u64 = 0x1987;
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Measurement window in ticks (after the 8-vector-period warm-up).
+fn window(quick: bool) -> u64 {
+    if quick {
+        1_500
+    } else {
+        6_000
+    }
+}
+
+struct SerialRun {
+    counters: WorkloadCounters,
+    wall_seconds: f64,
+}
+
+/// Serial baseline: warm up, reset, time the measurement window.
+fn run_serial(bench: Benchmark, win: u64) -> SerialRun {
+    let inst = bench.build_default();
+    let mut stim = inst.stimulus.build(&inst.netlist, SEED).expect("stimulus");
+    let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
+    let warmup = 8 * inst.vector_period.max(1);
+    run_with_stimulus(&mut sim, &mut stim, warmup);
+    sim.reset_measurements();
+    let t0 = Instant::now();
+    run_with_stimulus(&mut sim, &mut stim, warmup + win);
+    SerialRun {
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        counters: sim.counters().clone(),
+    }
+}
+
+struct ParRun {
+    wall_seconds: f64,
+    crossing: u64,
+    component_msgs: u64,
+    beta: f64,
+}
+
+/// One parallel run under `strategy`, asserting bit-identical counters.
+fn run_parallel(
+    bench: Benchmark,
+    win: u64,
+    workers: usize,
+    strategy: &dyn Partitioner,
+    serial: &WorkloadCounters,
+) -> ParRun {
+    let inst = bench.build_default();
+    let mut stim = inst.stimulus.build(&inst.netlist, SEED).expect("stimulus");
+    let part = strategy.partition(&inst.netlist, workers as u32);
+    let mut sim = ParSimulator::new(&inst.netlist, part.as_slice(), workers).expect("pre-flight");
+    let warmup = 8 * inst.vector_period.max(1);
+    sim.run_with(warmup, |tick, frame| {
+        stim.apply_with(tick, |net, level| frame.set(net, level));
+    });
+    sim.reset_measurements();
+    let t0 = Instant::now();
+    sim.run_with(warmup + win, |tick, frame| {
+        stim.apply_with(tick, |net, level| frame.set(net, level));
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        sim.counters(),
+        serial,
+        "{} P={workers} {}: parallel counters diverged from serial",
+        bench.paper_name(),
+        strategy.name()
+    );
+    let pw = sim.parallel_workload();
+    let total_evals: u64 = pw.workers.iter().map(|w| w.evaluations).sum();
+    let max_evals = pw.workers.iter().map(|w| w.evaluations).max().unwrap_or(0);
+    let beta = if total_evals == 0 {
+        1.0
+    } else {
+        (max_evals as f64 / (total_evals as f64 / workers as f64)).max(1.0)
+    };
+    ParRun {
+        wall_seconds: wall,
+        crossing: pw.messages_crossing,
+        component_msgs: pw.messages_component,
+        beta,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let win = window(quick);
+    let base = BaseMachine::vax_11_750();
+
+    println!(
+        "par_study: window {win} ticks, host cores = {} (wall speedup\n\
+         beyond min(P, cores) is not physically possible here)\n",
+        host_cores()
+    );
+
+    let mut rows: Vec<Value> = Vec::new();
+    for bench in Benchmark::ALL {
+        let serial = run_serial(bench, win);
+        let c = &serial.counters;
+        let w = Workload::new(
+            c.busy_ticks as f64,
+            c.idle_ticks as f64,
+            c.events as f64,
+            c.messages_inf as f64,
+        );
+        println!(
+            "== {} ==  serial: {:.1} kev/s over {} events (N = {:.1})",
+            bench.paper_name(),
+            c.events as f64 / serial.wall_seconds.max(1e-12) / 1e3,
+            c.events,
+            w.simultaneity()
+        );
+        println!(
+            "{:<3} {:<8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>10} {:>10} {:>6} {:>6}",
+            "P",
+            "part",
+            "wall_ms",
+            "S_meas",
+            "Eq.11",
+            "Eq.14",
+            "Eq.15",
+            "M_P",
+            "Eq.6",
+            "ratio",
+            "beta"
+        );
+        for workers in SWEEP {
+            let random = RandomPartitioner::new(SEED);
+            let fm = FiducciaMattheysesPartitioner::new(SEED);
+            let strategies: [&dyn Partitioner; 2] = [&random, &fm];
+            for strategy in strategies {
+                let par = run_parallel(bench, win, workers, strategy, c);
+                let s_meas = serial.wall_seconds / par.wall_seconds.max(1e-12);
+                // The software-analog machine: P unpipelined evaluators
+                // at base speed on one bus.
+                let design = MachineDesign::new(workers as u32, 1, 1.0, base.t_eval, 3.0, 1.0);
+                let eq11 = speedup(&w, &design, &base, par.beta);
+                let eq14 = ideal_speedup(1.0, w.simultaneity().max(1e-9), 1, workers as u32);
+                let eq15 = if workers == 1 || c.messages_inf == 0 {
+                    f64::INFINITY
+                } else {
+                    comm_bound_speedup(&w, 1.0, base.t_eval, 3.0, workers as u32)
+                };
+                let eq6 = par.component_msgs as f64 * (1.0 - 1.0 / workers as f64);
+                let ratio = if eq6 == 0.0 {
+                    0.0
+                } else {
+                    par.crossing as f64 / eq6
+                };
+                println!(
+                    "{:<3} {:<8} {:>8.2} {:>7.2} {:>7.1} {:>7.1} {:>8.1} {:>10} {:>10.0} {:>6.2} {:>6.2}",
+                    workers,
+                    strategy.name(),
+                    par.wall_seconds * 1e3,
+                    s_meas,
+                    eq11,
+                    eq14,
+                    eq15,
+                    par.crossing,
+                    eq6,
+                    ratio,
+                    par.beta
+                );
+                rows.push(obj([
+                    ("circuit", text(bench.paper_name())),
+                    ("workers", uint(workers as u64)),
+                    ("strategy", text(strategy.name())),
+                    ("serial_wall_seconds", float(serial.wall_seconds)),
+                    ("wall_seconds", float(par.wall_seconds)),
+                    ("measured_speedup", float(s_meas)),
+                    (
+                        "serial_events_per_second",
+                        float(c.events as f64 / serial.wall_seconds.max(1e-12)),
+                    ),
+                    (
+                        "events_per_second",
+                        float(c.events as f64 / par.wall_seconds.max(1e-12)),
+                    ),
+                    ("eq11_speedup", float(eq11)),
+                    ("eq14_ideal", float(eq14)),
+                    (
+                        "eq15_comm_bound",
+                        if eq15.is_finite() {
+                            float(eq15)
+                        } else {
+                            Value::Null
+                        },
+                    ),
+                    ("messages_crossing", uint(par.crossing)),
+                    ("messages_component", uint(par.component_msgs)),
+                    ("eq6_predicted", float(eq6)),
+                    ("eq6_ratio", float(ratio)),
+                    ("beta", float(par.beta)),
+                ]));
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: under random partitioning the M_P ratio should sit\n\
+         near 1.0 (Eq. 6 is exact in expectation for C >> 1); FM falls\n\
+         below it. Measured wall speedup approaches the Eq. 11/14 model\n\
+         numbers only when the host grants the threads real cores."
+    );
+
+    if let Some(path) = out_path {
+        let report = obj([
+            ("schema", text("logicsim-par-study-v1")),
+            ("quick", Value::Bool(quick)),
+            ("window_ticks", uint(win)),
+            ("metadata", metadata_v2()),
+            ("rows", Value::Array(rows)),
+        ]);
+        let body = serde_json::to_string_pretty(&report).expect("serializable");
+        std::fs::write(&path, body + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("par_study: wrote {path}");
+    }
+}

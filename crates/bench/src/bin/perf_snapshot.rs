@@ -1,11 +1,17 @@
 //! Machine-readable performance snapshot of the simulation kernel.
 //!
-//! Runs every benchmark circuit through the event-driven engine
-//! *serially* (parallel runs would contend for cores and distort the
-//! per-circuit wall times) and writes a JSON report — events/second,
-//! wall time, event counts, and peak RSS — suitable for committing as
-//! `BENCH_<n>.json` or archiving as a CI artifact. The schema is
-//! documented in `DESIGN.md` under "Performance snapshots".
+//! Runs every benchmark circuit through the event-driven engine, first
+//! *serially* (parallel circuit-level runs would contend for cores and
+//! distort the per-circuit wall times) and then through the
+//! thread-parallel `ParSimulator` at `P` in {2, 4, 8} under a random
+//! partition, and writes a JSON report — events/second, wall time,
+//! event counts, per-`P` speedup, and peak RSS — suitable for
+//! committing as `BENCH_<n>.json` or archiving as a CI artifact. Every
+//! parallel run's workload counters are asserted bit-identical to the
+//! serial run's, so a snapshot doubles as a release-mode determinism
+//! check. The v2 schema adds an environment `metadata` object
+//! (`LSIM_THREADS`, git commit, host core count) so numbers are
+//! attributable; see `DESIGN.md` §11.
 //!
 //! Usage:
 //!
@@ -18,28 +24,15 @@
 //! `snake_case` name; `--out -` (the default) writes to stdout.
 
 use logicsim::circuits::Benchmark;
+use logicsim::partition::{Partitioner, RandomPartitioner};
 use logicsim::sim::stimulus::run_with_stimulus;
-use logicsim::sim::Simulator;
-use serde_json::{Number, Value};
+use logicsim::sim::{ParSimulator, Simulator};
+use logicsim_bench::report::{float, metadata_v2, obj, peak_rss_kb, text, uint};
+use serde_json::Value;
 use std::time::Instant;
 
-/// Builds a JSON object from key/value pairs (the vendored `serde_json`
-/// stub has no `json!` macro).
-fn obj<const N: usize>(pairs: [(&str, Value); N]) -> Value {
-    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
-
-fn uint(n: u64) -> Value {
-    Value::Number(Number::PosInt(n))
-}
-
-fn float(x: f64) -> Value {
-    Value::Number(Number::Float(x))
-}
-
-fn text(t: &str) -> Value {
-    Value::String(t.to_string())
-}
+/// Worker counts for the parallel rows of each circuit.
+const PARALLEL_SWEEP: [usize; 3] = [2, 4, 8];
 
 /// Measurement window per circuit: tuned so the full run stays under a
 /// minute while each circuit still processes tens of thousands of
@@ -68,21 +61,6 @@ fn slug(bench: Benchmark) -> &'static str {
         Benchmark::PriorityQueue => "priority_queue",
         Benchmark::RtpChip => "rtp_chip",
         Benchmark::CrossbarSwitch => "crossbar_switch",
-    }
-}
-
-/// Peak resident set size in kilobytes from `/proc/self/status`
-/// (`VmHWM`), or `None` where that interface does not exist.
-fn peak_rss_kb() -> Option<u64> {
-    #[cfg(target_os = "linux")]
-    {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-        line.split_whitespace().nth(1)?.parse().ok()
-    }
-    #[cfg(not(target_os = "linux"))]
-    {
-        None
     }
 }
 
@@ -117,7 +95,42 @@ fn main() {
         let t0 = Instant::now();
         run_with_stimulus(&mut sim, &mut stim, window);
         let elapsed = t0.elapsed().as_secs_f64();
-        let c = sim.counters();
+        let c = sim.counters().clone();
+        let serial_eps = c.events as f64 / elapsed.max(1e-12);
+
+        // The same window through the parallel engine, one row per P.
+        let mut parallel_rows = Vec::new();
+        for workers in PARALLEL_SWEEP {
+            let part = RandomPartitioner::new(0x1987).partition(&inst.netlist, workers as u32);
+            let mut pstim = inst
+                .stimulus
+                .build(&inst.netlist, 0x1987)
+                .expect("stimulus");
+            let mut psim =
+                ParSimulator::new(&inst.netlist, part.as_slice(), workers).expect("pre-flight");
+            let t0 = Instant::now();
+            psim.run_with(window, |tick, frame| {
+                pstim.apply_with(tick, |net, level| frame.set(net, level));
+            });
+            let pelapsed = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                psim.counters(),
+                &c,
+                "{} P={workers}: parallel counters diverged from serial",
+                slug(bench)
+            );
+            parallel_rows.push(obj([
+                ("workers", uint(workers as u64)),
+                ("wall_seconds", float(pelapsed)),
+                (
+                    "events_per_second",
+                    float(c.events as f64 / pelapsed.max(1e-12)),
+                ),
+                ("speedup", float(elapsed / pelapsed.max(1e-12))),
+                ("messages_crossing", uint(psim.messages_crossing())),
+            ]));
+        }
+
         circuits.push(obj([
             ("circuit", text(slug(bench))),
             ("paper_name", text(bench.paper_name())),
@@ -127,29 +140,28 @@ fn main() {
             ("evaluations", uint(c.evaluations)),
             ("busy_ticks", uint(c.busy_ticks)),
             ("wall_seconds", float(elapsed)),
-            (
-                "events_per_second",
-                float(c.events as f64 / elapsed.max(1e-12)),
-            ),
+            ("events_per_second", float(serial_eps)),
             (
                 "evaluations_per_second",
                 float(c.evaluations as f64 / elapsed.max(1e-12)),
             ),
+            ("parallel", Value::Array(parallel_rows)),
         ]));
     }
 
     let report = obj([
-        ("schema", text("logicsim-perf-snapshot-v1")),
+        ("schema", text("logicsim-perf-snapshot-v2")),
         ("pr", pr.map_or(Value::Null, uint)),
         ("quick", Value::Bool(quick)),
         ("peak_rss_kb", peak_rss_kb().map_or(Value::Null, uint)),
+        ("metadata", metadata_v2()),
         ("circuits", Value::Array(circuits)),
     ]);
-    let text = serde_json::to_string_pretty(&report).expect("serializable");
+    let body = serde_json::to_string_pretty(&report).expect("serializable");
     if out_path == "-" {
-        println!("{text}");
+        println!("{body}");
     } else {
-        std::fs::write(out_path, text + "\n").unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+        std::fs::write(out_path, body + "\n").unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
         eprintln!("perf_snapshot: wrote {out_path}");
     }
 }

@@ -13,6 +13,7 @@
 //! | `figures3to5` | Figures 3-5 — speed-up vs processors |
 //! | `validate_model` | model vs machine-simulator (extension) |
 //! | `partition_study` | partitioning heuristics vs Eq. 6 (extension) |
+//! | `par_study`    | `ParSimulator` speedup + `M_P` vs Eq. 6/11/14/15 |
 //! | `sensitivity`  | elasticities along N/F/busy-fraction/beta (abstract claim) |
 //! | `variants_study` | EI time advance, sync-cost scaling, Q=1 dispatch |
 //! | `scaling_study` | raw N and E vs built circuit size |
@@ -25,6 +26,7 @@ use logicsim::circuits::Benchmark;
 use logicsim::{measure_benchmark, MeasureOptions, MeasuredCircuit};
 
 pub mod parallel;
+pub mod report;
 
 /// Parses the common `--quick` flag from `std::env::args`.
 #[must_use]

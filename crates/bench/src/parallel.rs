@@ -5,14 +5,17 @@
 //! The workspace vendors no thread-pool crate, so this module provides a
 //! small `std::thread::scope`-based work-stealing map that preserves
 //! input order in its output (results are deterministic regardless of
-//! thread count — only wall time changes).
+//! thread count — only wall time changes). Workers pull `(index, item)`
+//! pairs from one shared queue and send `(index, result)` pairs back
+//! over an mpsc channel; the caller reassembles them in input order, so
+//! no per-task or per-slot locks exist and each item is moved exactly
+//! once.
 //!
 //! The worker count defaults to the machine's available parallelism,
 //! capped by the item count; set `LSIM_THREADS=<n>` to override (use
 //! `LSIM_THREADS=1` for fully serial execution).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// Number of worker threads for `items` independent tasks: the
 /// `LSIM_THREADS` override if set, else available parallelism, capped
@@ -38,37 +41,51 @@ where
     F: Fn(T) -> R + Sync,
 {
     let workers = worker_count(items.len());
-    if workers <= 1 {
+    par_map_with_workers(workers, items, f)
+}
+
+/// [`par_map`] with an explicit worker count (used by tests to prove
+/// the output is independent of parallelism without touching the
+/// process environment).
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated).
+pub fn par_map_with_workers<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
     let n = items.len();
-    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for _ in 0..workers.min(n) {
+            let tx = tx.clone();
+            let (queue, f) = (&queue, &f);
+            scope.spawn(move || loop {
+                // Hold the queue lock only long enough to take the next
+                // item; the item itself is moved out (taken) before `f`
+                // runs, so a slow task never blocks the queue.
+                let next = queue.lock().expect("work queue").next();
+                let Some((i, item)) = next else { break };
+                if tx.send((i, f(item))).is_err() {
+                    break; // collector gone; nothing left to do
                 }
-                let item = tasks[i]
-                    .lock()
-                    .expect("task lock")
-                    .take()
-                    .expect("taken once");
-                let r = f(item);
-                *slots[i].lock().expect("slot lock") = Some(r);
             });
         }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
     });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot lock")
-                .expect("worker filled slot")
-        })
+    out.into_iter()
+        .map(|r| r.expect("every dispensed index sends a result"))
         .collect()
 }
 
@@ -105,6 +122,17 @@ mod tests {
     fn par_map_handles_empty_and_single() {
         assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // The LSIM_THREADS=1 and LSIM_THREADS=8 configurations must be
+        // indistinguishable from the output alone.
+        let items: Vec<u64> = (0..257).collect();
+        let g = |x: u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+        let serial = par_map_with_workers(1, items.clone(), g);
+        let parallel = par_map_with_workers(8, items, g);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

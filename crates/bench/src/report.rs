@@ -1,0 +1,123 @@
+//! JSON-building and environment-metadata helpers shared by the
+//! snapshot/study binaries.
+//!
+//! The vendored `serde_json` substitute has no `json!` macro, so the
+//! binaries assemble [`Value`] trees through these constructors. The
+//! metadata probes back the v2 snapshot schema (see DESIGN.md §11):
+//! performance numbers are only comparable across machines when the
+//! snapshot records what produced them.
+
+use serde_json::{Number, Value};
+
+/// Builds a JSON object from key/value pairs.
+pub fn obj<const N: usize>(pairs: [(&str, Value); N]) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// An unsigned-integer JSON number.
+#[must_use]
+pub fn uint(n: u64) -> Value {
+    Value::Number(Number::PosInt(n))
+}
+
+/// A floating-point JSON number.
+#[must_use]
+pub fn float(x: f64) -> Value {
+    Value::Number(Number::Float(x))
+}
+
+/// A JSON string.
+#[must_use]
+pub fn text(t: &str) -> Value {
+    Value::String(t.to_string())
+}
+
+/// Peak resident set size in kilobytes from `/proc/self/status`
+/// (`VmHWM`), or `None` where that interface does not exist.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// The current git commit hash, or `None` outside a repository (e.g.
+/// when run from an unpacked source archive).
+#[must_use]
+pub fn git_commit() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .stderr(std::process::Stdio::null())
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let hash = String::from_utf8(out.stdout).ok()?;
+    let hash = hash.trim();
+    if hash.is_empty() {
+        None
+    } else {
+        Some(hash.to_string())
+    }
+}
+
+/// Logical core count of the host (what the study threads actually had
+/// to work with — a P=8 "speedup" on a 1-core host is not a regression,
+/// it is physics, and the snapshot must make that readable).
+#[must_use]
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
+/// The `LSIM_THREADS` override, if set to a positive integer.
+#[must_use]
+pub fn lsim_threads() -> Option<u64> {
+    std::env::var("LSIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The standard v2 snapshot metadata object: `LSIM_THREADS` override,
+/// git commit, and host core count.
+#[must_use]
+pub fn metadata_v2() -> Value {
+    obj([
+        ("lsim_threads", lsim_threads().map_or(Value::Null, uint)),
+        ("git_commit", git_commit().map_or(Value::Null, |h| text(&h))),
+        ("host_cores", uint(host_cores())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_expected_shapes() {
+        let v = obj([("a", uint(3)), ("b", float(0.5)), ("c", text("x"))]);
+        let s = serde_json::to_string(&v).unwrap();
+        assert!(s.contains("\"a\":3") && s.contains("\"c\":\"x\""), "{s}");
+    }
+
+    #[test]
+    fn host_cores_is_positive() {
+        assert!(host_cores() >= 1);
+    }
+
+    #[test]
+    fn metadata_has_all_v2_keys() {
+        let m = serde_json::to_string(&metadata_v2()).unwrap();
+        for key in ["lsim_threads", "git_commit", "host_cores"] {
+            assert!(m.contains(key), "{m}");
+        }
+    }
+}

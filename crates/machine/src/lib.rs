@@ -37,4 +37,4 @@ pub mod validate;
 pub use config::{MachineConfig, NetworkKind};
 pub use report::MachineReport;
 pub use sim::{simulate_synthetic, simulate_trace, MachineSim};
-pub use validate::{validate_against_model, ValidationResult};
+pub use validate::{validate_against_model, MeasuredExecution, ValidationResult};

@@ -10,6 +10,20 @@ use logicsim_partition::{measured_beta, Partition};
 use logicsim_sim::TickTrace;
 use std::fmt;
 
+/// A *real* parallel execution measurement (the thread-parallel
+/// `ParSimulator` timed against the serial engine on the same stimulus
+/// window), attachable to a [`ValidationResult`] as a third column next
+/// to the analytical model and the cycle-level machine simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredExecution {
+    /// Worker threads the measured run used.
+    pub workers: u32,
+    /// Wall-clock speed-up over the serial engine on the same window.
+    pub speedup: f64,
+    /// Measured events per wall-clock second of the parallel run.
+    pub events_per_second: f64,
+}
+
 /// Side-by-side model prediction and machine measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValidationResult {
@@ -25,6 +39,9 @@ pub struct ValidationResult {
     pub beta: f64,
     /// The machine report the comparison came from.
     pub report: MachineReport,
+    /// A real thread-parallel execution measurement, when one was taken
+    /// (host-dependent, so never produced by the pure-model paths).
+    pub measured: Option<MeasuredExecution>,
 }
 
 impl ValidationResult {
@@ -37,6 +54,28 @@ impl ValidationResult {
             0.0
         } else {
             (self.model_runtime - self.machine_runtime) / self.machine_runtime
+        }
+    }
+
+    /// Attaches a real execution measurement (builder style).
+    #[must_use]
+    pub fn with_measured(mut self, measured: MeasuredExecution) -> ValidationResult {
+        self.measured = Some(measured);
+        self
+    }
+
+    /// Ratio of the real measured speed-up to the model's predicted
+    /// speed-up, when a measurement is attached. Well below 1.0 on a
+    /// host with fewer cores than workers — which is the point of
+    /// carrying the column: the model says what the machine *would* do,
+    /// the measurement says what this host *did*.
+    #[must_use]
+    pub fn measured_vs_model(&self) -> Option<f64> {
+        let m = self.measured.as_ref()?;
+        if self.model_speedup == 0.0 {
+            None
+        } else {
+            Some(m.speedup / self.model_speedup)
         }
     }
 }
@@ -52,7 +91,15 @@ impl fmt::Display for ValidationResult {
             self.model_speedup,
             self.machine_speedup,
             self.beta
-        )
+        )?;
+        if let Some(m) = &self.measured {
+            write!(
+                f,
+                ", measured {:.2}x @P={} ({:.0} ev/s)",
+                m.speedup, m.workers, m.events_per_second
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -84,6 +131,7 @@ pub fn validate_against_model(
         machine_speedup: rb / report.total_cycles,
         beta,
         report,
+        measured: None,
     }
 }
 
@@ -247,6 +295,23 @@ mod tests {
         let err_mean = (c.mean_value - c.machine).abs();
         let err_dist = (c.distribution - c.machine).abs();
         assert!(err_dist < err_mean, "dist {err_dist} vs mean {err_mean}");
+    }
+
+    #[test]
+    fn measured_column_attaches_and_compares() {
+        let w = SyntheticWorkload::uniform(30, 300, 100.0, 2.0, 5_000);
+        let v = validate(4, 5, 2, 10.0, 3.0, &w, 26);
+        assert!(v.measured.is_none() && v.measured_vs_model().is_none());
+        let half_model = v.model_speedup / 2.0;
+        let v = v.with_measured(MeasuredExecution {
+            workers: 4,
+            speedup: half_model,
+            events_per_second: 1e6,
+        });
+        let ratio = v.measured_vs_model().expect("attached");
+        assert!((ratio - 0.5).abs() < 1e-12, "ratio {ratio}");
+        let line = v.to_string();
+        assert!(line.contains("measured") && line.contains("@P=4"), "{line}");
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod strategies;
 
 pub use fm::FiducciaMattheysesPartitioner;
-pub use metrics::{measured_beta, measured_messages, PartitionQuality};
+pub use metrics::{cut_size, measured_beta, measured_messages, PartitionQuality};
 pub use strategies::{
     BfsClusterPartitioner, FanoutGreedyPartitioner, KernighanLinPartitioner, Partitioner,
     RandomPartitioner, RoundRobinPartitioner,
@@ -84,6 +84,14 @@ impl Partition {
             Some(&u32::MAX) | None => None,
             Some(&p) => Some(p),
         }
+    }
+
+    /// The raw per-component assignment (`u32::MAX` marks
+    /// non-simulated components), in the exact form the parallel
+    /// engine's `ParSimulator` consumes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.assignment
     }
 
     /// Components per processor.

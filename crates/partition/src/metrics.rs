@@ -7,9 +7,42 @@
 //! `beta` the partition induces.
 
 use crate::Partition;
-use logicsim_netlist::CompId;
+use logicsim_netlist::{CompId, ConnectivityGraph, Netlist};
 use logicsim_sim::TickTrace;
 use logicsim_stats::beta_from_tick_loads;
+
+/// Static cut size of a partition: total connectivity weight between
+/// components on different processors, **excluding dead logic**.
+///
+/// Components flagged dead by the LS0003 analysis (unreachable from any
+/// primary output) carry zero partitioning weight everywhere else in
+/// this crate, so edges incident to them must not count toward the cut
+/// either: a "cut" wire into logic whose activity is never observable
+/// does not represent real communication pressure. Counting them (as a
+/// naive edge walk does) makes strategies look worse exactly on the
+/// circuits where dead-weight elimination matters.
+#[must_use]
+pub fn cut_size(netlist: &Netlist, partition: &Partition) -> u64 {
+    let graph = ConnectivityGraph::build(netlist, 16);
+    let mut cut = 0u64;
+    for node in 0..graph.num_nodes() as u32 {
+        if graph.node_weight(node) == 0 {
+            continue; // dead source (LS0003)
+        }
+        let Some(a) = partition.part_of(graph.component(node)) else {
+            continue;
+        };
+        for &(nb, w) in graph.neighbors(node) {
+            if nb > node
+                && graph.node_weight(nb) != 0
+                && partition.part_of(graph.component(nb)) != Some(a)
+            {
+                cut += u64::from(w);
+            }
+        }
+    }
+    cut
+}
 
 /// Measured message volume `M_P`: messages crossing processor
 /// boundaries under `partition` when the circuit executes `trace`.
@@ -108,7 +141,51 @@ impl PartitionQuality {
 mod tests {
     use super::*;
     use crate::strategies::{Partitioner, RandomPartitioner};
+    use logicsim_netlist::{Delay, GateKind, NetlistBuilder};
     use logicsim_sim::{EventRecord, TickRecord};
+
+    #[test]
+    fn cut_size_excludes_dead_logic() {
+        // Two live inverters in series (a -> y0 -> y1 -> output) plus a
+        // dead branch (y0 -> w0 -> w1, never reaching an output).
+        let mut b = NetlistBuilder::new("half-dead");
+        let a = b.input("a");
+        let y0 = b.net("y0");
+        let y1 = b.net("y1");
+        let live0 = b.gate(GateKind::Not, &[a], y0, Delay::uniform(1));
+        let live1 = b.gate(GateKind::Not, &[y0], y1, Delay::uniform(1));
+        let w0 = b.net("w0");
+        let w1 = b.net("w1");
+        let dead0 = b.gate(GateKind::Buf, &[y0], w0, Delay::uniform(1));
+        let dead1 = b.gate(GateKind::Buf, &[w0], w1, Delay::uniform(1));
+        b.mark_output(y1);
+        let n = b.finish().unwrap();
+
+        // Everything on one part: no cut at all.
+        let mut together = vec![u32::MAX; n.num_components()];
+        for id in [live0, live1, dead0, dead1] {
+            together[id.index()] = 0;
+        }
+        assert_eq!(cut_size(&n, &Partition::new(together.clone(), 2)), 0);
+
+        // Split the *dead* chain across the boundary (and away from its
+        // live feeder): only live-live edges may count, and both live
+        // gates share part 0, so the cut must stay zero.
+        let mut dead_split = together.clone();
+        dead_split[dead0.index()] = 0;
+        dead_split[dead1.index()] = 1;
+        let p = Partition::new(dead_split, 2);
+        assert_eq!(
+            cut_size(&n, &p),
+            0,
+            "edges into LS0003-dead logic must not count toward the cut"
+        );
+
+        // Split the live pair: now there is a real cut.
+        let mut live_split = together;
+        live_split[live1.index()] = 1;
+        assert!(cut_size(&n, &Partition::new(live_split, 2)) > 0);
+    }
 
     /// A synthetic trace: component i sends to component i+1, ids 0..n.
     fn chain_trace(n: u32) -> TickTrace {

@@ -111,8 +111,9 @@ impl Default for SimConfig {
 
 /// How a component reacts to an input-net change, precomputed per
 /// component so the evaluation loop never matches on [`Component`].
+/// Shared with the parallel engine ([`crate::par_engine`]).
 #[derive(Debug, Clone, Copy)]
-enum EvalKind {
+pub(crate) enum EvalKind {
     /// Evaluate the gate function over the input pins and schedule the
     /// output change after the transition delay.
     Gate {
@@ -135,7 +136,7 @@ enum EvalKind {
 /// via a stamp array, O(1) clear by bumping the epoch, and sorted
 /// iteration to reproduce `BTreeSet` ordering.
 #[derive(Debug, Clone, Default)]
-struct StampSet {
+pub(crate) struct StampSet {
     /// `stamp[i] == epoch` iff `i` is in the set.
     stamp: Vec<u32>,
     epoch: u32,
@@ -144,7 +145,7 @@ struct StampSet {
 }
 
 impl StampSet {
-    fn with_capacity(n: usize) -> StampSet {
+    pub(crate) fn with_capacity(n: usize) -> StampSet {
         StampSet {
             stamp: vec![0; n],
             epoch: 1,
@@ -153,7 +154,7 @@ impl StampSet {
     }
 
     #[inline]
-    fn insert(&mut self, id: u32) {
+    pub(crate) fn insert(&mut self, id: u32) {
         let s = &mut self.stamp[id as usize];
         if *s != self.epoch {
             *s = self.epoch;
@@ -161,14 +162,20 @@ impl StampSet {
         }
     }
 
+    /// Membership test against the current epoch.
     #[inline]
-    fn is_empty(&self) -> bool {
+    pub(crate) fn contains(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.epoch
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
 
     /// Empties the set. O(1) except when the epoch counter wraps, which
     /// resets the stamp array to keep stale stamps from matching.
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.items.clear();
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
@@ -179,111 +186,48 @@ impl StampSet {
 
     /// Sorts the contents ascending and returns them; this is what makes
     /// a `StampSet` a drop-in for sorted `BTreeSet` iteration.
-    fn sorted(&mut self) -> &[u32] {
+    pub(crate) fn sorted(&mut self) -> &[u32] {
         self.items.sort_unstable();
         &self.items
     }
 }
 
-/// Persistent per-tick scratch buffers, reused across every [`Simulator::step`].
-#[derive(Debug, Default)]
-struct Worklists {
-    /// Changes popped from the wheel this tick.
-    changes: Vec<Change>,
-    /// Nets whose drive changed in phase 1.
-    affected: StampSet,
-    /// Causing component per affected net (last writer wins, matching
-    /// `BTreeMap::insert` overwrite semantics).
-    affected_cause: Vec<u32>,
-    /// Nontrivial switch groups needing resolution this round.
-    dirty_groups: StampSet,
-    /// Fanout components to evaluate this round.
-    to_eval: StampSet,
-    /// Nets whose resolved value changed, with the causing component.
-    changed_nets: Vec<(NetId, CompId)>,
-    /// Sorted snapshot of `dirty_groups` for the settling pass.
-    groups_now: Vec<u32>,
-    /// Gate input levels gathered for one evaluation.
-    levels: Vec<Level>,
-    /// Output of one group resolution.
-    group_out: Vec<(NetId, Signal)>,
-    /// Switch-solver internal buffers.
-    solver: solver::Scratch,
-}
-
-/// The event-driven gate/switch-level simulator.
-///
-/// See the [crate docs](crate) for an end-to-end example.
+/// The immutable data-oriented image of a netlist that the hot path
+/// iterates over: CSR adjacency, per-component dispatch, per-net group
+/// and attribution maps. Built once by [`Image::build`] and shared
+/// between the serial engine and the parallel engine, so both execute
+/// the exact same precomputed structure.
 #[derive(Debug)]
-pub struct Simulator<'a> {
-    netlist: &'a Netlist,
-    groups: ChannelGroups,
-    config: SimConfig,
-    wheel: TimingWheel<Change>,
+pub(crate) struct Image {
+    /// Channel-connected switch groups.
+    pub(crate) groups: ChannelGroups,
     /// Per-component evaluation dispatch.
-    eval: Vec<EvalKind>,
+    pub(crate) eval: Vec<EvalKind>,
     /// Per-component gate input pins (net ids; empty for non-gates).
-    gate_inputs: Csr,
+    pub(crate) gate_inputs: Csr,
     /// Per-net fanout component ids.
-    fanout: Csr,
+    pub(crate) fanout: Csr,
     /// Per-net non-switch driver component ids (the external-drive set).
-    ext_drivers: Csr,
+    pub(crate) ext_drivers: Csr,
     /// Channel group of each net.
-    net_group: Vec<u32>,
+    pub(crate) net_group: Vec<u32>,
     /// Whether each group needs switch-level resolution.
-    group_nontrivial: Vec<bool>,
+    pub(crate) group_nontrivial: Vec<bool>,
     /// Trace attribution per net: the first switch driver if any, else
     /// the first driver, else component 0.
-    net_attr: Vec<u32>,
+    pub(crate) net_attr: Vec<u32>,
     /// Input component per net (`u32::MAX` when the net is not a
     /// primary input).
-    input_comp: Vec<u32>,
-    /// Resolved value of every net.
-    net_values: Vec<Signal>,
-    /// Output drive currently applied by every component (gates, inputs;
-    /// pulls/rails hold their static drive).
-    comp_drive: Vec<Signal>,
-    /// Last drive scheduled (possibly still in flight) per component,
-    /// used to suppress redundant schedules.
-    last_scheduled: Vec<Signal>,
+    pub(crate) input_comp: Vec<u32>,
     /// Output net per component (None for switches).
-    comp_out: Vec<Option<NetId>>,
-    /// Sequence number of each component's outstanding scheduled change
-    /// (`None` when nothing is in flight); stale wheel entries are
-    /// skipped at application time.
-    pending_seq: Vec<Option<u64>>,
-    /// Monotonic sequence counter for [`Change::seq`].
-    seq_counter: u64,
-    counters: WorkloadCounters,
-    activity: ActivityProfile,
-    trace: TickTrace,
-    /// Reusable per-tick buffers (taken out of `self` during a step).
-    ws: Worklists,
+    pub(crate) comp_out: Vec<Option<NetId>>,
+    /// Initial component drive (static for pulls/rails, floating else).
+    pub(crate) static_drive: Vec<Signal>,
 }
 
-impl<'a> Simulator<'a> {
-    /// Creates a simulator with default configuration and computes the
-    /// power-up state (all nets settle from `X` without counting events).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PreflightError`] when the static pre-flight finds an
-    /// error-level diagnostic (e.g. LS0001, a combinational cycle
-    /// closed in zero time): such netlists would livelock the event
-    /// loop inside a single tick, so they are refused up front.
-    pub fn new(netlist: &'a Netlist) -> Result<Simulator<'a>, PreflightError> {
-        Simulator::with_config(netlist, SimConfig::default())
-    }
-
-    /// Creates a simulator with explicit configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PreflightError`] as for [`Simulator::new`].
-    pub fn with_config(
-        netlist: &'a Netlist,
-        config: SimConfig,
-    ) -> Result<Simulator<'a>, PreflightError> {
+impl Image {
+    /// Runs the static pre-flight and precomputes the hot-path image.
+    pub(crate) fn build(netlist: &Netlist) -> Result<Image, PreflightError> {
         let errors = analyze::preflight(netlist);
         if !errors.is_empty() {
             return Err(PreflightError {
@@ -297,7 +241,7 @@ impl<'a> Simulator<'a> {
         let groups = ChannelGroups::compute(netlist);
 
         let mut comp_out = vec![None; nc];
-        let mut comp_drive = vec![Signal::FLOATING; nc];
+        let mut static_drive = vec![Signal::FLOATING; nc];
         let mut input_comp = vec![u32::MAX; nn];
         for (id, comp) in netlist.iter() {
             match comp {
@@ -308,7 +252,7 @@ impl<'a> Simulator<'a> {
                 }
                 Component::Pull { net, .. } | Component::Supply { net, .. } => {
                     comp_out[id.index()] = Some(*net);
-                    comp_drive[id.index()] = comp.static_drive().expect("static component");
+                    static_drive[id.index()] = comp.static_drive().expect("static component");
                 }
                 Component::Switch { .. } => {}
             }
@@ -351,10 +295,7 @@ impl<'a> Simulator<'a> {
         let group_nontrivial: Vec<bool> = (0..groups.num_groups())
             .map(|g| groups.is_nontrivial(g as u32))
             .collect();
-        let num_groups = groups.num_groups();
-
-        let mut sim = Simulator {
-            wheel: TimingWheel::new(config.wheel_size),
+        Ok(Image {
             eval,
             gate_inputs: netlist.gate_inputs_csr(),
             fanout: netlist.fanout_csr(),
@@ -363,10 +304,189 @@ impl<'a> Simulator<'a> {
             group_nontrivial,
             net_attr,
             input_comp,
-            net_values: vec![Signal::FLOATING; nn],
-            comp_drive,
-            last_scheduled: vec![Signal::FLOATING; nc],
             comp_out,
+            static_drive,
+            groups,
+        })
+    }
+
+    /// External (non-switch) drive on a net: the join of all gate/input/
+    /// pull/rail drivers' current output, read from `comp_drive`.
+    #[inline]
+    pub(crate) fn external_drive(&self, comp_drive: &[Signal], net: NetId) -> Signal {
+        let mut v = Signal::FLOATING;
+        for &d in self.ext_drivers.row(net.index()) {
+            v = v.resolve(comp_drive[d as usize]);
+        }
+        v
+    }
+}
+
+/// Zero-delay relaxation to a consistent power-up state over plain
+/// state arrays: evaluate every gate against current net levels,
+/// re-resolve all nets, and repeat until stable (or the round bound).
+/// No events are counted. Shared by the serial and parallel engines so
+/// both start every run from the identical state.
+pub(crate) fn relax_power_up(
+    netlist: &Netlist,
+    img: &Image,
+    init_rounds: u32,
+    net_values: &mut [Signal],
+    comp_drive: &mut [Signal],
+    last_scheduled: &mut [Signal],
+) {
+    let mut scratch = solver::Scratch::default();
+    let mut group_out: Vec<(NetId, Signal)> = Vec::new();
+    let mut levels: Vec<Level> = Vec::new();
+    for round in 0..init_rounds {
+        // Recompute all net values from current drives.
+        let mut changed = false;
+        for (net_idx, value) in net_values.iter_mut().enumerate() {
+            if img.group_nontrivial[img.net_group[net_idx] as usize] {
+                continue; // handled below per group
+            }
+            let v = img.external_drive(comp_drive, NetId(net_idx as u32));
+            if *value != v {
+                *value = v;
+                changed = true;
+            }
+        }
+        for gid in 0..img.groups.num_groups() as u32 {
+            if !img.group_nontrivial[gid as usize] {
+                continue;
+            }
+            group_out.clear();
+            solver::resolve_group_into(
+                netlist,
+                &img.groups,
+                gid,
+                &mut scratch,
+                |net| img.external_drive(comp_drive, net),
+                |net| net_values[net.index()].level,
+                |net| net_values[net.index()].level,
+                &mut group_out,
+            );
+            for &(net, v) in &group_out {
+                if net_values[net.index()] != v {
+                    net_values[net.index()] = v;
+                    changed = true;
+                }
+            }
+        }
+        // Re-evaluate all gates.
+        for ci in 0..img.eval.len() {
+            if let EvalKind::Gate { kind, .. } = img.eval[ci] {
+                levels.clear();
+                levels.extend(
+                    img.gate_inputs
+                        .row(ci)
+                        .iter()
+                        .map(|&n| net_values[n as usize].level),
+                );
+                let out = kind.evaluate(&levels);
+                if comp_drive[ci] != out {
+                    comp_drive[ci] = out;
+                    last_scheduled[ci] = out;
+                    changed = true;
+                }
+            }
+        }
+        if !changed && round > 0 {
+            break;
+        }
+    }
+}
+
+/// Persistent per-tick scratch buffers, reused across every [`Simulator::step`].
+#[derive(Debug, Default)]
+struct Worklists {
+    /// Changes popped from the wheel this tick.
+    changes: Vec<Change>,
+    /// Nets whose drive changed in phase 1.
+    affected: StampSet,
+    /// Causing component per affected net (last writer wins, matching
+    /// `BTreeMap::insert` overwrite semantics).
+    affected_cause: Vec<u32>,
+    /// Nontrivial switch groups needing resolution this round.
+    dirty_groups: StampSet,
+    /// Fanout components to evaluate this round.
+    to_eval: StampSet,
+    /// Nets whose resolved value changed, with the causing component.
+    changed_nets: Vec<(NetId, CompId)>,
+    /// Sorted snapshot of `dirty_groups` for the settling pass.
+    groups_now: Vec<u32>,
+    /// Gate input levels gathered for one evaluation.
+    levels: Vec<Level>,
+    /// Output of one group resolution.
+    group_out: Vec<(NetId, Signal)>,
+    /// Switch-solver internal buffers.
+    solver: solver::Scratch,
+}
+
+/// The event-driven gate/switch-level simulator.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    config: SimConfig,
+    wheel: TimingWheel<Change>,
+    /// Immutable hot-path image (CSR adjacency, dispatch, group maps).
+    img: Image,
+    /// Resolved value of every net.
+    net_values: Vec<Signal>,
+    /// Output drive currently applied by every component (gates, inputs;
+    /// pulls/rails hold their static drive).
+    comp_drive: Vec<Signal>,
+    /// Last drive scheduled (possibly still in flight) per component,
+    /// used to suppress redundant schedules.
+    last_scheduled: Vec<Signal>,
+    /// Sequence number of each component's outstanding scheduled change
+    /// (`None` when nothing is in flight); stale wheel entries are
+    /// skipped at application time.
+    pending_seq: Vec<Option<u64>>,
+    /// Monotonic sequence counter for [`Change::seq`].
+    seq_counter: u64,
+    counters: WorkloadCounters,
+    activity: ActivityProfile,
+    trace: TickTrace,
+    /// Reusable per-tick buffers (taken out of `self` during a step).
+    ws: Worklists,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with default configuration and computes the
+    /// power-up state (all nets settle from `X` without counting events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] when the static pre-flight finds an
+    /// error-level diagnostic (e.g. LS0001, a combinational cycle
+    /// closed in zero time): such netlists would livelock the event
+    /// loop inside a single tick, so they are refused up front.
+    pub fn new(netlist: &'a Netlist) -> Result<Simulator<'a>, PreflightError> {
+        Simulator::with_config(netlist, SimConfig::default())
+    }
+
+    /// Creates a simulator with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] as for [`Simulator::new`].
+    pub fn with_config(
+        netlist: &'a Netlist,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, PreflightError> {
+        let img = Image::build(netlist)?;
+        let nc = netlist.num_components();
+        let nn = netlist.num_nets();
+        let num_groups = img.groups.num_groups();
+
+        let mut sim = Simulator {
+            wheel: TimingWheel::new(config.wheel_size),
+            net_values: vec![Signal::FLOATING; nn],
+            comp_drive: img.static_drive.clone(),
+            last_scheduled: vec![Signal::FLOATING; nc],
             counters: WorkloadCounters::new(),
             activity: ActivityProfile::new(nc),
             trace: TickTrace::new(),
@@ -379,7 +499,7 @@ impl<'a> Simulator<'a> {
                 to_eval: StampSet::with_capacity(nc),
                 ..Worklists::default()
             },
-            groups,
+            img,
             netlist,
             config,
         };
@@ -391,56 +511,14 @@ impl<'a> Simulator<'a> {
     /// every gate against current net levels, re-resolve all nets, and
     /// repeat until stable (or the round bound). No events are counted.
     fn initialize(&mut self) {
-        let mut scratch = solver::Scratch::default();
-        let mut group_out: Vec<(NetId, Signal)> = Vec::new();
-        let mut levels: Vec<Level> = Vec::new();
-        for round in 0..self.config.init_rounds {
-            // Recompute all net values from current drives.
-            let mut changed = false;
-            for net_idx in 0..self.netlist.num_nets() {
-                if self.group_nontrivial[self.net_group[net_idx] as usize] {
-                    continue; // handled below per group
-                }
-                let v = self.external_drive(NetId(net_idx as u32));
-                if self.net_values[net_idx] != v {
-                    self.net_values[net_idx] = v;
-                    changed = true;
-                }
-            }
-            for gid in 0..self.groups.num_groups() as u32 {
-                if !self.group_nontrivial[gid as usize] {
-                    continue;
-                }
-                self.resolve_group_now_into(gid, &mut scratch, &mut group_out);
-                for &(net, v) in &group_out {
-                    if self.net_values[net.index()] != v {
-                        self.net_values[net.index()] = v;
-                        changed = true;
-                    }
-                }
-            }
-            // Re-evaluate all gates.
-            for ci in 0..self.eval.len() {
-                if let EvalKind::Gate { kind, .. } = self.eval[ci] {
-                    levels.clear();
-                    levels.extend(
-                        self.gate_inputs
-                            .row(ci)
-                            .iter()
-                            .map(|&n| self.net_values[n as usize].level),
-                    );
-                    let out = kind.evaluate(&levels);
-                    if self.comp_drive[ci] != out {
-                        self.comp_drive[ci] = out;
-                        self.last_scheduled[ci] = out;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed && round > 0 {
-                break;
-            }
-        }
+        relax_power_up(
+            self.netlist,
+            &self.img,
+            self.config.init_rounds,
+            &mut self.net_values,
+            &mut self.comp_drive,
+            &mut self.last_scheduled,
+        );
         self.trace.start = 0;
         self.trace.end = 0;
     }
@@ -518,7 +596,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `net` is not a primary input.
     pub fn set_input(&mut self, net: NetId, level: Level) {
-        let comp = self.input_comp[net.index()];
+        let comp = self.img.input_comp[net.index()];
         assert!(comp != u32::MAX, "{net} is not a primary input");
         let now = self.now();
         self.schedule_change(now, CompId(comp), Signal::strong(level));
@@ -548,11 +626,7 @@ impl<'a> Simulator<'a> {
     /// pull/rail drivers' current output.
     #[inline]
     fn external_drive(&self, net: NetId) -> Signal {
-        let mut v = Signal::FLOATING;
-        for &d in self.ext_drivers.row(net.index()) {
-            v = v.resolve(self.comp_drive[d as usize]);
-        }
-        v
+        self.img.external_drive(&self.comp_drive, net)
     }
 
     /// Resolves one switch group against current drives into `out`
@@ -566,7 +640,7 @@ impl<'a> Simulator<'a> {
         out.clear();
         solver::resolve_group_into(
             self.netlist,
-            &self.groups,
+            &self.img.groups,
             gid,
             scratch,
             |net| self.external_drive(net),
@@ -606,7 +680,7 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             self.comp_drive[comp.index()] = drive;
-            if let Some(net) = self.comp_out[comp.index()] {
+            if let Some(net) = self.img.comp_out[comp.index()] {
                 ws.affected.insert(net.0);
                 // Unconditional overwrite = BTreeMap last-writer-wins.
                 ws.affected_cause[net.index()] = comp.0;
@@ -620,8 +694,8 @@ impl<'a> Simulator<'a> {
         ws.changed_nets.clear();
         for &net_idx in ws.affected.sorted() {
             let cause = CompId(ws.affected_cause[net_idx as usize]);
-            let gid = self.net_group[net_idx as usize];
-            if self.group_nontrivial[gid as usize] {
+            let gid = self.img.net_group[net_idx as usize];
+            if self.img.group_nontrivial[gid as usize] {
                 ws.dirty_groups.insert(gid);
             } else {
                 let net = NetId(net_idx);
@@ -646,7 +720,7 @@ impl<'a> Simulator<'a> {
                 for &(net, v) in &ws.group_out {
                     if self.net_values[net.index()] != v {
                         self.net_values[net.index()] = v;
-                        let cause = CompId(self.net_attr[net.index()]);
+                        let cause = CompId(self.img.net_attr[net.index()]);
                         ws.changed_nets.push((net, cause));
                     }
                 }
@@ -661,7 +735,7 @@ impl<'a> Simulator<'a> {
                 self.counters.events += 1;
                 events_this_tick += 1;
                 self.activity.record(cause.index());
-                let fanout = self.fanout.row(net.index());
+                let fanout = self.img.fanout.row(net.index());
                 self.counters.messages_inf += fanout.len() as u64;
                 if self.config.collect_trace {
                     events.push(EventRecord {
@@ -678,12 +752,13 @@ impl<'a> Simulator<'a> {
             // Evaluate fanout components: gates schedule delayed output
             // changes; switches mark their group dirty for this tick.
             for &ci in ws.to_eval.sorted() {
-                match self.eval[ci as usize] {
+                match self.img.eval[ci as usize] {
                     EvalKind::Gate { kind, delay } => {
                         self.counters.evaluations += 1;
                         ws.levels.clear();
                         ws.levels.extend(
-                            self.gate_inputs
+                            self.img
+                                .gate_inputs
                                 .row(ci as usize)
                                 .iter()
                                 .map(|&n| self.net_values[n as usize].level),

@@ -35,6 +35,8 @@ pub mod compiled;
 pub mod engine;
 pub mod heap_list;
 pub mod instrument;
+pub mod par_engine;
+mod par_sync;
 pub mod solver;
 pub mod stimulus;
 pub mod trace;
@@ -45,6 +47,7 @@ pub use compiled::{CompiledSim, Levelizer};
 pub use engine::{PreflightError, SimConfig, Simulator};
 pub use heap_list::HeapEventList;
 pub use instrument::{ActivityProfile, WorkloadCounters};
+pub use par_engine::{InputFrame, ParSimulator};
 pub use stimulus::{RandomStimulus, SignalRole, Stimulus, StimulusSpec};
 pub use trace::{EventRecord, TickRecord, TickTrace};
 pub use vcd::VcdRecorder;

@@ -1,0 +1,1225 @@
+//! Tick-synchronous parallel simulation engine: the paper's
+//! `UI/GC/Q=P/P/L` machine executed on real threads.
+//!
+//! [`ParSimulator`] runs the same event-driven semantics as the serial
+//! [`Simulator`](crate::Simulator) across `P` long-lived worker threads
+//! plus the calling thread acting as the *master* (the paper's host
+//! processor). Components are dealt to workers by a
+//! `logicsim-partition` assignment; each worker owns a private
+//! [`TimingWheel`] (the paper's per-processor event list) and the
+//! per-component state of the components it owns. Every global tick is
+//! a bulk-synchronous round — the machine's START/DONE handshake —
+//! built from barrier-delimited phases:
+//!
+//! 1. **Apply**: every party drains its own wheel's current slot and
+//!    applies the surviving (non-stale) output changes to its
+//!    components.
+//! 2. **Exchange/merge**: the master collects each party's affected
+//!    nets (the cross-partition net updates; the per-party outbox/inbox
+//!    slots are single-producer single-consumer mailboxes between that
+//!    worker and the master), resolves ordinary nets, and routes dirty
+//!    switch groups and fanout evaluation work back out.
+//! 3. **Resolve**/**Eval** rounds: workers settle switch groups and
+//!    evaluate fanout components in parallel, scheduling delayed output
+//!    changes into their own wheels, until the tick settles exactly as
+//!    in the serial engine.
+//!
+//! # Determinism
+//!
+//! The parallel engine is *bit-identical* to the serial engine — the
+//! golden FNV trace digests pass unchanged for every `P` (see
+//! `tests/golden_trace.rs`). The serial engine's behavior depends on
+//! scheduling order only through its monotonically increasing sequence
+//! counter, and that counter is incremented in a fixed program order:
+//! stimulus calls first, then, within each settle round, components in
+//! ascending id order. A [`Stamp`] `(tick, pass, rank)` — scheduling
+//! tick, settle pass (stimulus = pass 0), and per-pass rank (call index
+//! for stimulus, component id for evaluations) — therefore identifies
+//! each schedule event, and lexicographic stamp order *is* serial
+//! sequence order. Workers stamp their schedules locally with no
+//! coordination; when several parties change drives onto the same net
+//! in one tick, the master picks the maximum-stamp cause, which equals
+//! the serial engine's last-writer-wins. Inertial descheduling compares
+//! stamps for equality only, so it is local to the owning worker.
+//!
+//! Switch groups are settled in parallel by *coupling cluster*: groups
+//! whose resolution can observe each other within a settle pass (a
+//! switch in one group controlled by a net of another) are united and
+//! always resolved sequentially, in ascending group order, by one
+//! party. Cross-cluster resolutions touch disjoint nets, so resolving
+//! clusters concurrently and merging the results in group order
+//! reproduces the serial pass exactly.
+//!
+//! Ticks where no party has pending work are fast-forwarded by the
+//! master without waking the workers, mirroring the serial engine's
+//! cheap idle ticks (and the modeled machine's START/DONE-only cycles).
+
+use crate::engine::{relax_power_up, EvalKind, Image, PreflightError, SimConfig, StampSet};
+use crate::instrument::{ActivityProfile, WorkloadCounters};
+use crate::par_sync::{SharedSlots, SharedVec, SpinBarrier};
+use crate::solver;
+use crate::trace::{EventRecord, TickRecord, TickTrace};
+use crate::wheel::TimingWheel;
+use logicsim_netlist::{Component, Level, NetId, Netlist, Signal};
+use logicsim_stats::{ParallelWorkload, WorkerLoad};
+
+/// Identifies one schedule event in the serial engine's program order:
+/// lexicographic `(tick, pass, rank)` order equals serial sequence
+/// order (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Stamp {
+    /// Tick at which the schedule call happened.
+    tick: u64,
+    /// Settle pass within the tick: 0 for stimulus, `p >= 1` for the
+    /// `p`-th evaluation pass.
+    pass: u32,
+    /// Order within the pass: stimulus call index, or component id.
+    rank: u32,
+}
+
+const STAMP_ZERO: Stamp = Stamp {
+    tick: 0,
+    pass: 0,
+    rank: 0,
+};
+
+/// A scheduled output change in a party's wheel (the parallel analog of
+/// the serial engine's `Change`, with the stamp playing the `seq` role).
+#[derive(Debug, Clone, Copy)]
+struct PChange {
+    comp: u32,
+    drive: Signal,
+    stamp: Stamp,
+}
+
+/// Phase command published by the master before releasing the barrier.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Drain the party's current wheel slot and apply changes.
+    Apply,
+    /// Resolve the switch groups in the party's inbox.
+    Resolve,
+    /// Evaluate the fanout components in the party's inbox; stamps are
+    /// `(tick, pass, component id)`.
+    Eval { tick: u64, pass: u32 },
+    /// Terminate the worker loop.
+    Exit,
+}
+
+/// Per-party mailbox and scratch state. Each slot is owned by its party
+/// during worker phases and by the master between phases (the
+/// single-producer single-consumer discipline of a mailbox pair).
+#[derive(Debug)]
+struct PartyState {
+    /// This party's event list.
+    wheel: TimingWheel<PChange>,
+    /// Changes popped this tick (scratch).
+    changes: Vec<PChange>,
+    /// Outbox: number of entries popped from the wheel this tick.
+    popped: u64,
+    /// Outbox: applied output changes as `(net, comp, stamp)`.
+    affected: Vec<(u32, u32, Stamp)>,
+    /// Inbox: switch groups to resolve, ascending.
+    gids: Vec<u32>,
+    /// Outbox: nets whose value changed during resolution, as
+    /// `(group, net)` in resolution order.
+    resolved: Vec<(u32, u32)>,
+    /// Inbox: components to evaluate, ascending.
+    eval_comps: Vec<u32>,
+    /// Outbox: number of changes scheduled into the wheel this pass.
+    scheduled: u64,
+    /// Outbox: evaluations performed this pass.
+    evaluations: u64,
+    /// Outbox: switch groups marked dirty by this pass's evaluations.
+    dirty: Vec<u32>,
+    /// Scratch: gate input levels.
+    levels: Vec<Level>,
+    /// Scratch: one group resolution's output.
+    group_out: Vec<(NetId, Signal)>,
+    /// Scratch: switch-solver buffers.
+    solver: solver::Scratch,
+}
+
+impl PartyState {
+    fn new(wheel_size: usize) -> PartyState {
+        PartyState {
+            wheel: TimingWheel::new(wheel_size),
+            changes: Vec::new(),
+            popped: 0,
+            affected: Vec::new(),
+            gids: Vec::new(),
+            resolved: Vec::new(),
+            eval_comps: Vec::new(),
+            scheduled: 0,
+            evaluations: 0,
+            dirty: Vec::new(),
+            levels: Vec::new(),
+            group_out: Vec::new(),
+            solver: solver::Scratch::default(),
+        }
+    }
+}
+
+/// State shared (read-only or phase-disciplined) between the master and
+/// the workers.
+struct Core<'a> {
+    netlist: &'a Netlist,
+    img: Image,
+    config: SimConfig,
+    /// Number of evaluator workers `P`. Party indices `0..workers` are
+    /// workers; index `workers` is the master's own party (inputs,
+    /// pulls, rails, and any unassigned component).
+    workers: usize,
+    /// Partition id per component (`u32::MAX` = unassigned).
+    assignment: Vec<u32>,
+    /// Owning party per component.
+    owner: Vec<u32>,
+    /// Owning party per switch group's coupling cluster (`u32::MAX` for
+    /// trivial groups, which the master resolves as ordinary nets).
+    group_owner: Vec<u32>,
+    /// Resolved value of every net.
+    net_values: SharedVec<Signal>,
+    /// Output drive per component (written only by the owner).
+    comp_drive: SharedVec<Signal>,
+    /// Last scheduled drive per component (owner only).
+    last_scheduled: SharedVec<Signal>,
+    /// Outstanding schedule stamp per component (owner only).
+    pending: SharedVec<Option<Stamp>>,
+    /// Per-party mailboxes, wheels, and scratch.
+    parties: SharedSlots<PartyState>,
+    /// The current phase command (single slot).
+    cmd: SharedSlots<Cmd>,
+    /// Phase barrier over `workers + 1` parties.
+    barrier: SpinBarrier,
+}
+
+impl Core<'_> {
+    fn num_parties(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// External (non-switch) drive on a net from the shared drive array.
+    ///
+    /// # Safety
+    ///
+    /// No party may be writing `comp_drive` entries of the net's
+    /// drivers in the current phase.
+    #[inline]
+    unsafe fn external_drive(&self, net: NetId) -> Signal {
+        let mut v = Signal::FLOATING;
+        for &d in self.img.ext_drivers.row(net.index()) {
+            v = v.resolve(unsafe { self.comp_drive.get(d as usize) });
+        }
+        v
+    }
+}
+
+/// Master-only bookkeeping (never touched by workers).
+struct Master {
+    now: u64,
+    /// Arithmetic mirror of the serial engine's `wheel.len()`: total
+    /// entries (including stale ones) across all party wheels.
+    pending_total: u64,
+    /// Tick of the last stimulus call, for per-tick rank reset.
+    input_tick: u64,
+    /// Rank of the next stimulus call within `input_tick`.
+    input_rank: u32,
+    /// True between a phase's release and join barrier (for panic-safe
+    /// worker shutdown).
+    in_phase: bool,
+    counters: WorkloadCounters,
+    activity: ActivityProfile,
+    trace: TickTrace,
+    /// Affected nets merged across parties this tick.
+    affected: StampSet,
+    /// Winning cause per affected net (maximum stamp).
+    affected_cause: Vec<u32>,
+    affected_stamp: Vec<Stamp>,
+    /// Dirty switch groups for the next resolve round.
+    dirty: StampSet,
+    /// Fanout components to evaluate this round.
+    to_eval: StampSet,
+    /// Nets whose value changed, with causes, in serial event order.
+    changed_nets: Vec<(u32, u32)>,
+    /// Merge buffer for per-party resolution outputs.
+    merged: Vec<(u32, u32)>,
+    /// Per-party did-work flags for the current tick.
+    worked: Vec<bool>,
+    /// Per-party load counters (last entry = master party).
+    loads: Vec<WorkerLoad>,
+    /// Messages between assigned components on different partitions.
+    crossing: u64,
+    /// Messages between assigned components (any partitions).
+    component_msgs: u64,
+}
+
+impl Master {
+    fn new(num_nets: usize, num_comps: usize, num_groups: usize, num_parties: usize) -> Master {
+        Master {
+            now: 0,
+            pending_total: 0,
+            input_tick: 0,
+            input_rank: 0,
+            in_phase: false,
+            counters: WorkloadCounters::new(),
+            activity: ActivityProfile::new(num_comps),
+            trace: TickTrace::new(),
+            affected: StampSet::with_capacity(num_nets),
+            affected_cause: vec![0; num_nets],
+            affected_stamp: vec![STAMP_ZERO; num_nets],
+            dirty: StampSet::with_capacity(num_groups),
+            to_eval: StampSet::with_capacity(num_comps),
+            changed_nets: Vec::new(),
+            merged: Vec::new(),
+            worked: vec![false; num_parties],
+            loads: vec![WorkerLoad::default(); num_parties],
+            crossing: 0,
+            component_msgs: 0,
+        }
+    }
+
+    /// Runs one barrier-delimited phase: publish `cmd`, release the
+    /// workers, do the master party's share, and join.
+    fn phase(&mut self, core: &Core<'_>, cmd: Cmd) {
+        // SAFETY: workers are parked at the barrier, so the master is
+        // the unique accessor of the command slot.
+        unsafe {
+            *core.cmd.get_mut(0) = cmd;
+        }
+        self.in_phase = true;
+        core.barrier.wait();
+        run_party_cmd(core, core.workers, cmd);
+        core.barrier.wait();
+        self.in_phase = false;
+    }
+
+    /// Releases the workers with [`Cmd::Exit`], completing any join the
+    /// workers are still waiting on first (panic-safe).
+    fn shutdown(&mut self, core: &Core<'_>) {
+        if self.in_phase {
+            core.barrier.wait();
+            self.in_phase = false;
+        }
+        // SAFETY: workers are parked at the barrier.
+        unsafe {
+            *core.cmd.get_mut(0) = Cmd::Exit;
+        }
+        core.barrier.wait();
+    }
+
+    fn run(
+        &mut self,
+        core: &Core<'_>,
+        until: u64,
+        stim: &mut dyn FnMut(u64, &mut InputFrame<'_, '_>),
+    ) {
+        while self.now < until {
+            let t = self.now;
+            stim(t, &mut InputFrame { core, m: self });
+
+            // Event-list occupancy at the tick boundary, after stimulus
+            // (matching the serial measurement loop's order).
+            let pending = self.pending_total;
+            self.counters.event_list_peak = self.counters.event_list_peak.max(pending);
+            self.counters.event_list_sum += pending;
+
+            // Fast-forward ticks where no wheel has work: the full
+            // protocol would pop nothing and settle immediately.
+            // SAFETY: workers are parked at the barrier between phases.
+            let has_work = (0..core.num_parties())
+                .any(|p| unsafe { core.parties.get_mut(p) }.wheel.next_pending_tick() == Some(t));
+            if has_work {
+                self.execute_tick(core, t);
+            } else {
+                self.counters.idle_ticks += 1;
+                for load in &mut self.loads {
+                    load.idle_ticks += 1;
+                }
+            }
+            for p in 0..core.num_parties() {
+                // SAFETY: workers parked; master advances every wheel.
+                unsafe { core.parties.get_mut(p) }.wheel.advance();
+            }
+            self.now += 1;
+            self.trace.end = self.now;
+        }
+    }
+
+    /// Executes one busy-candidate tick through the full phase protocol.
+    /// All `core.parties` accesses here happen between phases, while
+    /// the workers are parked at the barrier.
+    #[allow(clippy::too_many_lines)]
+    fn execute_tick(&mut self, core: &Core<'_>, t: u64) {
+        let np = core.num_parties();
+        for w in &mut self.worked {
+            *w = false;
+        }
+
+        // Phase 1: every party drains and applies its own wheel slot.
+        self.phase(core, Cmd::Apply);
+
+        // Merge affected nets; maximum stamp wins = serial
+        // last-writer-wins application order.
+        self.affected.clear();
+        for p in 0..np {
+            // SAFETY: workers parked (see method docs).
+            let st = unsafe { core.parties.get_mut(p) };
+            self.pending_total -= st.popped;
+            if !st.affected.is_empty() {
+                self.worked[p] = true;
+            }
+            for &(net, comp, stamp) in &st.affected {
+                if !self.affected.contains(net) || stamp > self.affected_stamp[net as usize] {
+                    self.affected_cause[net as usize] = comp;
+                    self.affected_stamp[net as usize] = stamp;
+                }
+                self.affected.insert(net);
+            }
+        }
+
+        // Route affected nets: ordinary nets are resolved by the master
+        // right here (in ascending net order, as the serial engine
+        // does); nets in nontrivial switch groups mark the group dirty.
+        self.dirty.clear();
+        self.changed_nets.clear();
+        for &net_idx in self.affected.sorted() {
+            let cause = self.affected_cause[net_idx as usize];
+            let gid = core.img.net_group[net_idx as usize];
+            if core.img.group_nontrivial[gid as usize] {
+                self.dirty.insert(gid);
+            } else {
+                // SAFETY: workers parked; master is the unique accessor.
+                unsafe {
+                    let v = core.external_drive(NetId(net_idx));
+                    if core.net_values.get(net_idx as usize) != v {
+                        core.net_values.set(net_idx as usize, v);
+                        self.changed_nets.push((net_idx, cause));
+                    }
+                }
+            }
+        }
+
+        let mut rounds = 0u32;
+        let mut pass = 0u32;
+        let mut events_this_tick = 0u64;
+        let mut events: Vec<EventRecord> = Vec::new();
+        loop {
+            if !self.dirty.is_empty() {
+                // Distribute dirty groups to their cluster owners and
+                // settle them in parallel.
+                for p in 0..np {
+                    // SAFETY: workers parked.
+                    unsafe { core.parties.get_mut(p) }.gids.clear();
+                }
+                for &gid in self.dirty.sorted() {
+                    let owner = core.group_owner[gid as usize] as usize;
+                    // SAFETY: workers parked.
+                    unsafe { core.parties.get_mut(owner) }.gids.push(gid);
+                }
+                self.dirty.clear();
+                self.phase(core, Cmd::Resolve);
+                // Merge per-party results back into ascending group
+                // order. Each group has exactly one owner, so a stable
+                // sort by group reproduces the serial resolution order
+                // (ascending group, member order within a group).
+                self.merged.clear();
+                for p in 0..np {
+                    // SAFETY: workers parked.
+                    let st = unsafe { core.parties.get_mut(p) };
+                    let n = st.gids.len() as u64;
+                    if n > 0 {
+                        self.worked[p] = true;
+                    }
+                    self.counters.group_resolutions += n;
+                    self.loads[p].group_resolutions += n;
+                    self.merged.extend_from_slice(&st.resolved);
+                }
+                self.merged.sort_by_key(|&(gid, _)| gid);
+                for i in 0..self.merged.len() {
+                    let (_, net) = self.merged[i];
+                    let cause = core.img.net_attr[net as usize];
+                    self.changed_nets.push((net, cause));
+                }
+            }
+            if self.changed_nets.is_empty() {
+                break;
+            }
+
+            // Record events in serial order; build the evaluation
+            // worklist; count partition-crossing messages.
+            self.to_eval.clear();
+            for &(net, cause) in &self.changed_nets {
+                self.counters.events += 1;
+                events_this_tick += 1;
+                self.activity.record(cause as usize);
+                let fanout = core.img.fanout.row(net as usize);
+                self.counters.messages_inf += fanout.len() as u64;
+                if core.config.collect_trace {
+                    events.push(EventRecord {
+                        source: cause,
+                        dests: fanout.to_vec(),
+                    });
+                }
+                let pc = core.assignment[cause as usize];
+                for &f in fanout {
+                    self.to_eval.insert(f);
+                    let pf = core.assignment[f as usize];
+                    // Self-messages (feedback into the producing
+                    // component) stay processor-local under every
+                    // assignment, so they are excluded from the Eq. 6
+                    // base as well as from the crossing count.
+                    if pc != u32::MAX && pf != u32::MAX && cause != f {
+                        self.component_msgs += 1;
+                        if pc != pf {
+                            self.crossing += 1;
+                            self.loads[pc as usize % core.workers].messages_sent += 1;
+                        }
+                    }
+                }
+            }
+            self.changed_nets.clear();
+
+            // Evaluate fanout components in parallel, each by its owner
+            // in ascending id order (= serial evaluation order).
+            pass += 1;
+            for p in 0..np {
+                // SAFETY: workers parked.
+                unsafe { core.parties.get_mut(p) }.eval_comps.clear();
+            }
+            for &ci in self.to_eval.sorted() {
+                let owner = core.owner[ci as usize] as usize;
+                // SAFETY: workers parked.
+                unsafe { core.parties.get_mut(owner) }.eval_comps.push(ci);
+            }
+            self.phase(core, Cmd::Eval { tick: t, pass });
+            for p in 0..np {
+                // SAFETY: workers parked.
+                let st = unsafe { core.parties.get_mut(p) };
+                self.pending_total += st.scheduled;
+                self.counters.evaluations += st.evaluations;
+                self.loads[p].evaluations += st.evaluations;
+                if st.evaluations > 0 {
+                    self.worked[p] = true;
+                }
+                for &g in &st.dirty {
+                    self.dirty.insert(g);
+                }
+            }
+
+            if self.dirty.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds >= core.config.max_settle_rounds {
+                self.counters.relaxation_overflows += 1;
+                break;
+            }
+        }
+
+        if events_this_tick > 0 {
+            self.counters.busy_ticks += 1;
+            if core.config.collect_trace {
+                self.trace.ticks.push(TickRecord { tick: t, events });
+            }
+        } else {
+            self.counters.idle_ticks += 1;
+        }
+        for p in 0..np {
+            if self.worked[p] {
+                self.loads[p].busy_ticks += 1;
+            } else {
+                self.loads[p].idle_ticks += 1;
+            }
+        }
+    }
+}
+
+/// Stimulus handle passed to the [`ParSimulator::run_with`] callback
+/// once per tick, before the tick executes.
+pub struct InputFrame<'f, 'a> {
+    core: &'f Core<'a>,
+    m: &'f mut Master,
+}
+
+impl InputFrame<'_, '_> {
+    /// Drives a primary input to `level` at the current tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set(&mut self, net: NetId, level: Level) {
+        set_input_inner(self.core, self.m, net, level);
+    }
+}
+
+/// Inertial input scheduling, mirroring the serial `set_input` +
+/// `schedule_change`. Only called while no worker threads are active
+/// (outside `run`, or between phases during the stimulus callback).
+fn set_input_inner(core: &Core<'_>, m: &mut Master, net: NetId, level: Level) {
+    let comp = core.img.input_comp[net.index()] as usize;
+    assert!(comp != u32::MAX as usize, "{net} is not a primary input");
+    if m.input_tick != m.now {
+        m.input_tick = m.now;
+        m.input_rank = 0;
+    }
+    let stamp = Stamp {
+        tick: m.now,
+        pass: 0,
+        rank: m.input_rank,
+    };
+    m.input_rank += 1;
+    let drive = Signal::strong(level);
+    // SAFETY: no workers are running; the master is the unique accessor.
+    unsafe {
+        if core.last_scheduled.get(comp) == drive {
+            return;
+        }
+        core.last_scheduled.set(comp, drive);
+        if drive == core.comp_drive.get(comp) {
+            core.pending.set(comp, None);
+            return;
+        }
+        core.pending.set(comp, Some(stamp));
+        let party = core.owner[comp] as usize;
+        core.parties.get_mut(party).wheel.schedule(
+            m.now,
+            PChange {
+                comp: comp as u32,
+                drive,
+                stamp,
+            },
+        );
+    }
+    m.pending_total += 1;
+}
+
+/// Dispatches one phase command for one party.
+fn run_party_cmd(core: &Core<'_>, party: usize, cmd: Cmd) {
+    match cmd {
+        Cmd::Apply => party_apply(core, party),
+        Cmd::Resolve => party_resolve(core, party),
+        Cmd::Eval { tick, pass } => party_eval(core, party, tick, pass),
+        Cmd::Exit => {}
+    }
+}
+
+/// Apply phase: drain the party's wheel slot, apply surviving changes
+/// to owned components, and report affected nets.
+fn party_apply(core: &Core<'_>, party: usize) {
+    // SAFETY: this party is the unique accessor of its slot during a
+    // worker phase; `pending`/`comp_drive` entries touched here belong
+    // to components this party owns (only owners schedule a component).
+    let st = unsafe { core.parties.get_mut(party) };
+    st.changes.clear();
+    st.wheel.pop_current_into(&mut st.changes);
+    st.popped = st.changes.len() as u64;
+    st.affected.clear();
+    for &PChange { comp, drive, stamp } in &st.changes {
+        let ci = comp as usize;
+        // SAFETY: see above.
+        unsafe {
+            if core.pending.get(ci) != Some(stamp) {
+                continue; // descheduled (the inertial filter)
+            }
+            core.pending.set(ci, None);
+            if core.comp_drive.get(ci) == drive {
+                continue;
+            }
+            core.comp_drive.set(ci, drive);
+        }
+        if let Some(net) = core.img.comp_out[ci] {
+            st.affected.push((net.0, comp, stamp));
+        }
+    }
+}
+
+/// Resolve phase: settle the switch groups assigned to this party, in
+/// ascending group order, writing member-net values.
+fn party_resolve(core: &Core<'_>, party: usize) {
+    // SAFETY: unique slot access during a worker phase. Net reads and
+    // writes stay inside this party's coupling clusters (or read nets
+    // no party writes this phase); `comp_drive` is stable during
+    // resolution.
+    let st = unsafe { core.parties.get_mut(party) };
+    st.resolved.clear();
+    for &gid in &st.gids {
+        st.group_out.clear();
+        solver::resolve_group_into(
+            core.netlist,
+            &core.img.groups,
+            gid,
+            &mut st.solver,
+            // SAFETY: see above.
+            |net| unsafe { core.external_drive(net) },
+            |net| unsafe { core.net_values.get(net.index()) }.level,
+            |net| unsafe { core.net_values.get(net.index()) }.level,
+            &mut st.group_out,
+        );
+        for &(net, v) in &st.group_out {
+            // SAFETY: member nets belong to this party's cluster.
+            unsafe {
+                if core.net_values.get(net.index()) != v {
+                    core.net_values.set(net.index(), v);
+                    st.resolved.push((gid, net.0));
+                }
+            }
+        }
+    }
+}
+
+/// Eval phase: evaluate the fanout components assigned to this party
+/// (ascending id order), scheduling delayed output changes into the
+/// party's own wheel.
+fn party_eval(core: &Core<'_>, party: usize, tick: u64, pass: u32) {
+    // SAFETY: unique slot access during a worker phase; `net_values` is
+    // read-only in this phase; per-component state touched here belongs
+    // to owned components.
+    let st = unsafe { core.parties.get_mut(party) };
+    st.scheduled = 0;
+    st.evaluations = 0;
+    st.dirty.clear();
+    for &ci in &st.eval_comps {
+        match core.img.eval[ci as usize] {
+            EvalKind::Gate { kind, delay } => {
+                st.evaluations += 1;
+                st.levels.clear();
+                st.levels.extend(
+                    core.img
+                        .gate_inputs
+                        .row(ci as usize)
+                        .iter()
+                        // SAFETY: see above.
+                        .map(|&n| unsafe { core.net_values.get(n as usize) }.level),
+                );
+                let out = kind.evaluate(&st.levels);
+                let d = u64::from(delay.for_transition(out.level));
+                // Inertial scheduling, mirroring `schedule_change`.
+                // SAFETY: `ci` is owned by this party.
+                unsafe {
+                    if core.last_scheduled.get(ci as usize) != out {
+                        core.last_scheduled.set(ci as usize, out);
+                        if out == core.comp_drive.get(ci as usize) {
+                            core.pending.set(ci as usize, None);
+                        } else {
+                            let stamp = Stamp {
+                                tick,
+                                pass,
+                                rank: ci,
+                            };
+                            core.pending.set(ci as usize, Some(stamp));
+                            st.wheel.schedule(
+                                tick + d,
+                                PChange {
+                                    comp: ci,
+                                    drive: out,
+                                    stamp,
+                                },
+                            );
+                            st.scheduled += 1;
+                        }
+                    }
+                }
+            }
+            EvalKind::Switch { group } => {
+                st.evaluations += 1;
+                st.dirty.push(group);
+            }
+            EvalKind::Passive => {}
+        }
+    }
+}
+
+/// The worker thread body: wait for a command, run it, join.
+fn worker_loop(core: &Core<'_>, party: usize) {
+    loop {
+        core.barrier.wait();
+        // SAFETY: the master wrote the command before releasing the
+        // barrier and does not touch it during the phase.
+        let cmd = unsafe { *core.cmd.get_mut(0) };
+        if matches!(cmd, Cmd::Exit) {
+            break;
+        }
+        run_party_cmd(core, party, cmd);
+        core.barrier.wait();
+    }
+}
+
+/// Computes the coupling-cluster owner of every nontrivial switch
+/// group: groups are united when one's resolution can observe another
+/// within a settle pass (a switch whose control net belongs to the
+/// other nontrivial group), and clusters are dealt round-robin to
+/// parties in first-group order.
+fn compute_group_owner(netlist: &Netlist, img: &Image, num_parties: usize) -> Vec<u32> {
+    let ng = img.groups.num_groups();
+    let mut parent: Vec<u32> = (0..ng as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for gid in 0..ng as u32 {
+        if !img.group_nontrivial[gid as usize] {
+            continue;
+        }
+        for &sw in img.groups.switches(gid) {
+            if let Component::Switch { control, .. } = netlist.component(sw) {
+                let h = img.net_group[control.index()];
+                if img.group_nontrivial[h as usize] {
+                    let (ra, rb) = (find(&mut parent, gid), find(&mut parent, h));
+                    if ra != rb {
+                        parent[ra as usize] = rb;
+                    }
+                }
+            }
+        }
+    }
+    let mut owner = vec![u32::MAX; ng];
+    let mut root_owner = vec![u32::MAX; ng];
+    let mut next = 0usize;
+    for gid in 0..ng as u32 {
+        if !img.group_nontrivial[gid as usize] {
+            continue;
+        }
+        let r = find(&mut parent, gid) as usize;
+        if root_owner[r] == u32::MAX {
+            root_owner[r] = (next % num_parties) as u32;
+            next += 1;
+        }
+        owner[gid as usize] = root_owner[r];
+    }
+    owner
+}
+
+/// The parallel tick-synchronous simulator.
+///
+/// Bit-identical to [`Simulator`](crate::Simulator) for any worker
+/// count (see the module docs for the determinism argument), with
+/// per-worker load and cross-partition message instrumentation.
+///
+/// ```
+/// use logicsim_netlist::{Delay, GateKind, Level, NetlistBuilder};
+/// use logicsim_sim::ParSimulator;
+///
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.net("y");
+/// b.gate(GateKind::Not, &[a], y, Delay::uniform(2));
+/// let n = b.finish().unwrap();
+/// // One gate (component 1) assigned to partition 0, run on 2 workers.
+/// let assignment = vec![u32::MAX, 0];
+/// let mut sim = ParSimulator::new(&n, &assignment, 2).expect("pre-flight");
+/// sim.set_input(a, Level::Zero);
+/// sim.run_until(5);
+/// assert_eq!(sim.level(y), Level::One);
+/// ```
+pub struct ParSimulator<'a> {
+    core: Core<'a>,
+    m: Master,
+}
+
+impl<'a> ParSimulator<'a> {
+    /// Creates a parallel simulator with default configuration.
+    ///
+    /// `assignment` maps every component to a partition id (`u32::MAX`
+    /// for unpartitioned infrastructure — inputs, pulls, rails), as
+    /// produced by `logicsim-partition` strategies. Partition `k` is
+    /// executed by worker `k % workers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] as for the serial
+    /// [`Simulator::new`](crate::Simulator::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `assignment.len()` differs from the
+    /// netlist's component count.
+    pub fn new(
+        netlist: &'a Netlist,
+        assignment: &[u32],
+        workers: usize,
+    ) -> Result<ParSimulator<'a>, PreflightError> {
+        ParSimulator::with_config(netlist, assignment, workers, SimConfig::default())
+    }
+
+    /// Creates a parallel simulator with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] as for [`ParSimulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as for [`ParSimulator::new`].
+    pub fn with_config(
+        netlist: &'a Netlist,
+        assignment: &[u32],
+        workers: usize,
+        config: SimConfig,
+    ) -> Result<ParSimulator<'a>, PreflightError> {
+        assert!(workers >= 1, "need at least one worker");
+        assert_eq!(
+            assignment.len(),
+            netlist.num_components(),
+            "assignment must cover every component"
+        );
+        let img = Image::build(netlist)?;
+        let nc = netlist.num_components();
+        let nn = netlist.num_nets();
+        let num_groups = img.groups.num_groups();
+        let num_parties = workers + 1;
+
+        // Identical power-up state to the serial engine.
+        let mut net_values = vec![Signal::FLOATING; nn];
+        let mut comp_drive = img.static_drive.clone();
+        let mut last_scheduled = vec![Signal::FLOATING; nc];
+        relax_power_up(
+            netlist,
+            &img,
+            config.init_rounds,
+            &mut net_values,
+            &mut comp_drive,
+            &mut last_scheduled,
+        );
+
+        let owner: Vec<u32> = (0..nc)
+            .map(|ci| match img.eval[ci] {
+                EvalKind::Gate { .. } | EvalKind::Switch { .. } => {
+                    let a = assignment[ci];
+                    if a == u32::MAX {
+                        workers as u32
+                    } else {
+                        a % workers as u32
+                    }
+                }
+                EvalKind::Passive => workers as u32,
+            })
+            .collect();
+        let group_owner = compute_group_owner(netlist, &img, num_parties);
+        let parties =
+            SharedSlots::from_iter((0..num_parties).map(|_| PartyState::new(config.wheel_size)));
+
+        Ok(ParSimulator {
+            core: Core {
+                netlist,
+                img,
+                config,
+                workers,
+                assignment: assignment.to_vec(),
+                owner,
+                group_owner,
+                net_values: SharedVec::from_vec(net_values),
+                comp_drive: SharedVec::from_vec(comp_drive),
+                last_scheduled: SharedVec::from_vec(last_scheduled),
+                pending: SharedVec::from_vec(vec![None; nc]),
+                parties,
+                cmd: SharedSlots::from_iter([Cmd::Exit]),
+                barrier: SpinBarrier::new(num_parties),
+            },
+            m: Master::new(nn, nc, num_groups, num_parties),
+        })
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.core.netlist
+    }
+
+    /// Number of evaluator workers `P`.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Current simulation tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.m.now
+    }
+
+    /// Resolved signal on a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn signal(&self, net: NetId) -> Signal {
+        // SAFETY: no worker threads exist outside `run_with`.
+        unsafe { self.core.net_values.get(net.index()) }
+    }
+
+    /// Logic level on a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[must_use]
+    pub fn level(&self, net: NetId) -> Level {
+        self.signal(net).level
+    }
+
+    /// Workload counters accumulated so far (identical to the serial
+    /// engine's for the same run).
+    #[must_use]
+    pub fn counters(&self) -> &WorkloadCounters {
+        &self.m.counters
+    }
+
+    /// Per-component activity profile.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityProfile {
+        &self.m.activity
+    }
+
+    /// The collected trace (empty unless [`SimConfig::collect_trace`]).
+    #[must_use]
+    pub fn trace(&self) -> &TickTrace {
+        &self.m.trace
+    }
+
+    /// Takes ownership of the collected trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> TickTrace {
+        std::mem::take(&mut self.m.trace)
+    }
+
+    /// Per-worker load counters (busy/idle ticks, evaluations, group
+    /// resolutions, cross-partition messages sent).
+    #[must_use]
+    pub fn worker_loads(&self) -> &[WorkerLoad] {
+        &self.m.loads[..self.core.workers]
+    }
+
+    /// Measured cross-partition message count (`M_P`): messages whose
+    /// source and destination components live on different partitions.
+    #[must_use]
+    pub fn messages_crossing(&self) -> u64 {
+        self.m.crossing
+    }
+
+    /// Messages between two assigned components regardless of partition
+    /// (the component-to-component `M_inf`, Eq. 6's denominator).
+    #[must_use]
+    pub fn messages_component(&self) -> u64 {
+        self.m.component_msgs
+    }
+
+    /// Snapshot of the run's parallel instrumentation for
+    /// `logicsim-stats` consumers.
+    #[must_use]
+    pub fn parallel_workload(&self) -> ParallelWorkload {
+        ParallelWorkload {
+            workers: self.worker_loads().to_vec(),
+            messages_crossing: self.m.crossing,
+            messages_component: self.m.component_msgs,
+        }
+    }
+
+    /// Resets counters, activity, trace, and per-worker instrumentation
+    /// (not circuit state); call after a warm-up run.
+    pub fn reset_measurements(&mut self) {
+        self.m.counters.reset();
+        self.m.activity.reset();
+        self.m.trace = TickTrace {
+            start: self.m.now,
+            end: self.m.now,
+            ticks: Vec::new(),
+        };
+        for load in &mut self.m.loads {
+            *load = WorkerLoad::default();
+        }
+        self.m.crossing = 0;
+        self.m.component_msgs = 0;
+    }
+
+    /// Drives a primary input to `level` at the current tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, level: Level) {
+        set_input_inner(&self.core, &mut self.m, net, level);
+    }
+
+    /// Runs tick by tick until the clock reaches `tick` (exclusive).
+    pub fn run_until(&mut self, tick: u64) {
+        self.run_with(tick, |_, _| {});
+    }
+
+    /// Runs until `until` (exclusive), invoking `stim` once per tick
+    /// before that tick executes so it can drive primary inputs — the
+    /// parallel analog of
+    /// [`run_with_stimulus`](crate::stimulus::run_with_stimulus).
+    ///
+    /// The `P` worker threads are spawned once per call and live for
+    /// the whole run.
+    pub fn run_with(&mut self, until: u64, mut stim: impl FnMut(u64, &mut InputFrame<'_, '_>)) {
+        if self.m.now >= until {
+            return;
+        }
+        let core = &self.core;
+        let m = &mut self.m;
+        std::thread::scope(|s| {
+            for w in 0..core.workers {
+                std::thread::Builder::new()
+                    .name(format!("lsim-worker-{w}"))
+                    .spawn_scoped(s, move || worker_loop(core, w))
+                    .expect("spawn worker");
+            }
+            // Shut the workers down even if the master panics (a panic
+            // with workers parked at the barrier would deadlock the
+            // scope join), then resume the panic.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                m.run(core, until, &mut stim);
+            }));
+            m.shutdown(core);
+            if let Err(p) = result {
+                std::panic::resume_unwind(p);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use logicsim_netlist::{Delay, GateKind, NetlistBuilder, SwitchKind};
+
+    /// Assignment that deals every gate/switch round-robin to `parts`.
+    fn round_robin(netlist: &Netlist, parts: u32) -> Vec<u32> {
+        let mut next = 0u32;
+        netlist
+            .components()
+            .iter()
+            .map(|c| {
+                if matches!(c, Component::Gate { .. } | Component::Switch { .. }) {
+                    let p = next % parts;
+                    next += 1;
+                    p
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect()
+    }
+
+    fn latch_circuit() -> Netlist {
+        let mut b = NetlistBuilder::new("latch");
+        let s_n = b.input("s_n");
+        let r_n = b.input("r_n");
+        let q = b.net("q");
+        let qn = b.net("qn");
+        b.gate(GateKind::Nand, &[s_n, qn], q, Delay::uniform(1));
+        b.gate(GateKind::Nand, &[r_n, q], qn, Delay::uniform(2));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_serial_on_latch_for_all_worker_counts() {
+        let n = latch_circuit();
+        let (s_n, r_n) = (n.find_net("s_n").unwrap(), n.find_net("r_n").unwrap());
+        let (q, qn) = (n.find_net("q").unwrap(), n.find_net("qn").unwrap());
+
+        let mut serial = Simulator::new(&n).expect("pre-flight");
+        serial.set_input(s_n, Level::Zero);
+        serial.set_input(r_n, Level::One);
+        serial.run_until(10);
+        serial.set_input(s_n, Level::One);
+        serial.run_until(20);
+        serial.set_input(r_n, Level::Zero);
+        serial.run_until(30);
+
+        for workers in [1, 2, 3] {
+            let assignment = round_robin(&n, workers as u32);
+            let mut par = ParSimulator::new(&n, &assignment, workers).expect("pre-flight");
+            par.set_input(s_n, Level::Zero);
+            par.set_input(r_n, Level::One);
+            par.run_until(10);
+            par.set_input(s_n, Level::One);
+            par.run_until(20);
+            par.set_input(r_n, Level::Zero);
+            par.run_until(30);
+            assert_eq!(par.level(q), serial.level(q), "P={workers}");
+            assert_eq!(par.level(qn), serial.level(qn), "P={workers}");
+            assert_eq!(par.counters(), serial.counters(), "P={workers}");
+        }
+    }
+
+    #[test]
+    fn switch_group_straddling_partitions_matches_serial() {
+        // Pass-transistor mux whose two switches land on different
+        // partitions: group resolution must still settle exactly once.
+        let mut b = NetlistBuilder::new("ptmux");
+        let sel = b.input("sel");
+        let sel_n = b.net("sel_n");
+        b.gate(GateKind::Not, &[sel], sel_n, Delay::uniform(1));
+        let a = b.input("a");
+        let bb = b.input("b");
+        let z = b.net("z");
+        b.switch(SwitchKind::Nmos, sel, a, z);
+        b.switch(SwitchKind::Nmos, sel_n, bb, z);
+        let n = b.finish().unwrap();
+        let nets = |s: &str| n.find_net(s).unwrap();
+
+        let drive = |sim: &mut dyn FnMut(NetId, Level)| {
+            sim(nets("a"), Level::One);
+            sim(nets("b"), Level::Zero);
+            sim(nets("sel"), Level::One);
+        };
+
+        let mut serial = Simulator::new(&n).expect("pre-flight");
+        drive(&mut |net, l| serial.set_input(net, l));
+        serial.run_until(10);
+        serial.set_input(nets("sel"), Level::Zero);
+        serial.run_until(20);
+
+        let assignment = round_robin(&n, 2);
+        let mut par = ParSimulator::new(&n, &assignment, 2).expect("pre-flight");
+        drive(&mut |net, l| par.set_input(net, l));
+        par.run_until(10);
+        par.set_input(nets("sel"), Level::Zero);
+        par.run_until(20);
+
+        assert_eq!(par.level(nets("z")), Level::Zero);
+        assert_eq!(par.level(nets("z")), serial.level(nets("z")));
+        assert_eq!(par.counters(), serial.counters());
+    }
+
+    #[test]
+    fn worker_loads_cover_every_tick() {
+        let n = latch_circuit();
+        let s_n = n.find_net("s_n").unwrap();
+        let assignment = round_robin(&n, 2);
+        let mut par = ParSimulator::new(&n, &assignment, 2).expect("pre-flight");
+        par.set_input(s_n, Level::Zero);
+        par.run_until(25);
+        for (w, load) in par.worker_loads().iter().enumerate() {
+            assert_eq!(
+                load.busy_ticks + load.idle_ticks,
+                par.counters().total_ticks(),
+                "worker {w} tick accounting"
+            );
+        }
+        assert!(par.parallel_workload().total_evaluations() > 0);
+    }
+
+    #[test]
+    fn crossing_messages_bounded_by_component_messages() {
+        let n = latch_circuit();
+        let s_n = n.find_net("s_n").unwrap();
+        let r_n = n.find_net("r_n").unwrap();
+        let assignment = round_robin(&n, 2);
+        let mut par = ParSimulator::new(&n, &assignment, 2).expect("pre-flight");
+        par.set_input(s_n, Level::Zero);
+        par.set_input(r_n, Level::One);
+        par.run_until(20);
+        assert!(par.messages_crossing() <= par.messages_component());
+        // The two cross-coupled NANDs sit on different partitions, so
+        // every gate-to-gate message crosses.
+        assert_eq!(par.messages_crossing(), par.messages_component());
+        assert!(par.messages_crossing() > 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Synchronization primitives for the parallel engine.
+//!
+//! The parallel engine ([`crate::par_engine`]) runs in strict
+//! bulk-synchronous phases: the master publishes a command, every party
+//! does its share of the phase, and a barrier separates the phases. All
+//! shared state is written by exactly one party per phase (single-writer
+//! discipline), and the barrier's release/acquire pair provides the
+//! happens-before edge that makes the next phase's reads sound. The
+//! types here encode that discipline: a sense-reversing spin barrier and
+//! two `UnsafeCell`-based containers whose `unsafe` accessors document
+//! the phase-ownership obligation.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A reusable sense-reversing spin barrier for a fixed number of
+/// parties.
+///
+/// The last arriver resets the count and bumps the generation with
+/// `Release`; waiters spin on the generation with `Acquire`, so
+/// everything written before a party's `wait` is visible to every party
+/// after the barrier opens. After a short spin the waiters yield, which
+/// keeps the barrier usable even when the host has fewer cores than
+/// parties (including the single-core worst case).
+#[derive(Debug)]
+pub(crate) struct SpinBarrier {
+    parties: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `parties` participants.
+    pub(crate) fn new(parties: usize) -> SpinBarrier {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all parties have arrived.
+    pub(crate) fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.parties {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A fixed-length array of `Copy` values shared between parties, one
+/// `UnsafeCell` per element (so no `&mut` to the whole array ever
+/// exists and per-element access from different threads is not UB by
+/// construction — only a data race on the *same* element would be).
+///
+/// # Safety contract
+///
+/// Callers must uphold the engine's phase discipline: within one
+/// barrier-delimited phase, each element is written by at most one
+/// party, and no party reads an element another party writes in the
+/// same phase. The barrier orders cross-phase accesses.
+#[derive(Debug)]
+pub(crate) struct SharedVec<T> {
+    cells: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: access is coordinated by the engine's barrier phases per the
+// safety contract above; the cells themselves are plain data.
+unsafe impl<T: Send> Sync for SharedVec<T> {}
+
+impl<T: Copy> SharedVec<T> {
+    /// Wraps a vector's elements in per-element cells.
+    pub(crate) fn from_vec(v: Vec<T>) -> SharedVec<T> {
+        SharedVec {
+            cells: v.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    ///
+    /// No other party may be writing element `i` in the current phase.
+    #[inline]
+    pub(crate) unsafe fn get(&self, i: usize) -> T {
+        *self.cells[i].get()
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the unique party accessing element `i` in the
+    /// current phase.
+    #[inline]
+    pub(crate) unsafe fn set(&self, i: usize, v: T) {
+        *self.cells[i].get() = v;
+    }
+
+    /// Copies the contents out (single-threaded contexts only).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn snapshot(&self) -> Vec<T> {
+        // SAFETY: callers invoke this only while no worker threads are
+        // running (between `run` calls), so no concurrent writers exist.
+        (0..self.len()).map(|i| unsafe { self.get(i) }).collect()
+    }
+}
+
+/// A fixed set of per-party slots holding arbitrary (non-`Copy`) state,
+/// accessed by `&mut` through an index.
+///
+/// # Safety contract
+///
+/// Same phase discipline as [`SharedVec`], at slot granularity: each
+/// slot is touched by exactly one party per phase (its owner during
+/// worker phases; the master between phases, while the workers are
+/// parked at the barrier).
+#[derive(Debug)]
+pub(crate) struct SharedSlots<T> {
+    slots: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: slot access is coordinated by the engine's barrier phases per
+// the safety contract above.
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// Builds the slots from an iterator, one per party.
+    pub(crate) fn from_iter(it: impl IntoIterator<Item = T>) -> SharedSlots<T> {
+        SharedSlots {
+            slots: it.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Number of slots.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mutable access to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the unique party accessing slot `i` in the
+    /// current phase, and must not hold two references to the same slot.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.slots[i].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn barrier_synchronizes_counters() {
+        let barrier = SpinBarrier::new(4);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for round in 1..=10u64 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // All parties incremented before anyone proceeds.
+                        assert_eq!(counter.load(Ordering::Relaxed), round * 3);
+                        barrier.wait();
+                    }
+                });
+            }
+            for round in 1..=10u64 {
+                barrier.wait();
+                assert_eq!(counter.load(Ordering::Relaxed), round * 3);
+                barrier.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn shared_vec_roundtrip() {
+        let v = SharedVec::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(v.len(), 3);
+        // SAFETY: single-threaded test.
+        unsafe {
+            v.set(1, 9);
+            assert_eq!(v.get(1), 9);
+        }
+        assert_eq!(v.snapshot(), vec![1, 9, 3]);
+    }
+
+    #[test]
+    fn shared_slots_indexing() {
+        let s = SharedSlots::from_iter(vec![vec![0u8; 0], vec![7u8]]);
+        assert_eq!(s.len(), 2);
+        // SAFETY: single-threaded test.
+        unsafe {
+            s.get_mut(0).push(5);
+            assert_eq!(s.get_mut(0).as_slice(), &[5]);
+            assert_eq!(s.get_mut(1).as_slice(), &[7]);
+        }
+    }
+}

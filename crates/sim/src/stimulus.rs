@@ -165,13 +165,27 @@ impl RandomStimulus {
     }
 }
 
-impl Stimulus for RandomStimulus {
-    fn apply(&mut self, sim: &mut Simulator<'_>, tick: u64) {
+impl RandomStimulus {
+    /// Feeds this tick's input levels to an arbitrary sink, advancing
+    /// the internal random state exactly as [`Stimulus::apply`] does.
+    ///
+    /// This is how the same stimulus stream drives engines other than
+    /// the serial [`Simulator`] (e.g. the parallel engine's
+    /// [`InputFrame`](crate::par_engine::InputFrame)): the RNG consumes
+    /// one decision per random input per matching tick regardless of
+    /// the sink, so serial and parallel runs see identical vectors.
+    pub fn apply_with(&mut self, tick: u64, mut set: impl FnMut(NetId, Level)) {
         for idx in 0..self.inputs.len() {
             let level = self.level_at(idx, tick);
             let net = self.inputs[idx].0;
-            sim.set_input(net, level);
+            set(net, level);
         }
+    }
+}
+
+impl Stimulus for RandomStimulus {
+    fn apply(&mut self, sim: &mut Simulator<'_>, tick: u64) {
+        self.apply_with(tick, |net, level| sim.set_input(net, level));
     }
 }
 

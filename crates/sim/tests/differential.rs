@@ -11,11 +11,31 @@
 //! flip schedules.
 
 use logicsim_netlist::{
-    CompId, Component, Delay, GateKind, Level, NetId, Netlist, NetlistBuilder, Signal,
+    CompId, Component, Delay, GateKind, Level, NetId, Netlist, NetlistBuilder, Signal, SwitchKind,
 };
-use logicsim_sim::{SimConfig, Simulator};
+use logicsim_sim::{ParSimulator, SimConfig, Simulator};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Deals gates and switches round-robin over `parts` partitions
+/// (infrastructure components stay unassigned), guaranteeing that
+/// multi-switch channel groups straddle partition boundaries.
+fn round_robin_assignment(netlist: &Netlist, parts: u32) -> Vec<u32> {
+    let mut next = 0u32;
+    netlist
+        .components()
+        .iter()
+        .map(|c| {
+            if matches!(c, Component::Gate { .. } | Component::Switch { .. }) {
+                let p = next % parts;
+                next += 1;
+                p
+            } else {
+                u32::MAX
+            }
+        })
+        .collect()
+}
 
 /// Reference event-driven simulator for gate-only netlists, written the
 /// way the engine looked before the data-oriented rewrite.
@@ -295,5 +315,111 @@ proptest! {
                 "net {} disagrees", netlist.net_name(net)
             );
         }
+
+        // The parallel engine under round-robin partitions must replay
+        // the identical schedule: same counters, same trace (every
+        // tick, every event, in order), same quiescent values.
+        for workers in [2usize, 3] {
+            let assignment = round_robin_assignment(&netlist, workers as u32);
+            let mut par = ParSimulator::with_config(&netlist, &assignment, workers, SimConfig {
+                collect_trace: true,
+                ..SimConfig::default()
+            }).expect("pre-flight");
+            for (chunk, &(which, up)) in flips.iter().enumerate() {
+                let net = netlist.find_net(&format!("in{which}")).expect("input");
+                par.set_input(net, Level::from_bool(up));
+                par.run_until((chunk as u64 + 1) * 7);
+            }
+            par.run_until(end);
+            prop_assert_eq!(par.counters(), sim.counters(), "P={} counters", workers);
+            prop_assert_eq!(par.trace(), sim.trace(), "P={} trace", workers);
+            for i in 0..netlist.num_nets() {
+                let net = NetId(i as u32);
+                prop_assert_eq!(par.signal(net), sim.signal(net), "P={} net {}", workers, i);
+            }
+        }
+    }
+}
+
+/// A bus of pass-transistor multiplexers: every mux is a nontrivial
+/// switch group whose two switches land on *different* partitions under
+/// round-robin assignment, exercising the parallel engine's coupled
+/// group-resolution path against the serial engine.
+#[test]
+fn parallel_engine_matches_serial_on_straddling_switch_groups() {
+    let mut b = NetlistBuilder::new("pt-bus");
+    let sel = b.input("sel");
+    let sel_n = b.net("sel_n");
+    b.gate(GateKind::Not, &[sel], sel_n, Delay::uniform(1));
+    let mut outs = Vec::new();
+    for i in 0..6 {
+        let a = b.input(format!("a{i}"));
+        let c = b.input(format!("b{i}"));
+        let z = b.net(format!("z{i}"));
+        b.switch(SwitchKind::Nmos, sel, a, z);
+        b.switch(SwitchKind::Nmos, sel_n, c, z);
+        let y = b.net(format!("y{i}"));
+        b.gate(GateKind::Not, &[z], y, Delay::uniform(1 + (i as u32 % 2)));
+        b.mark_output(y);
+        outs.push(y);
+    }
+    let netlist = b.finish().expect("valid");
+    let cfg = || SimConfig {
+        collect_trace: true,
+        ..SimConfig::default()
+    };
+
+    // A little input schedule that flips the select both ways and
+    // changes the data lines while the opposite leg is conducting.
+    enum Op {
+        Set(NetId, Level),
+        Run(u64),
+    }
+    let net = |s: String| netlist.find_net(&s).expect("net");
+    let mut schedule: Vec<Op> = Vec::new();
+    for i in 0..6u32 {
+        schedule.push(Op::Set(net(format!("a{i}")), Level::from_bool(i % 2 == 0)));
+        schedule.push(Op::Set(net(format!("b{i}")), Level::from_bool(i % 2 == 1)));
+    }
+    schedule.push(Op::Set(net("sel".to_string()), Level::One));
+    schedule.push(Op::Run(8));
+    schedule.push(Op::Set(net("sel".to_string()), Level::Zero));
+    for i in 0..6u32 {
+        schedule.push(Op::Set(net(format!("a{i}")), Level::from_bool(i % 2 == 1)));
+    }
+    schedule.push(Op::Run(20));
+    schedule.push(Op::Set(net("sel".to_string()), Level::One));
+    schedule.push(Op::Run(32));
+
+    let mut serial = Simulator::with_config(&netlist, cfg()).expect("pre-flight");
+    for op in &schedule {
+        match *op {
+            Op::Set(net, level) => serial.set_input(net, level),
+            Op::Run(until) => serial.run_until(until),
+        }
+    }
+
+    for workers in [2usize, 3] {
+        let assignment = round_robin_assignment(&netlist, workers as u32);
+        let mut par =
+            ParSimulator::with_config(&netlist, &assignment, workers, cfg()).expect("pre-flight");
+        for op in &schedule {
+            match *op {
+                Op::Set(net, level) => par.set_input(net, level),
+                Op::Run(until) => par.run_until(until),
+            }
+        }
+        assert_eq!(par.counters(), serial.counters(), "P={workers} counters");
+        assert_eq!(par.trace(), serial.trace(), "P={workers} trace");
+        for i in 0..netlist.num_nets() {
+            let net = NetId(i as u32);
+            assert_eq!(
+                par.signal(net),
+                serial.signal(net),
+                "P={workers} net {}",
+                netlist.net_name(net)
+            );
+        }
+        assert!(par.counters().group_resolutions > 0, "groups exercised");
     }
 }

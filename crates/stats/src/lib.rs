@@ -26,4 +26,4 @@ pub use average::average_workload;
 pub use histogram::Histogram;
 pub use imbalance::{beta_from_tick_loads, max_load_factor};
 pub use summary::Summary;
-pub use workload::{NatureRow, Workload};
+pub use workload::{NatureRow, ParallelWorkload, WorkerLoad, Workload};

@@ -155,6 +155,96 @@ impl fmt::Display for Workload {
     }
 }
 
+/// Per-evaluator counters from an actual parallel run: how one worker
+/// of a `P`-processor execution spent the `B + I` global ticks.
+///
+/// `busy_ticks + idle_ticks` equals the global tick count for every
+/// worker (the barrier forces all of them through every tick), so the
+/// busy fractions directly expose load imbalance — the quantity the
+/// paper's `beta` (Section 5) summarizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerLoad {
+    /// Global ticks in which this worker applied, evaluated, or resolved
+    /// at least one item.
+    pub busy_ticks: u64,
+    /// Global ticks in which this worker had no work (it still paid the
+    /// barrier synchronization, the machine's START/DONE handshake).
+    pub idle_ticks: u64,
+    /// Component function evaluations performed by this worker.
+    pub evaluations: u64,
+    /// Switch-group resolutions performed by this worker.
+    pub group_resolutions: u64,
+    /// Messages this worker's events sent to components on *other*
+    /// partitions (its contribution to `M_P`).
+    pub messages_sent: u64,
+}
+
+impl WorkerLoad {
+    /// Fraction of global ticks this worker was busy.
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        let t = self.busy_ticks + self.idle_ticks;
+        if t == 0 {
+            0.0
+        } else {
+            self.busy_ticks as f64 / t as f64
+        }
+    }
+}
+
+/// Aggregate instrumentation of one parallel run: per-worker loads plus
+/// the measured cross-partition message volume, ready to compare
+/// against Eq. 6's random-partitioning prediction
+/// `M_P = M_inf (1 - 1/P)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelWorkload {
+    /// One entry per evaluator worker (the master/host processor is
+    /// excluded, as in the paper's machine where the host only
+    /// orchestrates).
+    pub workers: Vec<WorkerLoad>,
+    /// Messages whose source and destination components sit on
+    /// *different* partitions (`M_P` measured).
+    pub messages_crossing: u64,
+    /// Messages between two *distinct assigned* components regardless
+    /// of partition (the component-to-component `M_inf`, the
+    /// denominator of Eq. 6; excludes traffic sourced at unpartitioned
+    /// infrastructure such as primary inputs, and self-messages —
+    /// feedback into the producing component — which stay
+    /// processor-local under every assignment).
+    pub messages_component: u64,
+}
+
+impl ParallelWorkload {
+    /// Eq. 6 prediction for `P` random partitions:
+    /// `M_P = M_inf (1 - 1/P)` over the component-to-component volume.
+    #[must_use]
+    pub fn predicted_crossing(&self) -> f64 {
+        let p = self.workers.len() as f64;
+        if p == 0.0 {
+            0.0
+        } else {
+            self.messages_component as f64 * (1.0 - 1.0 / p)
+        }
+    }
+
+    /// Measured `M_P / M_inf` ratio; Eq. 6 predicts `1 - 1/P` for a
+    /// random partition.
+    #[must_use]
+    pub fn crossing_ratio(&self) -> f64 {
+        if self.messages_component == 0 {
+            0.0
+        } else {
+            self.messages_crossing as f64 / self.messages_component as f64
+        }
+    }
+
+    /// Total evaluations across workers.
+    #[must_use]
+    pub fn total_evaluations(&self) -> u64 {
+        self.workers.iter().map(|w| w.evaluations).sum()
+    }
+}
+
 /// One row of the paper's Table 6: "The Nature of Logic Simulation".
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NatureRow {

@@ -10,12 +10,18 @@
 //! event ordering, inertial cancellation, switch-group settling, or
 //! counter accounting shows up as a digest mismatch.
 //!
+//! The same golden rows also pin the **parallel** engine: `ParSimulator`
+//! under a random partition must reproduce the identical trace digest
+//! and counters for every worker count `P` in {1, 2, 4, 8} — the
+//! determinism contract of `logicsim::sim::par_engine`.
+//!
 //! Regenerate the table with
 //! `cargo test --test golden_trace -- --ignored --nocapture`.
 
 use logicsim::circuits::Benchmark;
+use logicsim::partition::{Partitioner, RandomPartitioner};
 use logicsim::sim::stimulus::run_with_stimulus;
-use logicsim::sim::{SimConfig, Simulator, TickTrace, WorkloadCounters};
+use logicsim::sim::{ParSimulator, SimConfig, Simulator, TickTrace, WorkloadCounters};
 
 /// FNV-1a 64-bit over a byte slice, continuing from `h`.
 fn fnv1a(h: &mut u64, bytes: &[u8]) {
@@ -99,6 +105,48 @@ fn measure(bench: Benchmark) -> Golden {
     }
 }
 
+/// Runs the identical measurement recipe on the parallel engine with a
+/// seeded random partition over `workers` parts.
+fn measure_par(bench: Benchmark, workers: usize) -> Golden {
+    let inst = bench.build_default();
+    let mut stim = inst
+        .stimulus
+        .build(&inst.netlist, 0x1987)
+        .expect("benchmark stimulus resolves");
+    let part = RandomPartitioner::new(0x1987).partition(&inst.netlist, workers as u32);
+    let mut sim = ParSimulator::with_config(
+        &inst.netlist,
+        part.as_slice(),
+        workers,
+        SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        },
+    )
+    .expect("pre-flight");
+    let warmup = 8 * inst.vector_period.max(1);
+    sim.run_with(warmup, |tick, frame| {
+        stim.apply_with(tick, |net, level| frame.set(net, level));
+    });
+    sim.reset_measurements();
+    sim.run_with(warmup + 3_000, |tick, frame| {
+        stim.apply_with(tick, |net, level| frame.set(net, level));
+    });
+    let c: WorkloadCounters = sim.counters().clone();
+    let trace = sim.take_trace();
+    Golden {
+        digest: trace_digest(&trace),
+        busy_ticks: c.busy_ticks,
+        idle_ticks: c.idle_ticks,
+        events: c.events,
+        messages_inf: c.messages_inf,
+        evaluations: c.evaluations,
+        group_resolutions: c.group_resolutions,
+        event_list_peak: c.event_list_peak,
+        event_list_sum: c.event_list_sum,
+    }
+}
+
 fn check(bench: Benchmark, expect: Golden) {
     let got = measure(bench);
     assert_eq!(
@@ -107,6 +155,15 @@ fn check(bench: Benchmark, expect: Golden) {
         "{}: trace/counters diverged from the pre-refactor engine",
         bench.paper_name()
     );
+    for workers in [1usize, 2, 4, 8] {
+        let par = measure_par(bench, workers);
+        assert_eq!(
+            par,
+            expect,
+            "{}: ParSimulator at P={workers} diverged from the serial golden trace",
+            bench.paper_name()
+        );
+    }
 }
 
 #[test]
