@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Parameterizable generators for the five WUCS-86-19 benchmark
 //! circuits.
 //!

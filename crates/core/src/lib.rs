@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Analytical performance model of multiprocessor logic simulation
 //! machines — the primary contribution of Wong & Franklin, *Performance
 //! Analysis and Design of a Logic Simulation Machine* (WUCS-86-19 /

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Cycle-level discrete-event simulator of the `UI/GC/Q=P/P/L` logic
 //! simulation machine (the paper's Figure 1).
 //!

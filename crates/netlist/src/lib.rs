@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Gate/switch-level circuit representation.
 //!
 //! This crate is the structural substrate for the WUCS-86-19 reproduction:

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Circuit partitioning strategies and message-volume measurement.
 //!
 //! The paper's communication model assumes **random partitioning**

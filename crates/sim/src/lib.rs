@@ -37,8 +37,10 @@ pub mod heap_list;
 pub mod instrument;
 pub mod par_engine;
 mod par_sync;
+mod phase_check;
 pub mod solver;
 pub mod stimulus;
+mod sync_shim;
 pub mod trace;
 pub mod vcd;
 pub mod wheel;

@@ -54,9 +54,17 @@
 //! master without waking the workers, mirroring the serial engine's
 //! cheap idle ticks (and the modeled machine's START/DONE-only cycles).
 
+// The engine drives par_sync's unsafe accessors directly (the phase
+// discipline justifying each call is engine-level knowledge, so a
+// "safe" wrapper here would only hide the obligation); it is on the
+// `cargo xtask lint-unsafe` allowlist and every block carries a SAFETY
+// comment. See also DESIGN.md's safety argument.
+#![allow(unsafe_code)]
+
 use crate::engine::{relax_power_up, EvalKind, Image, PreflightError, SimConfig, StampSet};
 use crate::instrument::{ActivityProfile, WorkloadCounters};
 use crate::par_sync::{SharedSlots, SharedVec, SpinBarrier};
+use crate::phase_check::{self, PhaseClock};
 use crate::solver;
 use crate::trace::{EventRecord, TickRecord, TickTrace};
 use crate::wheel::TimingWheel;
@@ -191,11 +199,15 @@ struct Core<'a> {
     cmd: SharedSlots<Cmd>,
     /// Phase barrier over `workers + 1` parties.
     barrier: SpinBarrier,
+    /// Phase clock shared with the barrier and (under `phase-check`)
+    /// every recorder; the master bumps it after a run's workers join
+    /// so between-run accesses get their own phase.
+    clock: PhaseClock,
 }
 
 impl Core<'_> {
     fn num_parties(&self) -> usize {
-        self.workers + 1
+        self.parties.len()
     }
 
     /// External (non-switch) drive on a net from the shared drive array.
@@ -208,6 +220,8 @@ impl Core<'_> {
     unsafe fn external_drive(&self, net: NetId) -> Signal {
         let mut v = Signal::FLOATING;
         for &d in self.img.ext_drivers.row(net.index()) {
+            // SAFETY: forwards this method's own contract — no party
+            // writes these `comp_drive` entries in the current phase.
             v = v.resolve(unsafe { self.comp_drive.get(d as usize) });
         }
         v
@@ -731,11 +745,13 @@ fn party_eval(core: &Core<'_>, party: usize, tick: u64, pass: u32) {
 
 /// The worker thread body: wait for a command, run it, join.
 fn worker_loop(core: &Core<'_>, party: usize) {
+    phase_check::set_party(party);
     loop {
         core.barrier.wait();
         // SAFETY: the master wrote the command before releasing the
-        // barrier and does not touch it during the phase.
-        let cmd = unsafe { *core.cmd.get_mut(0) };
+        // barrier and does not touch it during the phase; all workers
+        // may read it concurrently.
+        let cmd = unsafe { *core.cmd.get(0) };
         if matches!(cmd, Cmd::Exit) {
             break;
         }
@@ -898,8 +914,14 @@ impl<'a> ParSimulator<'a> {
             })
             .collect();
         let group_owner = compute_group_owner(netlist, &img, num_parties);
-        let parties =
-            SharedSlots::from_iter((0..num_parties).map(|_| PartyState::new(config.wheel_size)));
+        // One phase clock for the whole engine: the barrier advances it
+        // at every crossing, and (under `phase-check`) every shared
+        // container stamps accesses with it.
+        let clock = PhaseClock::new();
+        let parties = SharedSlots::from_iter(
+            (0..num_parties).map(|_| PartyState::new(config.wheel_size)),
+            &clock,
+        );
 
         Ok(ParSimulator {
             core: Core {
@@ -910,13 +932,14 @@ impl<'a> ParSimulator<'a> {
                 assignment: assignment.to_vec(),
                 owner,
                 group_owner,
-                net_values: SharedVec::from_vec(net_values),
-                comp_drive: SharedVec::from_vec(comp_drive),
-                last_scheduled: SharedVec::from_vec(last_scheduled),
-                pending: SharedVec::from_vec(vec![None; nc]),
+                net_values: SharedVec::from_vec(net_values, &clock),
+                comp_drive: SharedVec::from_vec(comp_drive, &clock),
+                last_scheduled: SharedVec::from_vec(last_scheduled, &clock),
+                pending: SharedVec::from_vec(vec![None; nc], &clock),
                 parties,
-                cmd: SharedSlots::from_iter([Cmd::Exit]),
-                barrier: SpinBarrier::new(num_parties),
+                cmd: SharedSlots::from_iter([Cmd::Exit], &clock),
+                barrier: SpinBarrier::new(num_parties, &clock),
+                clock,
             },
             m: Master::new(nn, nc, num_groups, num_parties),
         })
@@ -959,6 +982,16 @@ impl<'a> ParSimulator<'a> {
     #[must_use]
     pub fn level(&self, net: NetId) -> Level {
         self.signal(net).level
+    }
+
+    /// Snapshot of every net's resolved signal, indexed by net id — the
+    /// post-run bulk counterpart of per-net [`ParSimulator::signal`]
+    /// (e.g. for diffing whole-circuit state against the serial engine).
+    #[must_use]
+    pub fn signals(&self) -> Vec<Signal> {
+        // No worker threads exist outside `run_with`, so the snapshot
+        // cannot observe a concurrent writer.
+        self.core.net_values.snapshot()
     }
 
     /// Workload counters accumulated so far (identical to the serial
@@ -1079,6 +1112,12 @@ impl<'a> ParSimulator<'a> {
                 std::panic::resume_unwind(p);
             }
         });
+        // The workers' last act was reading `Cmd::Exit` *after* the
+        // shutdown barrier crossing, in the then-current phase. Open a
+        // fresh phase now that they have joined, so the master's
+        // between-run accesses (and the next run's first command
+        // publish) never share a phase with that final read.
+        self.core.clock.advance();
     }
 }
 

@@ -1,0 +1,474 @@
+//! Dynamic phase-discipline checker for the parallel engine.
+//!
+//! The soundness of [`crate::par_sync`]'s `unsafe` accessors rests on
+//! the engine's single-writer-per-phase discipline: within one
+//! barrier-delimited phase each shared element is written by at most
+//! one party, and no party reads an element another party wrote in the
+//! same phase. This module, enabled by the `phase-check` feature,
+//! *checks that discipline at runtime*: every `SharedVec::get`/`set`
+//! and `SharedSlots::get_mut` records `(phase epoch, writer, reader
+//! set)` per element in a side table and panics the moment an access
+//! violates the contract — turning a latent data race into a
+//! deterministic failure with element, phase, and party identities.
+//!
+//! Phase epochs come from a [`PhaseClock`] advanced by the *last
+//! arriver* of each [`crate::par_sync::SpinBarrier`] crossing, at the
+//! instant it reopens the barrier. Because the epoch can only change
+//! once every party has arrived (parties spinning in `wait` perform no
+//! shared accesses), all accesses within one phase observe exactly one
+//! epoch value — no extra synchronization or engine instrumentation is
+//! needed beyond construction-time plumbing.
+//!
+//! Party identities are thread-local: worker threads call
+//! [`set_party`] with their worker index; every unregistered thread
+//! (the master, tests, `snapshot` callers) reports as
+//! [`MASTER_PARTY`]. With the feature disabled every type here is a
+//! zero-sized no-op and the engine compiles to the same code as
+//! before.
+
+/// Party id reported by threads that never called [`set_party`]: the
+/// master, plus any external thread touching shared state between
+/// runs. Worker parties must stay below this value.
+#[cfg_attr(not(feature = "phase-check"), allow(dead_code))] // referenced by the checker only
+pub(crate) const MASTER_PARTY: usize = 15;
+
+#[cfg(feature = "phase-check")]
+mod imp {
+    use super::MASTER_PARTY;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    std::thread_local! {
+        static PARTY: std::cell::Cell<usize> =
+            const { std::cell::Cell::new(MASTER_PARTY) };
+    }
+
+    /// Registers the calling thread's party id for access recording.
+    pub(crate) fn set_party(party: usize) {
+        assert!(
+            party < MASTER_PARTY,
+            "phase-check supports at most {MASTER_PARTY} worker parties (got id {party})"
+        );
+        PARTY.with(|p| p.set(party));
+    }
+
+    fn party() -> usize {
+        PARTY.with(std::cell::Cell::get)
+    }
+
+    /// Monotone phase counter shared by the barrier and every recorder.
+    ///
+    /// Advanced exactly once per barrier crossing, by the last arriver.
+    #[derive(Clone, Debug, Default)]
+    pub(crate) struct PhaseClock(Arc<AtomicU64>);
+
+    impl PhaseClock {
+        /// Starts a clock at phase 0.
+        pub(crate) fn new() -> PhaseClock {
+            PhaseClock::default()
+        }
+
+        /// Advances to the next phase (barrier internals only).
+        #[inline]
+        pub(crate) fn advance(&self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        fn epoch(&self) -> u32 {
+            // Wrapping to 32 bits: a stale entry could only be revived
+            // after 2^32 barrier crossings between two accesses to the
+            // same element, which no test run approaches.
+            self.0.load(Ordering::Relaxed) as u32
+        }
+    }
+
+    // Per-element access word: | epoch:32 | writer+1:8 | readers:16 |.
+    // `writer == 0` means "no write this phase"; reader bit `p` means
+    // party `p` read the element this phase.
+    const READER_BITS: u32 = 16;
+    const WRITER_BITS: u32 = 8;
+
+    fn pack(epoch: u32, writer_plus1: u64, readers: u64) -> u64 {
+        (u64::from(epoch) << (READER_BITS + WRITER_BITS)) | (writer_plus1 << READER_BITS) | readers
+    }
+
+    fn unpack(word: u64) -> (u32, u64, u64) {
+        (
+            (word >> (READER_BITS + WRITER_BITS)) as u32,
+            (word >> READER_BITS) & ((1 << WRITER_BITS) - 1),
+            word & ((1 << READER_BITS) - 1),
+        )
+    }
+
+    /// Per-element access recorder for one shared container.
+    #[derive(Debug)]
+    pub(crate) struct Recorder {
+        clock: PhaseClock,
+        words: Box<[AtomicU64]>,
+    }
+
+    impl Recorder {
+        /// A recorder for `len` elements stamped by `clock`.
+        pub(crate) fn new(clock: &PhaseClock, len: usize) -> Recorder {
+            Recorder {
+                clock: clock.clone(),
+                words: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            }
+        }
+
+        /// Records a read of element `i`, panicking if another party
+        /// wrote it in the current phase.
+        #[inline]
+        pub(crate) fn on_read(&self, i: usize) {
+            let me = party();
+            let epoch = self.clock.epoch();
+            let mut cur = self.words[i].load(Ordering::Relaxed);
+            loop {
+                let (e, w, readers) = unpack(cur);
+                let new = if e == epoch {
+                    if w != 0 && w as usize - 1 != me {
+                        violation(i, epoch, &read_of_write(me, w as usize - 1));
+                    }
+                    pack(epoch, w, readers | (1 << me))
+                } else {
+                    pack(epoch, 0, 1 << me)
+                };
+                match self.words[i].compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+
+        /// Records a write of element `i`, panicking if another party
+        /// wrote *or read* it in the current phase.
+        #[inline]
+        pub(crate) fn on_write(&self, i: usize) {
+            let me = party();
+            let epoch = self.clock.epoch();
+            let mut cur = self.words[i].load(Ordering::Relaxed);
+            loop {
+                let (e, w, readers) = unpack(cur);
+                let new = if e == epoch {
+                    if w != 0 && w as usize - 1 != me {
+                        violation(i, epoch, &two_writers(me, w as usize - 1));
+                    }
+                    let foreign = readers & !(1 << me);
+                    if foreign != 0 {
+                        violation(i, epoch, &write_after_read(me, foreign));
+                    }
+                    pack(epoch, me as u64 + 1, readers)
+                } else {
+                    pack(epoch, me as u64 + 1, 0)
+                };
+                match self.words[i].compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    fn name(p: usize) -> String {
+        if p == MASTER_PARTY {
+            "master".to_owned()
+        } else {
+            format!("worker {p}")
+        }
+    }
+
+    fn read_of_write(me: usize, writer: usize) -> String {
+        format!("read by {} of an element {} wrote", name(me), name(writer))
+    }
+
+    fn two_writers(me: usize, writer: usize) -> String {
+        format!(
+            "write by {} to an element {} already wrote",
+            name(me),
+            name(writer)
+        )
+    }
+
+    fn write_after_read(me: usize, foreign: u64) -> String {
+        let readers: Vec<String> = (0..MASTER_PARTY + 1)
+            .filter(|p| foreign & (1 << p) != 0)
+            .map(name)
+            .collect();
+        format!(
+            "write by {} to an element already read by {}",
+            name(me),
+            readers.join(", ")
+        )
+    }
+
+    #[cold]
+    fn violation(i: usize, epoch: u32, what: &str) -> ! {
+        panic!("phase-discipline violation at element {i} in phase {epoch}: {what}");
+    }
+}
+
+#[cfg(not(feature = "phase-check"))]
+mod imp {
+    /// No-op stand-in; see the `phase-check` build.
+    #[inline]
+    pub(crate) fn set_party(_party: usize) {}
+
+    /// Zero-sized stand-in for the phase counter.
+    #[derive(Clone, Debug, Default)]
+    pub(crate) struct PhaseClock;
+
+    impl PhaseClock {
+        /// Zero-sized; nothing to start.
+        pub(crate) fn new() -> PhaseClock {
+            PhaseClock
+        }
+
+        /// No-op.
+        #[inline]
+        pub(crate) fn advance(&self) {}
+    }
+
+    /// Zero-sized stand-in for the access recorder.
+    #[derive(Debug)]
+    pub(crate) struct Recorder;
+
+    impl Recorder {
+        /// Zero-sized; nothing to allocate.
+        pub(crate) fn new(_clock: &PhaseClock, _len: usize) -> Recorder {
+            Recorder
+        }
+
+        /// No-op.
+        #[inline]
+        pub(crate) fn on_read(&self, _i: usize) {}
+
+        /// No-op.
+        #[inline]
+        pub(crate) fn on_write(&self, _i: usize) {}
+    }
+}
+
+pub(crate) use imp::{set_party, PhaseClock, Recorder};
+
+#[cfg(all(test, feature = "phase-check"))]
+mod tests {
+    use super::*;
+
+    fn recorder() -> (PhaseClock, Recorder) {
+        let clock = PhaseClock::new();
+        let rec = Recorder::new(&clock, 8);
+        (clock, rec)
+    }
+
+    #[test]
+    fn single_writer_per_phase_is_legal() {
+        let (clock, rec) = recorder();
+        set_party(0);
+        rec.on_write(3);
+        rec.on_read(3); // own write, own read: fine
+        clock.advance();
+        set_party(1);
+        rec.on_write(3); // new phase, new writer: fine
+    }
+
+    #[test]
+    fn disjoint_elements_same_phase_are_legal() {
+        let (_clock, rec) = recorder();
+        set_party(0);
+        rec.on_write(0);
+        set_party(1);
+        rec.on_write(1);
+        rec.on_read(2);
+        set_party(0);
+        rec.on_read(2); // shared read-only element: fine
+    }
+
+    #[test]
+    #[should_panic(expected = "phase-discipline violation")]
+    fn two_writers_same_phase_panics() {
+        let (_clock, rec) = recorder();
+        set_party(0);
+        rec.on_write(5);
+        set_party(1);
+        rec.on_write(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase-discipline violation")]
+    fn read_of_foreign_write_same_phase_panics() {
+        let (_clock, rec) = recorder();
+        set_party(0);
+        rec.on_write(2);
+        set_party(1);
+        rec.on_read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase-discipline violation")]
+    fn write_after_foreign_read_same_phase_panics() {
+        let (_clock, rec) = recorder();
+        set_party(0);
+        rec.on_read(7);
+        set_party(1);
+        rec.on_write(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 15 worker parties")]
+    fn party_ids_must_stay_below_master() {
+        set_party(MASTER_PARTY);
+    }
+}
+
+/// Randomized checker properties: any schedule honoring the phase
+/// discipline passes silently, and any legal schedule plus ONE
+/// discipline-breaking access is always caught, whatever the
+/// surrounding traffic.
+#[cfg(all(test, feature = "phase-check"))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ELEMS: usize = 6;
+    const PARTIES: usize = 4;
+
+    #[derive(Clone, Copy, Debug)]
+    struct Access {
+        party: usize,
+        elem: usize,
+        write: bool,
+    }
+
+    /// One phase per inner vec; accesses replay in order with the
+    /// clock advanced between phases.
+    fn run_schedule(phases: &[Vec<Access>]) {
+        let clock = PhaseClock::new();
+        let rec = Recorder::new(&clock, ELEMS);
+        for (k, phase) in phases.iter().enumerate() {
+            if k > 0 {
+                clock.advance();
+            }
+            for a in phase {
+                set_party(a.party);
+                if a.write {
+                    rec.on_write(a.elem);
+                } else {
+                    rec.on_read(a.elem);
+                }
+            }
+        }
+    }
+
+    /// A legal schedule: per phase, each element is either untouched,
+    /// owned by a single party (any read/write mix), or read-shared.
+    /// Accesses are shuffled within each phase. Always non-empty.
+    fn build_schedule(rng: &mut TestRng) -> Vec<Vec<Access>> {
+        let num_phases = rng.gen_range(1..=5);
+        let mut phases = Vec::with_capacity(num_phases);
+        for _ in 0..num_phases {
+            let mut phase: Vec<Access> = Vec::new();
+            for elem in 0..ELEMS {
+                match rng.gen_range(0..3u32) {
+                    0 => {} // untouched this phase
+                    1 => {
+                        // Single-party ownership: reads and writes mix.
+                        let party = rng.gen_range(0..PARTIES);
+                        for _ in 0..rng.gen_range(1..=3) {
+                            phase.push(Access {
+                                party,
+                                elem,
+                                write: rng.gen_range(0..2u32) == 0,
+                            });
+                        }
+                    }
+                    _ => {
+                        // Read-shared: any parties, reads only.
+                        for _ in 0..rng.gen_range(1..=3) {
+                            phase.push(Access {
+                                party: rng.gen_range(0..PARTIES),
+                                elem,
+                                write: false,
+                            });
+                        }
+                    }
+                }
+            }
+            // Fisher–Yates shuffle: element interleaving within a
+            // phase must not matter.
+            for i in (1..phase.len()).rev() {
+                phase.swap(i, rng.gen_range(0..=i));
+            }
+            phases.push(phase);
+        }
+        if phases.iter().all(Vec::is_empty) {
+            phases[0].push(Access {
+                party: 0,
+                elem: 0,
+                write: true,
+            });
+        }
+        phases
+    }
+
+    fn schedules() -> impl Strategy<Value = Vec<Vec<Access>>> {
+        any::<u64>().prop_perturb(|_, mut rng| build_schedule(&mut rng))
+    }
+
+    /// A legal schedule plus one mutation: a *write* to some accessed
+    /// element by a party other than one that touched it — which is a
+    /// violation whether the element was single-party or read-shared.
+    fn mutated_schedules() -> impl Strategy<Value = (Vec<Vec<Access>>, usize)> {
+        any::<u64>().prop_perturb(|_, mut rng| {
+            let mut phases = build_schedule(&mut rng);
+            let candidates: Vec<usize> = phases
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| !p.is_empty())
+                .map(|(k, _)| k)
+                .collect();
+            let k = candidates[rng.gen_range(0..candidates.len())];
+            let victim = phases[k][rng.gen_range(0..phases[k].len())];
+            let attacker = (victim.party + 1 + rng.gen_range(0..PARTIES - 1)) % PARTIES;
+            phases[k].push(Access {
+                party: attacker,
+                elem: victim.elem,
+                write: true,
+            });
+            (phases, k)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn legal_schedules_never_panic(phases in schedules()) {
+            run_schedule(&phases);
+        }
+
+        #[test]
+        fn single_mutation_is_always_caught((phases, _k) in mutated_schedules()) {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_schedule(&phases);
+            }));
+            let payload = result.expect_err("the seeded violation must panic");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            prop_assert!(
+                msg.contains("phase-discipline violation"),
+                "unexpected panic: {msg}"
+            );
+        }
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Workload characterization for logic-simulation traces.
 //!
 //! This crate turns raw measurements from the event-driven simulator into

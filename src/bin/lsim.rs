@@ -357,7 +357,17 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     } else {
         print!("{}", report.render(&netlist));
     }
-    Ok(if report.at_least(deny).count() > 0 {
+    let mut rules: Vec<_> = report.at_least(deny).map(|d| d.code).collect();
+    let findings = rules.len();
+    rules.sort_unstable();
+    rules.dedup();
+    Ok(if findings > 0 {
+        // Stderr, so `--json` consumers piping stdout still see why
+        // the exit code is nonzero.
+        eprintln!(
+            "lint: {} rule(s) failing at the deny level ({findings} finding(s))",
+            rules.len()
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

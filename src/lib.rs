@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # logicsim
 //!
 //! A full reproduction of Wong & Franklin, *Performance Analysis and

@@ -1,0 +1,143 @@
+//! Modeled interior mutability (`loom::cell`) with data-race detection.
+
+use crate::rt;
+use std::panic::Location;
+use std::sync::Mutex;
+
+/// Per-cell access history for the vector-clock race check.
+#[derive(Default)]
+struct Meta {
+    /// Last write, as `(thread, epoch)` plus its location.
+    write: Option<(usize, u32, &'static Location<'static>)>,
+    /// Per-thread epoch of each thread's last read, with location.
+    reads: Vec<Option<(u32, &'static Location<'static>)>>,
+}
+
+/// An `UnsafeCell` whose accesses are checked for data races while a
+/// [`crate::model`] is running: an access must happen-after every
+/// conflicting access (write-write, read-write), per the clocks the
+/// modeled atomics establish. Outside a model, accesses pass through.
+#[derive(Default)]
+pub struct UnsafeCell<T> {
+    v: std::cell::UnsafeCell<T>,
+    meta: Mutex<Meta>,
+}
+
+// SAFETY: unlike `std::cell::UnsafeCell`, the modeled cell may be
+// shared between modeled threads — that is its purpose: every access
+// goes through `with`/`with_mut`, which panic on unordered (racy)
+// access instead of exhibiting UB (accesses run one at a time under
+// the model scheduler).
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> std::fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("UnsafeCell(..)")
+    }
+}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps `v`.
+    pub fn new(v: T) -> UnsafeCell<T> {
+        UnsafeCell {
+            v: std::cell::UnsafeCell::new(v),
+            meta: Mutex::new(Meta::default()),
+        }
+    }
+
+    /// Immutable access: checked against concurrent writes.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let loc = Location::caller();
+        if let Some(ctx) = rt::current() {
+            // The verdict is computed under the runtime lock but the
+            // panic is raised only after both guards drop, so a
+            // detected race cannot poison the scheduler state.
+            let conflict = {
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                ctx.exec.with_clock(ctx.id, |clk| {
+                    let conflict = match meta.write {
+                        Some((w, e, wloc)) if e > clk.get(w) => Some(wloc),
+                        _ => None,
+                    };
+                    if conflict.is_none() {
+                        if meta.reads.len() <= ctx.id {
+                            meta.reads.resize(ctx.id + 1, None);
+                        }
+                        meta.reads[ctx.id] = Some((clk.get(ctx.id), loc));
+                    }
+                    conflict
+                })
+            };
+            if let Some(wloc) = conflict {
+                race("read", loc, "write", wloc);
+            }
+        }
+        f(self.v.get())
+    }
+
+    /// Mutable access: checked against concurrent reads and writes.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let loc = Location::caller();
+        if let Some(ctx) = rt::current() {
+            let conflict = {
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                ctx.exec.with_clock(ctx.id, |clk| {
+                    let mut conflict = match meta.write {
+                        Some((w, e, wloc)) if e > clk.get(w) => Some(("write", wloc)),
+                        _ => None,
+                    };
+                    if conflict.is_none() {
+                        for (t, r) in meta.reads.iter().enumerate() {
+                            if let Some((e, rloc)) = *r {
+                                if e > clk.get(t) {
+                                    conflict = Some(("read", rloc));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if conflict.is_none() {
+                        // This write happens-after everything recorded;
+                        // prior reads are subsumed by the write epoch.
+                        meta.reads.clear();
+                        meta.write = Some((ctx.id, clk.get(ctx.id), loc));
+                    }
+                    conflict
+                })
+            };
+            if let Some((kind, ploc)) = conflict {
+                race("write", loc, kind, ploc);
+            }
+        }
+        f(self.v.get())
+    }
+
+    /// The raw pointer, unchecked (parity with `std::cell::UnsafeCell`;
+    /// prefer [`UnsafeCell::with`]/[`UnsafeCell::with_mut`]).
+    pub fn get(&self) -> *mut T {
+        self.v.get()
+    }
+
+    /// Consumes the cell.
+    pub fn into_inner(self) -> T {
+        self.v.into_inner()
+    }
+}
+
+#[track_caller]
+fn race(
+    kind: &str,
+    loc: &'static Location<'static>,
+    prior_kind: &str,
+    prior: &'static Location<'static>,
+) -> ! {
+    panic!(
+        "loom: data race — {kind} at {} is unordered with {prior_kind} at {}",
+        rt::fmt_loc(Some(loc)),
+        rt::fmt_loc(Some(prior)),
+    );
+}

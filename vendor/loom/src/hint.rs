@@ -1,0 +1,10 @@
+//! Modeled spin hints (`loom::hint`).
+
+/// Spin-loop hint. Inside a model this is a scheduler yield — required
+/// in every busy-wait loop so exploration stays finite.
+pub fn spin_loop() {
+    match crate::rt::current() {
+        Some(ctx) => ctx.exec.switch(ctx.id, crate::rt::SwitchKind::Yield),
+        None => std::hint::spin_loop(),
+    }
+}

@@ -1,0 +1,127 @@
+//! The exploration driver: run the body under every schedule.
+
+use crate::rt::{run_modeled, Execution};
+use std::sync::Arc;
+
+/// Configures a model-checking run.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution
+    /// (CHESS-style bounding); `None` explores every interleaving.
+    /// Defaults to `LOOM_MAX_PREEMPTIONS` if set, else `None`.
+    pub preemption_bound: Option<usize>,
+    /// Abort an execution whose schedule exceeds this many decisions
+    /// (livelock guard).
+    pub max_steps: usize,
+    /// File that receives the failing schedule, for CI artifacts.
+    /// Defaults to `LOOM_CHECKPOINT_FILE` if set.
+    pub checkpoint_file: Option<std::path::PathBuf>,
+    /// Print exploration progress to stderr (`LOOM_LOG`).
+    pub log: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// A builder honoring the `LOOM_*` environment variables.
+    #[must_use]
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: std::env::var("LOOM_MAX_PREEMPTIONS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            max_steps: 100_000,
+            checkpoint_file: std::env::var_os("LOOM_CHECKPOINT_FILE").map(std::path::PathBuf::from),
+            log: std::env::var_os("LOOM_LOG").is_some(),
+        }
+    }
+
+    /// Explores every schedule of `f` (within the preemption bound).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing execution, after
+    /// printing (and checkpointing) the failing schedule.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions = 0u64;
+        loop {
+            executions += 1;
+            let exec = Arc::new(Execution::new(
+                prefix.clone(),
+                self.preemption_bound,
+                self.max_steps,
+            ));
+            let body = Arc::clone(&f);
+            let e2 = Arc::clone(&exec);
+            let main = std::thread::Builder::new()
+                .name("loom-thread-0".into())
+                .spawn(move || run_modeled(e2, 0, move || body()))
+                .expect("loom: spawning modeled thread 0");
+            exec.add_handle(main);
+            let (schedule, candidates, payload) = exec.harvest();
+            if let Some(p) = payload {
+                eprintln!(
+                    "loom: execution {executions} failed; schedule = {schedule:?} \
+                     (set LOOM_MAX_PREEMPTIONS / LOOM_CHECKPOINT_FILE to tune/capture)"
+                );
+                if let Some(path) = &self.checkpoint_file {
+                    let body =
+                        format!("{{\"executions\":{executions},\"schedule\":{schedule:?}}}\n");
+                    if let Err(e) = std::fs::write(path, body) {
+                        eprintln!("loom: could not write checkpoint {}: {e}", path.display());
+                    }
+                }
+                std::panic::resume_unwind(p);
+            }
+            if self.log && executions % 10_000 == 0 {
+                eprintln!("loom: {executions} executions explored...");
+            }
+            // Depth-first: advance the deepest decision with an
+            // untried alternative, drop everything below it.
+            let mut next = None;
+            for i in (0..schedule.len()).rev() {
+                let cands = &candidates[i];
+                let pos = cands
+                    .iter()
+                    .position(|&c| c == schedule[i])
+                    .expect("loom: internal error — chosen thread not in candidates");
+                if pos + 1 < cands.len() {
+                    let mut p = schedule[..i].to_vec();
+                    p.push(cands[pos + 1]);
+                    next = Some(p);
+                    break;
+                }
+            }
+            match next {
+                Some(p) => prefix = p,
+                None => {
+                    if self.log {
+                        eprintln!("loom: exploration complete — {executions} executions");
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Explores every schedule of `f` with the default [`Builder`].
+///
+/// # Panics
+///
+/// Re-raises the panic of the first failing execution.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}

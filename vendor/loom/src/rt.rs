@@ -1,0 +1,379 @@
+//! The model-checking runtime: scheduler, schedule DFS, vector clocks.
+//!
+//! One `Execution` runs the test body once under a fixed schedule
+//! prefix. Modeled threads are real OS threads, but only the thread
+//! named by `State::active` ever runs; everyone else parks on a
+//! condvar. Each visible operation calls [`Execution::switch`], which
+//! picks the next thread (replaying the prefix, then extending it) and
+//! records the legal candidate set so [`crate::model`] can drive a
+//! depth-first search over all decisions.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::Location;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A vector clock over modeled thread ids.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn get(&self, i: usize) -> u32 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, i: usize, v: u32) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] = v;
+    }
+
+    /// Componentwise maximum (the happens-before join).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.get(i) < v {
+                self.set(i, v);
+            }
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for the given thread to finish (a `join`).
+    Blocked(usize),
+    Finished,
+}
+
+/// Why the current thread is giving up the processor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SwitchKind {
+    /// An ordinary visible operation; the thread stays runnable.
+    Op,
+    /// `yield_now`/`spin_loop`: deprioritize until others have run.
+    Yield,
+    /// Block until the given thread finishes.
+    Block(usize),
+    /// The thread's body returned.
+    Finish,
+}
+
+struct ThreadState {
+    status: Status,
+    yielded: bool,
+    clock: VClock,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    /// Index of the only thread allowed to run (`usize::MAX`: none).
+    active: usize,
+    /// Decision index within this execution.
+    step: usize,
+    /// Thread chosen at each decision; a prefix is replayed, the rest
+    /// is extended first-candidate-first.
+    schedule: Vec<usize>,
+    /// Legal candidates recorded at each decision (for the DFS).
+    candidates: Vec<Vec<usize>>,
+    preemptions: usize,
+    bound: Option<usize>,
+    max_steps: usize,
+    panicked: bool,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl State {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+}
+
+/// One execution of the model body under one schedule.
+pub(crate) struct Execution {
+    state: Mutex<State>,
+    cond: Condvar,
+    /// Real OS handles for every modeled thread, joined by the harness.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Sentinel payload unwound through threads of an aborted execution.
+pub(crate) struct Abort;
+
+fn abort_unwind() -> ! {
+    std::panic::resume_unwind(Box::new(Abort))
+}
+
+impl Execution {
+    /// Creates an execution with modeled thread 0 registered and active.
+    pub(crate) fn new(prefix: Vec<usize>, bound: Option<usize>, max_steps: usize) -> Execution {
+        let mut clock = VClock::default();
+        clock.set(0, 1);
+        Execution {
+            state: Mutex::new(State {
+                threads: vec![ThreadState {
+                    status: Status::Runnable,
+                    yielded: false,
+                    clock,
+                }],
+                active: 0,
+                step: 0,
+                schedule: prefix,
+                candidates: Vec::new(),
+                preemptions: 0,
+                bound,
+                max_steps,
+                panicked: false,
+                payload: None,
+            }),
+            cond: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(h);
+    }
+
+    /// Registers a new modeled thread spawned by `parent` and returns
+    /// its id. The child inherits the parent's clock (the spawn edge).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.threads.len();
+        let mut clock = st.threads[parent].clock.clone();
+        clock.set(id, 1);
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            yielded: false,
+            clock,
+        });
+        id
+    }
+
+    /// Parks until the thread is first scheduled. Returns `false` if
+    /// the execution aborted before that (the body must not run).
+    pub(crate) fn wait_first(&self, me: usize) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.panicked {
+                return false;
+            }
+            if st.active == me {
+                return true;
+            }
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The scheduling point: applies `kind` to the calling thread,
+    /// picks the next thread to run, and parks until rescheduled.
+    pub(crate) fn switch(&self, me: usize, kind: SwitchKind) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.panicked {
+            drop(st);
+            abort_unwind();
+        }
+        match kind {
+            SwitchKind::Op => {}
+            SwitchKind::Yield => st.threads[me].yielded = true,
+            SwitchKind::Block(t) => st.threads[me].status = Status::Blocked(t),
+            SwitchKind::Finish => st.threads[me].status = Status::Finished,
+        }
+        // Promote joins whose target has finished.
+        for i in 0..st.threads.len() {
+            if let Status::Blocked(t) = st.threads[i].status {
+                if st.threads[t].status == Status::Finished {
+                    st.threads[i].status = Status::Runnable;
+                }
+            }
+        }
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| st.threads[i].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if st.all_finished() {
+                st.active = usize::MAX;
+                self.cond.notify_all();
+                return; // `me` just finished; the execution is done.
+            }
+            st.active = usize::MAX;
+            drop(st);
+            // Let the panic propagate through the finishing/blocking
+            // thread's wrapper, which records it for the harness.
+            panic!("loom: deadlock — every live thread is blocked on a join");
+        }
+        // Yield deprioritization: a yielded thread runs again only
+        // once no non-yielded thread is runnable.
+        let fresh: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&i| !st.threads[i].yielded)
+            .collect();
+        let base = if fresh.is_empty() {
+            for t in &mut st.threads {
+                t.yielded = false;
+            }
+            runnable
+        } else {
+            fresh
+        };
+        // A switch is voluntary when the caller cannot continue (it
+        // yielded, blocked, or finished); otherwise scheduling anyone
+        // else is a preemption, limited by the CHESS-style bound.
+        let voluntary =
+            !matches!(kind, SwitchKind::Op) || st.threads[me].status != Status::Runnable;
+        let legal = match st.bound {
+            Some(b) if !voluntary && st.preemptions >= b && base.contains(&me) => vec![me],
+            _ => base,
+        };
+        let chosen = if st.step < st.schedule.len() {
+            let c = st.schedule[st.step];
+            assert!(
+                legal.contains(&c),
+                "loom: internal error — non-deterministic model body \
+                 (replayed choice {c} not in candidates {legal:?})"
+            );
+            c
+        } else {
+            let c = legal[0];
+            st.schedule.push(c);
+            c
+        };
+        debug_assert_eq!(st.candidates.len(), st.step);
+        st.candidates.push(legal);
+        if !voluntary && chosen != me {
+            st.preemptions += 1;
+        }
+        st.step += 1;
+        if st.step > st.max_steps {
+            st.active = usize::MAX;
+            drop(st);
+            panic!(
+                "loom: exceeded max_steps — livelock, or a busy loop \
+                 that never calls loom::hint::spin_loop / yield_now"
+            );
+        }
+        st.threads[chosen].yielded = false;
+        let c = st.threads[chosen].clock.get(chosen) + 1;
+        st.threads[chosen].clock.set(chosen, c);
+        st.active = chosen;
+        self.cond.notify_all();
+        if matches!(kind, SwitchKind::Finish) {
+            return;
+        }
+        while st.active != me {
+            if st.panicked {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records the primary panic of this execution and aborts everyone.
+    pub(crate) fn record_panic(&self, me: usize, payload: Box<dyn Any + Send>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.panicked {
+            st.panicked = true;
+            st.payload = Some(payload);
+        }
+        st.threads[me].status = Status::Finished;
+        st.active = usize::MAX;
+        self.cond.notify_all();
+    }
+
+    /// Marks a thread finished without recording a panic (used for the
+    /// [`Abort`] sentinel unwinding through parked threads).
+    pub(crate) fn finish_quiet(&self, me: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads[me].status = Status::Finished;
+        self.cond.notify_all();
+    }
+
+    /// Joins the target's final clock into `me` (the join edge). Call
+    /// after a `Block(target)` switch returns.
+    pub(crate) fn absorb_clock(&self, me: usize, target: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let tc = st.threads[target].clock.clone();
+        st.threads[me].clock.join(&tc);
+    }
+
+    /// Runs `f` with the calling thread's vector clock.
+    pub(crate) fn with_clock<R>(&self, me: usize, f: impl FnOnce(&mut VClock) -> R) -> R {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut st.threads[me].clock)
+    }
+
+    /// Blocks the harness until the execution completes; returns the
+    /// decisions, their candidate sets, and the primary panic (if any).
+    pub(crate) fn harvest(&self) -> (Vec<usize>, Vec<Vec<usize>>, Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !(st.panicked || st.all_finished()) {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let schedule = st.schedule.clone();
+        let candidates = st.candidates.clone();
+        let payload = st.payload.take();
+        drop(st);
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        (schedule, candidates, payload)
+    }
+}
+
+/// The body wrapper every modeled thread (including thread 0) runs.
+pub(crate) fn run_modeled(exec: Arc<Execution>, id: usize, body: impl FnOnce()) {
+    set_ctx(Some(Ctx {
+        exec: Arc::clone(&exec),
+        id,
+    }));
+    if exec.wait_first(id) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        match result {
+            Ok(()) => exec.switch(id, SwitchKind::Finish),
+            Err(p) if p.downcast_ref::<Abort>().is_some() => exec.finish_quiet(id),
+            Err(p) => exec.record_panic(id, p),
+        }
+    } else {
+        exec.finish_quiet(id);
+    }
+    set_ctx(None);
+}
+
+/// Per-OS-thread binding to the execution it models a thread of.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The modeled-thread context, or `None` outside [`crate::model`].
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Formats a source location for race reports.
+pub(crate) fn fmt_loc(loc: Option<&'static Location<'static>>) -> String {
+    match loc {
+        Some(l) => format!("{}:{}:{}", l.file(), l.line(), l.column()),
+        None => "<unknown>".to_string(),
+    }
+}

@@ -1,0 +1,168 @@
+//! Modeled synchronization primitives (`loom::sync`).
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Modeled atomics: every access is a scheduling point, and
+    //! acquire/release orderings transfer vector-clock edges.
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt::{self, SwitchKind, VClock};
+    use std::sync::Mutex;
+
+    fn acquires(o: Ordering) -> bool {
+        matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn releases(o: Ordering) -> bool {
+        matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// The clock carried by the location's current value: the release
+    /// chain (head release-store, joined by every later RMW).
+    #[derive(Default)]
+    struct Meta {
+        msg: VClock,
+    }
+
+    /// A modeled `AtomicUsize`. Outside [`crate::model`] it behaves as
+    /// the plain `std` atomic.
+    #[derive(Default)]
+    pub struct AtomicUsize {
+        v: std::sync::atomic::AtomicUsize,
+        meta: Mutex<Meta>,
+    }
+
+    impl std::fmt::Debug for AtomicUsize {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicUsize")
+                .field(&self.v.load(Ordering::Relaxed))
+                .finish()
+        }
+    }
+
+    impl AtomicUsize {
+        /// Creates a modeled atomic holding `v`.
+        pub fn new(v: usize) -> AtomicUsize {
+            AtomicUsize {
+                v: std::sync::atomic::AtomicUsize::new(v),
+                meta: Mutex::new(Meta::default()),
+            }
+        }
+
+        /// Atomic load; acquire orderings join the value's release
+        /// chain into the loading thread's clock.
+        pub fn load(&self, order: Ordering) -> usize {
+            if let Some(ctx) = rt::current() {
+                ctx.exec.switch(ctx.id, SwitchKind::Op);
+                let val = self.v.load(Ordering::SeqCst);
+                if acquires(order) {
+                    let meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                    ctx.exec.with_clock(ctx.id, |clk| clk.join(&meta.msg));
+                }
+                val
+            } else {
+                self.v.load(order)
+            }
+        }
+
+        /// Atomic store; release orderings head a new release chain,
+        /// `Relaxed` breaks the chain.
+        pub fn store(&self, val: usize, order: Ordering) {
+            if let Some(ctx) = rt::current() {
+                ctx.exec.switch(ctx.id, SwitchKind::Op);
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                if releases(order) {
+                    meta.msg = ctx.exec.with_clock(ctx.id, |clk| clk.clone());
+                } else {
+                    meta.msg.clear();
+                }
+                self.v.store(val, Ordering::SeqCst);
+            } else {
+                self.v.store(val, order);
+            }
+        }
+
+        /// Atomic fetch-add. RMWs continue the release chain whatever
+        /// their ordering (C11 release sequences).
+        pub fn fetch_add(&self, val: usize, order: Ordering) -> usize {
+            self.rmw(order, |old| old.wrapping_add(val))
+        }
+
+        /// Atomic fetch-sub.
+        pub fn fetch_sub(&self, val: usize, order: Ordering) -> usize {
+            self.rmw(order, |old| old.wrapping_sub(val))
+        }
+
+        /// Atomic swap.
+        pub fn swap(&self, val: usize, order: Ordering) -> usize {
+            self.rmw(order, |_| val)
+        }
+
+        /// Atomic compare-exchange.
+        ///
+        /// # Errors
+        ///
+        /// Returns the observed value when it differs from `current`.
+        pub fn compare_exchange(
+            &self,
+            current: usize,
+            new: usize,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<usize, usize> {
+            if let Some(ctx) = rt::current() {
+                ctx.exec.switch(ctx.id, SwitchKind::Op);
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                let old = self.v.load(Ordering::SeqCst);
+                if old == current {
+                    if acquires(success) {
+                        ctx.exec.with_clock(ctx.id, |clk| clk.join(&meta.msg));
+                    }
+                    if releases(success) {
+                        meta.msg = ctx.exec.with_clock(ctx.id, |clk| clk.clone());
+                    }
+                    self.v.store(new, Ordering::SeqCst);
+                    Ok(old)
+                } else {
+                    if acquires(failure) {
+                        ctx.exec.with_clock(ctx.id, |clk| clk.join(&meta.msg));
+                    }
+                    Err(old)
+                }
+            } else {
+                self.v.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        fn rmw(&self, order: Ordering, f: impl Fn(usize) -> usize) -> usize {
+            if let Some(ctx) = rt::current() {
+                ctx.exec.switch(ctx.id, SwitchKind::Op);
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                let old = self.v.load(Ordering::SeqCst);
+                self.v.store(f(old), Ordering::SeqCst);
+                if acquires(order) {
+                    ctx.exec.with_clock(ctx.id, |clk| clk.join(&meta.msg));
+                }
+                if releases(order) {
+                    // After the acquire join, so the chain accumulates.
+                    meta.msg = ctx.exec.with_clock(ctx.id, |clk| clk.clone());
+                }
+                old
+            } else {
+                // Outside a model a closure-based RMW needs a CAS loop.
+                let mut old = self.v.load(Ordering::Relaxed);
+                loop {
+                    match self
+                        .v
+                        .compare_exchange_weak(old, f(old), order, Ordering::Relaxed)
+                    {
+                        Ok(_) => return old,
+                        Err(v) => old = v,
+                    }
+                }
+            }
+        }
+    }
+}

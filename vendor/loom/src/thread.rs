@@ -1,0 +1,69 @@
+//! Modeled threads (`loom::thread`).
+
+use crate::rt::{self, run_modeled, SwitchKind};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a modeled spawned thread.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a modeled thread. Must be called inside [`crate::model`].
+///
+/// # Panics
+///
+/// Panics when called outside a model run.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = rt::current().expect("loom::thread::spawn outside of loom::model");
+    let id = ctx.exec.register_thread(ctx.id);
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let exec = Arc::clone(&ctx.exec);
+    let real = std::thread::Builder::new()
+        .name(format!("loom-thread-{id}"))
+        .spawn(move || {
+            run_modeled(exec, id, move || {
+                *slot.lock().unwrap() = Some(f());
+            });
+        })
+        .expect("loom: spawning modeled thread");
+    ctx.exec.add_handle(real);
+    // The spawn itself is a visible operation: the child is now a
+    // scheduling candidate.
+    ctx.exec.switch(ctx.id, SwitchKind::Op);
+    JoinHandle { id, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, absorbing its clock (the join
+    /// happens-before edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the thread's result is unavailable (it
+    /// panicked; the model run is aborting in that case).
+    pub fn join(self) -> std::thread::Result<T> {
+        let ctx = rt::current().expect("loom: join outside of loom::model");
+        ctx.exec.switch(ctx.id, SwitchKind::Block(self.id));
+        ctx.exec.absorb_clock(ctx.id, self.id);
+        match self.result.lock().unwrap().take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("loom: joined thread did not produce a value")),
+        }
+    }
+}
+
+/// Cooperative yield: deprioritizes the calling thread until every
+/// other runnable thread has had a chance to run.
+pub fn yield_now() {
+    match rt::current() {
+        Some(ctx) => ctx.exec.switch(ctx.id, SwitchKind::Yield),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,8 @@
+//! Audit fixture: an unsafe block with no SAFETY comment (must fail).
+
+fn main() {
+    let x = 7u32;
+    let p: *const u32 = &x;
+    let y = unsafe { *p };
+    assert_eq!(y, 7);
+}

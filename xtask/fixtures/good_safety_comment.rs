@@ -1,0 +1,23 @@
+//! Audit fixture: well-formed unsafe code (passes when allowlisted).
+
+/// Reads the first element.
+///
+/// # Safety
+///
+/// `p` must point to at least one readable `u32`.
+unsafe fn first(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is readable.
+    unsafe { *p }
+}
+
+struct Wrapper(*mut u32);
+
+// SAFETY: the wrapped pointer is only dereferenced on one thread.
+unsafe impl Sync for Wrapper {}
+
+fn main() {
+    let x = 7u32;
+    // SAFETY: `&x` is valid for the duration of the call.
+    let y = unsafe { first(&x) };
+    assert_eq!(y, 7);
+}
