@@ -31,17 +31,23 @@
 //! ```
 //!
 //! `--out` additionally writes the full table as JSON (schema
-//! `logicsim-par-study-v1`).
+//! `logicsim-par-study-v2`; v2 added the measured machine parameters
+//! and the calibrated Eq. 10 prediction per row).
+//!
+//! Exits with code 2 when `LSIM_THREADS` exceeds the host core count:
+//! an oversubscribed study reports scheduling noise, not speedups.
 
 use logicsim::circuits::Benchmark;
 use logicsim::core::bounds::{comm_bound_speedup, ideal_speedup};
 use logicsim::core::speedup::speedup;
 use logicsim::core::{BaseMachine, MachineDesign};
+use logicsim::machine::MeasuredParams;
+use logicsim::measure::measured_params;
 use logicsim::partition::{FiducciaMattheysesPartitioner, Partitioner, RandomPartitioner};
 use logicsim::sim::stimulus::run_with_stimulus;
-use logicsim::sim::{ParSimulator, Simulator, WorkloadCounters};
+use logicsim::sim::{ParSimulator, SimConfig, Simulator, WorkloadCounters};
 use logicsim::stats::Workload;
-use logicsim_bench::report::{float, host_cores, metadata_v2, obj, text, uint};
+use logicsim_bench::report::{float, host_cores, lsim_threads, metadata_v2, obj, text, uint};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -83,6 +89,7 @@ struct ParRun {
     crossing: u64,
     component_msgs: u64,
     beta: f64,
+    params: MeasuredParams,
 }
 
 /// One parallel run under `strategy`, asserting bit-identical counters.
@@ -96,7 +103,16 @@ fn run_parallel(
     let inst = bench.build_default();
     let mut stim = inst.stimulus.build(&inst.netlist, SEED).expect("stimulus");
     let part = strategy.partition(&inst.netlist, workers as u32);
-    let mut sim = ParSimulator::new(&inst.netlist, part.as_slice(), workers).expect("pre-flight");
+    let mut sim = ParSimulator::with_config(
+        &inst.netlist,
+        part.as_slice(),
+        workers,
+        SimConfig {
+            observe: true,
+            ..SimConfig::default()
+        },
+    )
+    .expect("pre-flight");
     let warmup = 8 * inst.vector_period.max(1);
     sim.run_with(warmup, |tick, frame| {
         stim.apply_with(tick, |net, level| frame.set(net, level));
@@ -127,6 +143,7 @@ fn run_parallel(
         crossing: pw.messages_crossing,
         component_msgs: pw.messages_component,
         beta,
+        params: measured_params(&sim.obs_report(), workers as u32),
     }
 }
 
@@ -140,6 +157,20 @@ fn main() {
         .cloned();
     let win = window(quick);
     let base = BaseMachine::vax_11_750();
+
+    // An oversubscribed harness produces sub-1 "speedups" that are pure
+    // scheduling noise; refuse to dress those up as results.
+    if let Some(n) = lsim_threads() {
+        if n > host_cores() {
+            eprintln!(
+                "par_study: LSIM_THREADS={n} exceeds host cores ({}); \
+                 oversubscribed wall-clock speedups are meaningless — \
+                 lower LSIM_THREADS or unset it",
+                host_cores()
+            );
+            std::process::exit(2);
+        }
+    }
 
     println!(
         "par_study: window {win} ticks, host cores = {} (wall speedup\n\
@@ -165,7 +196,7 @@ fn main() {
             w.simultaneity()
         );
         println!(
-            "{:<3} {:<8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>10} {:>10} {:>6} {:>6}",
+            "{:<3} {:<8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>10} {:>10} {:>6} {:>6} {:>9} {:>7}",
             "P",
             "part",
             "wall_ms",
@@ -176,8 +207,11 @@ fn main() {
             "M_P",
             "Eq.6",
             "ratio",
-            "beta"
+            "beta",
+            "calib_ms",
+            "c_err%"
         );
+        let mut crossover: Option<f64> = None;
         for workers in SWEEP {
             let random = RandomPartitioner::new(SEED);
             let fm = FiducciaMattheysesPartitioner::new(SEED);
@@ -201,8 +235,16 @@ fn main() {
                 } else {
                     par.crossing as f64 / eq6
                 };
+                // Eq. 10 re-evaluated with the *measured* tS/tD/tE/tM
+                // of this very run (the obs layer), vs. the stopwatch.
+                let calib_ns = par.params.predict_runtime_ns(par.beta);
+                let calib_err = MeasuredParams::relative_error(calib_ns, par.wall_seconds * 1e9);
+                let row_crossover = par.params.crossover_processors(par.beta);
+                if workers == 2 && strategy.name() == "random" {
+                    crossover = Some(row_crossover);
+                }
                 println!(
-                    "{:<3} {:<8} {:>8.2} {:>7.2} {:>7.1} {:>7.1} {:>8.1} {:>10} {:>10.0} {:>6.2} {:>6.2}",
+                    "{:<3} {:<8} {:>8.2} {:>7.2} {:>7.1} {:>7.1} {:>8.1} {:>10} {:>10.0} {:>6.2} {:>6.2} {:>9.2} {:>+7.1}",
                     workers,
                     strategy.name(),
                     par.wall_seconds * 1e3,
@@ -213,7 +255,9 @@ fn main() {
                     par.crossing,
                     eq6,
                     ratio,
-                    par.beta
+                    par.beta,
+                    calib_ns / 1e6,
+                    calib_err * 100.0
                 );
                 rows.push(obj([
                     ("circuit", text(bench.paper_name())),
@@ -245,8 +289,24 @@ fn main() {
                     ("eq6_predicted", float(eq6)),
                     ("eq6_ratio", float(ratio)),
                     ("beta", float(par.beta)),
+                    ("t_sync_ns", float(par.params.t_sync_ns())),
+                    ("t_eval_ns", float(par.params.t_eval_ns)),
+                    ("t_msg_ns", float(par.params.t_msg_ns)),
+                    ("calibrated_runtime_ns", float(calib_ns)),
+                    ("calibrated_error", float(calib_err)),
+                    (
+                        "calibrated_crossover_p",
+                        if row_crossover.is_finite() {
+                            float(row_crossover)
+                        } else {
+                            Value::Null
+                        },
+                    ),
                 ]));
             }
+        }
+        if let Some(x) = crossover.filter(|x| x.is_finite()) {
+            println!("calibrated crossover (P=2 random, Eq. 16 with measured tE/tM): P* = {x:.1}");
         }
         println!();
     }
@@ -255,12 +315,15 @@ fn main() {
         "Reading: under random partitioning the M_P ratio should sit\n\
          near 1.0 (Eq. 6 is exact in expectation for C >> 1); FM falls\n\
          below it. Measured wall speedup approaches the Eq. 11/14 model\n\
-         numbers only when the host grants the threads real cores."
+         numbers only when the host grants the threads real cores.\n\
+         calib_ms re-evaluates Eq. 10 with the machine parameters the\n\
+         obs layer measured in that same run; c_err% is its signed error\n\
+         against the stopwatch."
     );
 
     if let Some(path) = out_path {
         let report = obj([
-            ("schema", text("logicsim-par-study-v1")),
+            ("schema", text("logicsim-par-study-v2")),
             ("quick", Value::Bool(quick)),
             ("window_ticks", uint(win)),
             ("metadata", metadata_v2()),

@@ -9,9 +9,13 @@
 //! committing as `BENCH_<n>.json` or archiving as a CI artifact. Every
 //! parallel run's workload counters are asserted bit-identical to the
 //! serial run's, so a snapshot doubles as a release-mode determinism
-//! check. The v2 schema adds an environment `metadata` object
+//! check. The v2 schema added an environment `metadata` object
 //! (`LSIM_THREADS`, git commit, host core count) so numbers are
-//! attributable; see `DESIGN.md` §11.
+//! attributable; see `DESIGN.md` §11. The v3 schema runs the parallel
+//! rows with the `obs` layer armed and adds, per row, the measured
+//! machine parameters (`t_sync_ns`/`t_eval_ns`/`t_msg_ns`), the
+//! calibrated Eq. 10 prediction with its signed error against the
+//! stopwatch, and per-phase p50/p95/p99 summaries.
 //!
 //! Usage:
 //!
@@ -24,9 +28,11 @@
 //! `snake_case` name; `--out -` (the default) writes to stdout.
 
 use logicsim::circuits::Benchmark;
+use logicsim::machine::MeasuredParams;
+use logicsim::measure::measured_params;
 use logicsim::partition::{Partitioner, RandomPartitioner};
 use logicsim::sim::stimulus::run_with_stimulus;
-use logicsim::sim::{ParSimulator, Simulator};
+use logicsim::sim::{ParSimulator, Phase, SimConfig, Simulator};
 use logicsim_bench::report::{float, metadata_v2, obj, peak_rss_kb, text, uint};
 use serde_json::Value;
 use std::time::Instant;
@@ -106,8 +112,16 @@ fn main() {
                 .stimulus
                 .build(&inst.netlist, 0x1987)
                 .expect("stimulus");
-            let mut psim =
-                ParSimulator::new(&inst.netlist, part.as_slice(), workers).expect("pre-flight");
+            let mut psim = ParSimulator::with_config(
+                &inst.netlist,
+                part.as_slice(),
+                workers,
+                SimConfig {
+                    observe: true,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("pre-flight");
             let t0 = Instant::now();
             psim.run_with(window, |tick, frame| {
                 pstim.apply_with(tick, |net, level| frame.set(net, level));
@@ -119,6 +133,26 @@ fn main() {
                 "{} P={workers}: parallel counters diverged from serial",
                 slug(bench)
             );
+            let report = psim.obs_report();
+            let params = measured_params(&report, workers as u32);
+            let calib_ns = params.predict_runtime_ns(1.0);
+            let phase_rows: Vec<Value> = Phase::ALL
+                .iter()
+                .filter_map(|&phase| {
+                    report.summary(phase).map(|s| {
+                        obj([
+                            ("phase", text(phase.name())),
+                            ("count", uint(s.count)),
+                            ("total_ns", uint(s.total)),
+                            ("mean_ns", float(s.mean)),
+                            ("p50_ns", uint(s.p50)),
+                            ("p95_ns", uint(s.p95)),
+                            ("p99_ns", uint(s.p99)),
+                            ("max_ns", uint(s.max)),
+                        ])
+                    })
+                })
+                .collect();
             parallel_rows.push(obj([
                 ("workers", uint(workers as u64)),
                 ("wall_seconds", float(pelapsed)),
@@ -128,6 +162,15 @@ fn main() {
                 ),
                 ("speedup", float(elapsed / pelapsed.max(1e-12))),
                 ("messages_crossing", uint(psim.messages_crossing())),
+                ("t_sync_ns", float(params.t_sync_ns())),
+                ("t_eval_ns", float(params.t_eval_ns)),
+                ("t_msg_ns", float(params.t_msg_ns)),
+                ("calibrated_runtime_ns", float(calib_ns)),
+                (
+                    "calibrated_error",
+                    float(MeasuredParams::relative_error(calib_ns, pelapsed * 1e9)),
+                ),
+                ("phases", Value::Array(phase_rows)),
             ]));
         }
 
@@ -150,7 +193,7 @@ fn main() {
     }
 
     let report = obj([
-        ("schema", text("logicsim-perf-snapshot-v2")),
+        ("schema", text("logicsim-perf-snapshot-v3")),
         ("pr", pr.map_or(Value::Null, uint)),
         ("quick", Value::Bool(quick)),
         ("peak_rss_kb", peak_rss_kb().map_or(Value::Null, uint)),

@@ -29,6 +29,7 @@
 //! assert!(report.total_cycles > 0.0);
 //! ```
 
+pub mod calibrate;
 pub mod config;
 pub mod network;
 pub mod report;
@@ -36,6 +37,7 @@ pub mod sim;
 pub mod synthetic;
 pub mod validate;
 
+pub use calibrate::MeasuredParams;
 pub use config::{MachineConfig, NetworkKind};
 pub use report::MachineReport;
 pub use sim::{simulate_synthetic, simulate_trace, MachineSim};

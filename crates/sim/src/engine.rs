@@ -31,6 +31,7 @@
 //! tick performs no heap allocation.
 
 use crate::instrument::{ActivityProfile, WorkloadCounters};
+use crate::obs::{self, Phase};
 use crate::solver;
 use crate::trace::{EventRecord, TickRecord, TickTrace};
 use crate::wheel::TimingWheel;
@@ -96,6 +97,16 @@ pub struct SimConfig {
     /// Rounds of zero-delay relaxation used to compute the initial
     /// (power-up) state before any events are counted.
     pub init_rounds: u32,
+    /// Arm the per-phase wall-clock recorder (see [`crate::obs`]). A
+    /// no-op unless the crate is built with the `obs` feature, so the
+    /// same binary can compare armed vs. unarmed runs. Timing never
+    /// feeds back into simulation state: traces and counters are
+    /// bit-identical either way.
+    pub observe: bool,
+    /// Per-lane capacity (in samples) of the observability ring buffer;
+    /// older samples are overwritten at capacity. Exact per-phase
+    /// totals are kept separately and never windowed.
+    pub obs_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -105,6 +116,8 @@ impl Default for SimConfig {
             collect_trace: false,
             max_settle_rounds: 64,
             init_rounds: 128,
+            observe: false,
+            obs_capacity: 4096,
         }
     }
 }
@@ -450,6 +463,9 @@ pub struct Simulator<'a> {
     counters: WorkloadCounters,
     activity: ActivityProfile,
     trace: TickTrace,
+    /// Per-phase wall-clock recorder (zero-sized no-op without the
+    /// `obs` feature; disarmed unless [`SimConfig::observe`]).
+    obs: obs::Lane,
     /// Reusable per-tick buffers (taken out of `self` during a step).
     ws: Worklists,
 }
@@ -490,6 +506,7 @@ impl<'a> Simulator<'a> {
             counters: WorkloadCounters::new(),
             activity: ActivityProfile::new(nc),
             trace: TickTrace::new(),
+            obs: obs::Lane::new(config.observe, obs::Origin::now(), config.obs_capacity),
             pending_seq: vec![None; nc],
             seq_counter: 0,
             ws: Worklists {
@@ -578,16 +595,29 @@ impl<'a> Simulator<'a> {
         std::mem::take(&mut self.trace)
     }
 
-    /// Resets counters, activity, and trace (not circuit state); call
-    /// after a warm-up run so measurements reflect steady state.
+    /// Resets counters, activity, trace, and phase observations (not
+    /// circuit state); call after a warm-up run so measurements reflect
+    /// steady state.
     pub fn reset_measurements(&mut self) {
         self.counters.reset();
         self.activity.reset();
+        self.obs.reset();
         self.trace = TickTrace {
             start: self.now(),
             end: self.now(),
             ticks: Vec::new(),
         };
+    }
+
+    /// Snapshot of the per-phase wall-clock observations (one lane).
+    /// Empty unless [`SimConfig::observe`] armed the recorder.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn obs_report(&self) -> obs::ObsReport {
+        obs::ObsReport {
+            lanes: vec![self.obs.report()],
+            lane_names: vec!["serial".to_string()],
+        }
     }
 
     /// Drives a primary input to `level` at the current tick.
@@ -667,6 +697,15 @@ impl<'a> Simulator<'a> {
         ws.changes.clear();
         self.wheel.pop_current_into(&mut ws.changes);
 
+        // Observe only ticks that popped work: idle ticks stay as cheap
+        // as before (no clock reads), matching the parallel engine's
+        // fast-forward path.
+        let mut m = if ws.changes.is_empty() {
+            obs::Mark::none()
+        } else {
+            self.obs.mark()
+        };
+
         // Phase 1: apply drive changes; collect affected nets with the
         // causing component. Stale changes (descheduled by a later
         // re-evaluation) are skipped — that is the inertial filter.
@@ -686,6 +725,8 @@ impl<'a> Simulator<'a> {
                 ws.affected_cause[net.index()] = comp.0;
             }
         }
+
+        m = self.obs.rec(Phase::Apply, tick, m, ws.changes.len() as u64);
 
         // Phase 2/3 loop: recompute net values (settling switch groups
         // instantaneously), record events, evaluate fanout.
@@ -707,6 +748,8 @@ impl<'a> Simulator<'a> {
             }
         }
 
+        m = self.obs.rec(Phase::Exchange, tick, m, 0);
+
         let mut rounds = 0;
         let mut events_this_tick: u64 = 0;
         loop {
@@ -725,11 +768,17 @@ impl<'a> Simulator<'a> {
                     }
                 }
             }
+            if !ws.groups_now.is_empty() {
+                m = self
+                    .obs
+                    .rec(Phase::Resolve, tick, m, ws.groups_now.len() as u64);
+            }
             if ws.changed_nets.is_empty() {
                 break;
             }
 
             // Record events and collect fanout to evaluate.
+            let messages_before = self.counters.messages_inf;
             ws.to_eval.clear();
             for &(net, cause) in &ws.changed_nets {
                 self.counters.events += 1;
@@ -748,9 +797,16 @@ impl<'a> Simulator<'a> {
                 }
             }
             ws.changed_nets.clear();
+            m = self.obs.rec(
+                Phase::Exchange,
+                tick,
+                m,
+                self.counters.messages_inf - messages_before,
+            );
 
             // Evaluate fanout components: gates schedule delayed output
             // changes; switches mark their group dirty for this tick.
+            let evals_before = self.counters.evaluations;
             for &ci in ws.to_eval.sorted() {
                 match self.img.eval[ci as usize] {
                     EvalKind::Gate { kind, delay } => {
@@ -774,6 +830,12 @@ impl<'a> Simulator<'a> {
                     EvalKind::Passive => {}
                 }
             }
+            m = self.obs.rec(
+                Phase::Eval,
+                tick,
+                m,
+                self.counters.evaluations - evals_before,
+            );
 
             if ws.dirty_groups.is_empty() {
                 break;
@@ -796,6 +858,7 @@ impl<'a> Simulator<'a> {
         }
         self.wheel.advance();
         self.trace.end = self.now();
+        self.obs.rec(Phase::Done, tick, m, events_this_tick);
     }
 
     /// Runs tick by tick until the clock reaches `tick` (exclusive).

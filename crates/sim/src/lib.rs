@@ -35,6 +35,7 @@ pub mod compiled;
 pub mod engine;
 pub mod heap_list;
 pub mod instrument;
+pub mod obs;
 pub mod par_engine;
 mod par_sync;
 mod phase_check;
@@ -49,6 +50,9 @@ pub use compiled::{CompiledSim, Levelizer};
 pub use engine::{PreflightError, SimConfig, Simulator};
 pub use heap_list::HeapEventList;
 pub use instrument::{ActivityProfile, WorkloadCounters};
+#[cfg(feature = "obs")]
+pub use obs::{LaneReport, ObsReport, PhaseSample, PhaseTotal};
+pub use obs::{Phase, NUM_PHASES};
 pub use par_engine::{InputFrame, ParSimulator};
 pub use stimulus::{RandomStimulus, SignalRole, Stimulus, StimulusSpec};
 pub use trace::{EventRecord, TickRecord, TickTrace};

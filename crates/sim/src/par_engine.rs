@@ -63,6 +63,7 @@
 
 use crate::engine::{relax_power_up, EvalKind, Image, PreflightError, SimConfig, StampSet};
 use crate::instrument::{ActivityProfile, WorkloadCounters};
+use crate::obs::{self, Phase};
 use crate::par_sync::{SharedSlots, SharedVec, SpinBarrier};
 use crate::phase_check::{self, PhaseClock};
 use crate::solver;
@@ -104,9 +105,15 @@ struct PChange {
 #[derive(Debug, Clone, Copy)]
 enum Cmd {
     /// Drain the party's current wheel slot and apply changes.
-    Apply,
+    Apply {
+        /// Current tick (observation label only).
+        tick: u64,
+    },
     /// Resolve the switch groups in the party's inbox.
-    Resolve,
+    Resolve {
+        /// Current tick (observation label only).
+        tick: u64,
+    },
     /// Evaluate the fanout components in the party's inbox; stamps are
     /// `(tick, pass, component id)`.
     Eval { tick: u64, pass: u32 },
@@ -146,10 +153,14 @@ struct PartyState {
     group_out: Vec<(NetId, Signal)>,
     /// Scratch: switch-solver buffers.
     solver: solver::Scratch,
+    /// Per-party phase recorder. Written only by the owning party
+    /// during its phase (the slot discipline covers it), so recording
+    /// takes no locks.
+    obs: obs::Lane,
 }
 
 impl PartyState {
-    fn new(wheel_size: usize) -> PartyState {
+    fn new(wheel_size: usize, obs: obs::Lane) -> PartyState {
         PartyState {
             wheel: TimingWheel::new(wheel_size),
             changes: Vec::new(),
@@ -164,6 +175,7 @@ impl PartyState {
             levels: Vec::new(),
             group_out: Vec::new(),
             solver: solver::Scratch::default(),
+            obs,
         }
     }
 }
@@ -265,10 +277,19 @@ struct Master {
     crossing: u64,
     /// Messages between assigned components (any partitions).
     component_msgs: u64,
+    /// Master-control recorder (START fan-out, exchange/merge, DONE
+    /// collection, barrier wait); master-only, never shared.
+    obs: obs::Lane,
 }
 
 impl Master {
-    fn new(num_nets: usize, num_comps: usize, num_groups: usize, num_parties: usize) -> Master {
+    fn new(
+        num_nets: usize,
+        num_comps: usize,
+        num_groups: usize,
+        num_parties: usize,
+        obs: obs::Lane,
+    ) -> Master {
         Master {
             now: 0,
             pending_total: 0,
@@ -289,12 +310,19 @@ impl Master {
             loads: vec![WorkerLoad::default(); num_parties],
             crossing: 0,
             component_msgs: 0,
+            obs,
         }
     }
 
     /// Runs one barrier-delimited phase: publish `cmd`, release the
     /// workers, do the master party's share, and join.
+    ///
+    /// Observation: `Start` times the command publish through the
+    /// release-barrier crossing (the machine's START fan-out);
+    /// `Barrier` times the join wait after the master's own share — how
+    /// long the slowest worker straggles past the master.
     fn phase(&mut self, core: &Core<'_>, cmd: Cmd) {
+        let m = self.obs.mark();
         // SAFETY: workers are parked at the barrier, so the master is
         // the unique accessor of the command slot.
         unsafe {
@@ -302,8 +330,12 @@ impl Master {
         }
         self.in_phase = true;
         core.barrier.wait();
+        self.obs
+            .rec(Phase::Start, self.now, m, core.num_parties() as u64);
         run_party_cmd(core, core.workers, cmd);
+        let m = self.obs.mark();
         core.barrier.wait();
+        self.obs.rec(Phase::Barrier, self.now, m, 0);
         self.in_phase = false;
     }
 
@@ -370,15 +402,18 @@ impl Master {
         }
 
         // Phase 1: every party drains and applies its own wheel slot.
-        self.phase(core, Cmd::Apply);
+        self.phase(core, Cmd::Apply { tick: t });
 
         // Merge affected nets; maximum stamp wins = serial
         // last-writer-wins application order.
+        let mut m = self.obs.mark();
+        let mut popped_sum = 0u64;
         self.affected.clear();
         for p in 0..np {
             // SAFETY: workers parked (see method docs).
             let st = unsafe { core.parties.get_mut(p) };
             self.pending_total -= st.popped;
+            popped_sum += st.popped;
             if !st.affected.is_empty() {
                 self.worked[p] = true;
             }
@@ -390,6 +425,7 @@ impl Master {
                 self.affected.insert(net);
             }
         }
+        m = self.obs.rec(Phase::Done, t, m, popped_sum);
 
         // Route affected nets: ordinary nets are resolved by the master
         // right here (in ascending net order, as the serial engine
@@ -412,6 +448,7 @@ impl Master {
                 }
             }
         }
+        self.obs.rec(Phase::Exchange, t, m, 0);
 
         let mut rounds = 0u32;
         let mut pass = 0u32;
@@ -421,6 +458,7 @@ impl Master {
             if !self.dirty.is_empty() {
                 // Distribute dirty groups to their cluster owners and
                 // settle them in parallel.
+                let m = self.obs.mark();
                 for p in 0..np {
                     // SAFETY: workers parked.
                     unsafe { core.parties.get_mut(p) }.gids.clear();
@@ -431,11 +469,13 @@ impl Master {
                     unsafe { core.parties.get_mut(owner) }.gids.push(gid);
                 }
                 self.dirty.clear();
-                self.phase(core, Cmd::Resolve);
+                self.obs.rec(Phase::Exchange, t, m, 0);
+                self.phase(core, Cmd::Resolve { tick: t });
                 // Merge per-party results back into ascending group
                 // order. Each group has exactly one owner, so a stable
                 // sort by group reproduces the serial resolution order
                 // (ascending group, member order within a group).
+                let m = self.obs.mark();
                 self.merged.clear();
                 for p in 0..np {
                     // SAFETY: workers parked.
@@ -454,6 +494,7 @@ impl Master {
                     let cause = core.img.net_attr[net as usize];
                     self.changed_nets.push((net, cause));
                 }
+                self.obs.rec(Phase::Done, t, m, self.merged.len() as u64);
             }
             if self.changed_nets.is_empty() {
                 break;
@@ -461,6 +502,8 @@ impl Master {
 
             // Record events in serial order; build the evaluation
             // worklist; count partition-crossing messages.
+            let mut m = self.obs.mark();
+            let messages_before = self.counters.messages_inf;
             self.to_eval.clear();
             for &(net, cause) in &self.changed_nets {
                 self.counters.events += 1;
@@ -492,6 +535,12 @@ impl Master {
                 }
             }
             self.changed_nets.clear();
+            m = self.obs.rec(
+                Phase::Exchange,
+                t,
+                m,
+                self.counters.messages_inf - messages_before,
+            );
 
             // Evaluate fanout components in parallel, each by its owner
             // in ascending id order (= serial evaluation order).
@@ -505,7 +554,9 @@ impl Master {
                 // SAFETY: workers parked.
                 unsafe { core.parties.get_mut(owner) }.eval_comps.push(ci);
             }
+            self.obs.rec(Phase::Exchange, t, m, 0);
             self.phase(core, Cmd::Eval { tick: t, pass });
+            let m = self.obs.mark();
             for p in 0..np {
                 // SAFETY: workers parked.
                 let st = unsafe { core.parties.get_mut(p) };
@@ -519,6 +570,7 @@ impl Master {
                     self.dirty.insert(g);
                 }
             }
+            self.obs.rec(Phase::Done, t, m, 0);
 
             if self.dirty.is_empty() {
                 break;
@@ -610,8 +662,8 @@ fn set_input_inner(core: &Core<'_>, m: &mut Master, net: NetId, level: Level) {
 /// Dispatches one phase command for one party.
 fn run_party_cmd(core: &Core<'_>, party: usize, cmd: Cmd) {
     match cmd {
-        Cmd::Apply => party_apply(core, party),
-        Cmd::Resolve => party_resolve(core, party),
+        Cmd::Apply { tick } => party_apply(core, party, tick),
+        Cmd::Resolve { tick } => party_resolve(core, party, tick),
         Cmd::Eval { tick, pass } => party_eval(core, party, tick, pass),
         Cmd::Exit => {}
     }
@@ -619,11 +671,12 @@ fn run_party_cmd(core: &Core<'_>, party: usize, cmd: Cmd) {
 
 /// Apply phase: drain the party's wheel slot, apply surviving changes
 /// to owned components, and report affected nets.
-fn party_apply(core: &Core<'_>, party: usize) {
+fn party_apply(core: &Core<'_>, party: usize, tick: u64) {
     // SAFETY: this party is the unique accessor of its slot during a
     // worker phase; `pending`/`comp_drive` entries touched here belong
     // to components this party owns (only owners schedule a component).
     let st = unsafe { core.parties.get_mut(party) };
+    let m = st.obs.mark();
     st.changes.clear();
     st.wheel.pop_current_into(&mut st.changes);
     st.popped = st.changes.len() as u64;
@@ -645,16 +698,22 @@ fn party_apply(core: &Core<'_>, party: usize) {
             st.affected.push((net.0, comp, stamp));
         }
     }
+    st.obs.rec(Phase::Apply, tick, m, st.popped);
 }
 
 /// Resolve phase: settle the switch groups assigned to this party, in
 /// ascending group order, writing member-net values.
-fn party_resolve(core: &Core<'_>, party: usize) {
+fn party_resolve(core: &Core<'_>, party: usize, tick: u64) {
     // SAFETY: unique slot access during a worker phase. Net reads and
     // writes stay inside this party's coupling clusters (or read nets
     // no party writes this phase); `comp_drive` is stable during
     // resolution.
     let st = unsafe { core.parties.get_mut(party) };
+    let m = if st.gids.is_empty() {
+        obs::Mark::none()
+    } else {
+        st.obs.mark()
+    };
     st.resolved.clear();
     for &gid in &st.gids {
         st.group_out.clear();
@@ -679,6 +738,8 @@ fn party_resolve(core: &Core<'_>, party: usize) {
             }
         }
     }
+    let groups = st.gids.len() as u64;
+    st.obs.rec(Phase::Resolve, tick, m, groups);
 }
 
 /// Eval phase: evaluate the fanout components assigned to this party
@@ -689,6 +750,11 @@ fn party_eval(core: &Core<'_>, party: usize, tick: u64, pass: u32) {
     // read-only in this phase; per-component state touched here belongs
     // to owned components.
     let st = unsafe { core.parties.get_mut(party) };
+    let m = if st.eval_comps.is_empty() {
+        obs::Mark::none()
+    } else {
+        st.obs.mark()
+    };
     st.scheduled = 0;
     st.evaluations = 0;
     st.dirty.clear();
@@ -741,6 +807,8 @@ fn party_eval(core: &Core<'_>, party: usize, tick: u64, pass: u32) {
             EvalKind::Passive => {}
         }
     }
+    let evals = st.evaluations;
+    st.obs.rec(Phase::Eval, tick, m, evals);
 }
 
 /// The worker thread body: wait for a command, run it, join.
@@ -918,10 +986,19 @@ impl<'a> ParSimulator<'a> {
         // at every crossing, and (under `phase-check`) every shared
         // container stamps accesses with it.
         let clock = PhaseClock::new();
+        // One shared time origin so every lane's samples land on a
+        // single comparable timeline.
+        let origin = obs::Origin::now();
         let parties = SharedSlots::from_iter(
-            (0..num_parties).map(|_| PartyState::new(config.wheel_size)),
+            (0..num_parties).map(|_| {
+                PartyState::new(
+                    config.wheel_size,
+                    obs::Lane::new(config.observe, origin, config.obs_capacity),
+                )
+            }),
             &clock,
         );
+        let master_obs = obs::Lane::new(config.observe, origin, config.obs_capacity);
 
         Ok(ParSimulator {
             core: Core {
@@ -941,7 +1018,7 @@ impl<'a> ParSimulator<'a> {
                 barrier: SpinBarrier::new(num_parties, &clock),
                 clock,
             },
-            m: Master::new(nn, nc, num_groups, num_parties),
+            m: Master::new(nn, nc, num_groups, num_parties, master_obs),
         })
     }
 
@@ -1050,8 +1127,9 @@ impl<'a> ParSimulator<'a> {
         }
     }
 
-    /// Resets counters, activity, trace, and per-worker instrumentation
-    /// (not circuit state); call after a warm-up run.
+    /// Resets counters, activity, trace, per-worker instrumentation,
+    /// and phase observations (not circuit state); call after a warm-up
+    /// run.
     pub fn reset_measurements(&mut self) {
         self.m.counters.reset();
         self.m.activity.reset();
@@ -1065,6 +1143,36 @@ impl<'a> ParSimulator<'a> {
         }
         self.m.crossing = 0;
         self.m.component_msgs = 0;
+        self.m.obs.reset();
+        for p in 0..self.core.num_parties() {
+            // SAFETY: no worker threads exist outside `run_with`.
+            unsafe { self.core.parties.get_mut(p) }.obs.reset();
+        }
+    }
+
+    /// Snapshot of the per-phase wall-clock observations: one lane per
+    /// worker, then the master lane (its own party share merged with
+    /// the control work — START fan-out, exchange, DONE collection,
+    /// barrier waits). Empty unless [`SimConfig::observe`] armed the
+    /// recorder and the crate was built with the `obs` feature.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn obs_report(&self) -> obs::ObsReport {
+        let mut lanes = Vec::with_capacity(self.core.workers + 1);
+        let mut lane_names = Vec::with_capacity(self.core.workers + 1);
+        for p in 0..self.core.workers {
+            // SAFETY: no worker threads exist outside `run_with`.
+            lanes.push(unsafe { self.core.parties.get_mut(p) }.obs.report());
+            lane_names.push(format!("worker {p}"));
+        }
+        // SAFETY: no worker threads exist outside `run_with`.
+        let mut master = unsafe { self.core.parties.get_mut(self.core.workers) }
+            .obs
+            .report();
+        master.merge(self.m.obs.report());
+        lanes.push(master);
+        lane_names.push("master".to_string());
+        obs::ObsReport { lanes, lane_names }
     }
 
     /// Drives a primary input to `level` at the current tick.

@@ -13,6 +13,7 @@
 use logicsim_netlist::{
     CompId, Component, Delay, GateKind, Level, NetId, Netlist, NetlistBuilder, Signal, SwitchKind,
 };
+use logicsim_partition::{FiducciaMattheysesPartitioner, Partitioner};
 use logicsim_sim::{ParSimulator, SimConfig, Simulator};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -341,12 +342,71 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The parallel engine under real Fiduccia–Mattheyses partitions —
+    /// data-driven min-cut assignments rather than the synthetic
+    /// round-robin deal above — still replays the serial schedule
+    /// exactly at P in {2, 3}: same counters, same trace, same
+    /// quiescent values, for arbitrary DAGs, flip schedules, and FM
+    /// refinement seeds.
+    #[test]
+    fn fm_partitioned_engine_matches_serial(
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>(), any::<usize>()), 4..40),
+        flips in proptest::collection::vec((0usize..4, any::<bool>()), 1..12),
+        fm_seed in any::<u64>(),
+    ) {
+        let netlist = build_random_dag(&ops);
+        let cfg = || SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::with_config(&netlist, cfg()).expect("pre-flight");
+        let drive = |sim: &mut dyn FnMut(NetId, Level, u64)| {
+            for (chunk, &(which, up)) in flips.iter().enumerate() {
+                let net = netlist.find_net(&format!("in{which}")).expect("input");
+                sim(net, Level::from_bool(up), (chunk as u64 + 1) * 7);
+            }
+        };
+        drive(&mut |net, level, until| {
+            sim.set_input(net, level);
+            sim.run_until(until);
+        });
+        let end = sim.now() + 200;
+        sim.run_until(end);
+
+        for workers in [2usize, 3] {
+            let part = FiducciaMattheysesPartitioner::new(fm_seed)
+                .partition(&netlist, workers as u32);
+            let mut par = ParSimulator::with_config(&netlist, part.as_slice(), workers, cfg())
+                .expect("pre-flight");
+            drive(&mut |net, level, until| {
+                par.set_input(net, level);
+                par.run_until(until);
+            });
+            par.run_until(end);
+            prop_assert_eq!(par.counters(), sim.counters(), "FM P={} counters", workers);
+            prop_assert_eq!(par.trace(), sim.trace(), "FM P={} trace", workers);
+            for i in 0..netlist.num_nets() {
+                let net = NetId(i as u32);
+                prop_assert_eq!(par.signal(net), sim.signal(net), "FM P={} net {}", workers, i);
+            }
+        }
+    }
+}
+
+/// One step of the straddling-bus input schedule (shared between the
+/// round-robin and FM switch-cluster tests below).
+enum Op {
+    Set(NetId, Level),
+    Run(u64),
+}
+
 /// A bus of pass-transistor multiplexers: every mux is a nontrivial
-/// switch group whose two switches land on *different* partitions under
-/// round-robin assignment, exercising the parallel engine's coupled
-/// group-resolution path against the serial engine.
-#[test]
-fn parallel_engine_matches_serial_on_straddling_switch_groups() {
+/// switch group (two switches coupled through a shared channel net),
+/// exercising the parallel engine's coupled group-resolution path.
+fn pt_bus() -> Netlist {
     let mut b = NetlistBuilder::new("pt-bus");
     let sel = b.input("sel");
     let sel_n = b.net("sel_n");
@@ -363,18 +423,12 @@ fn parallel_engine_matches_serial_on_straddling_switch_groups() {
         b.mark_output(y);
         outs.push(y);
     }
-    let netlist = b.finish().expect("valid");
-    let cfg = || SimConfig {
-        collect_trace: true,
-        ..SimConfig::default()
-    };
+    b.finish().expect("valid")
+}
 
-    // A little input schedule that flips the select both ways and
-    // changes the data lines while the opposite leg is conducting.
-    enum Op {
-        Set(NetId, Level),
-        Run(u64),
-    }
+/// The straddling-bus schedule: flips the select both ways and changes
+/// the data lines while the opposite leg is conducting.
+fn pt_bus_schedule(netlist: &Netlist) -> Vec<Op> {
     let net = |s: String| netlist.find_net(&s).expect("net");
     let mut schedule: Vec<Op> = Vec::new();
     for i in 0..6u32 {
@@ -390,36 +444,125 @@ fn parallel_engine_matches_serial_on_straddling_switch_groups() {
     schedule.push(Op::Run(20));
     schedule.push(Op::Set(net("sel".to_string()), Level::One));
     schedule.push(Op::Run(32));
+    schedule
+}
 
-    let mut serial = Simulator::with_config(&netlist, cfg()).expect("pre-flight");
-    for op in &schedule {
+/// Asserts the parallel run under `assignment` matches `serial` on
+/// counters, full trace, and every net, and that coupled switch groups
+/// were actually resolved along the way.
+fn check_par_against_serial(
+    netlist: &Netlist,
+    assignment: &[u32],
+    workers: usize,
+    schedule: &[Op],
+    serial: &Simulator,
+    label: &str,
+) {
+    let cfg = SimConfig {
+        collect_trace: true,
+        ..SimConfig::default()
+    };
+    let mut par = ParSimulator::with_config(netlist, assignment, workers, cfg).expect("pre-flight");
+    for op in schedule {
+        match *op {
+            Op::Set(net, level) => par.set_input(net, level),
+            Op::Run(until) => par.run_until(until),
+        }
+    }
+    assert_eq!(
+        par.counters(),
+        serial.counters(),
+        "{label} P={workers} counters"
+    );
+    assert_eq!(par.trace(), serial.trace(), "{label} P={workers} trace");
+    for i in 0..netlist.num_nets() {
+        let net = NetId(i as u32);
+        assert_eq!(
+            par.signal(net),
+            serial.signal(net),
+            "{label} P={workers} net {}",
+            netlist.net_name(net)
+        );
+    }
+    assert!(
+        par.counters().group_resolutions > 0,
+        "{label} P={workers}: groups exercised"
+    );
+}
+
+/// Runs the straddling-bus schedule serially (the reference run both
+/// partition-strategy tests compare against).
+fn pt_bus_serial<'a>(netlist: &'a Netlist, schedule: &[Op]) -> Simulator<'a> {
+    let mut serial = Simulator::with_config(
+        netlist,
+        SimConfig {
+            collect_trace: true,
+            ..SimConfig::default()
+        },
+    )
+    .expect("pre-flight");
+    for op in schedule {
         match *op {
             Op::Set(net, level) => serial.set_input(net, level),
             Op::Run(until) => serial.run_until(until),
         }
     }
+    serial
+}
 
+/// Every mux's two switches land on *different* partitions under
+/// round-robin assignment, exercising the parallel engine's coupled
+/// group-resolution path against the serial engine.
+#[test]
+fn parallel_engine_matches_serial_on_straddling_switch_groups() {
+    let netlist = pt_bus();
+    let schedule = pt_bus_schedule(&netlist);
+    let serial = pt_bus_serial(&netlist, &schedule);
     for workers in [2usize, 3] {
         let assignment = round_robin_assignment(&netlist, workers as u32);
-        let mut par =
-            ParSimulator::with_config(&netlist, &assignment, workers, cfg()).expect("pre-flight");
-        for op in &schedule {
-            match *op {
-                Op::Set(net, level) => par.set_input(net, level),
-                Op::Run(until) => par.run_until(until),
+        check_par_against_serial(&netlist, &assignment, workers, &schedule, &serial, "rr");
+    }
+}
+
+/// True when `assignment` places two switches that share a channel net
+/// — members of one switch coupling cluster — on different partitions.
+fn splits_switch_cluster(netlist: &Netlist, assignment: &[u32]) -> bool {
+    let mut parts_by_net: BTreeMap<NetId, Vec<u32>> = BTreeMap::new();
+    for (id, comp) in netlist.iter() {
+        if let Component::Switch { a, b, .. } = comp {
+            for net in [*a, *b] {
+                parts_by_net
+                    .entry(net)
+                    .or_default()
+                    .push(assignment[id.index()]);
             }
         }
-        assert_eq!(par.counters(), serial.counters(), "P={workers} counters");
-        assert_eq!(par.trace(), serial.trace(), "P={workers} trace");
-        for i in 0..netlist.num_nets() {
-            let net = NetId(i as u32);
-            assert_eq!(
-                par.signal(net),
-                serial.signal(net),
-                "P={workers} net {}",
-                netlist.net_name(net)
-            );
-        }
-        assert!(par.counters().group_resolutions > 0, "groups exercised");
+    }
+    parts_by_net
+        .values()
+        .any(|parts| parts.iter().any(|&p| p != parts[0]))
+}
+
+/// The same straddling-bus check, but with the partition produced by
+/// the Fiduccia–Mattheyses refinement rather than a synthetic deal:
+/// for each P, scan FM seeds until a refinement pass *moves* one
+/// switch of a coupling cluster across the cut, then require the
+/// parallel engine to still replay the serial schedule exactly on that
+/// partition.
+#[test]
+fn fm_partition_splitting_switch_cluster_matches_serial() {
+    let netlist = pt_bus();
+    let schedule = pt_bus_schedule(&netlist);
+    let serial = pt_bus_serial(&netlist, &schedule);
+    for workers in [2usize, 3] {
+        let split_seed = (0..64u64).find(|&seed| {
+            let part = FiducciaMattheysesPartitioner::new(seed).partition(&netlist, workers as u32);
+            splits_switch_cluster(&netlist, part.as_slice())
+        });
+        let Some(seed) = split_seed else {
+            panic!("no FM seed in 0..64 splits a switch coupling cluster at P={workers}");
+        };
+        let part = FiducciaMattheysesPartitioner::new(seed).partition(&netlist, workers as u32);
+        check_par_against_serial(&netlist, part.as_slice(), workers, &schedule, &serial, "fm");
     }
 }

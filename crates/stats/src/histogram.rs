@@ -19,8 +19,26 @@ impl Histogram {
 
     /// Records one observation of `value`.
     pub fn record(&mut self, value: u64) {
-        *self.counts.entry(value).or_insert(0) += 1;
-        self.total += 1;
+        self.record_n(value, 1);
+    }
+
+    /// Records `count` observations of `value` in one update.
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Folds every observation of `other` into `self`. Merging the
+    /// per-worker histograms of a parallel run yields exactly the
+    /// histogram a single observer of the combined stream would have
+    /// built, since a histogram is order-insensitive.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&v, &c) in &other.counts {
+            self.record_n(v, c);
+        }
     }
 
     /// Number of observations.
@@ -158,6 +176,28 @@ mod tests {
     fn out_of_range_quantile() {
         let h: Histogram = [1u64].into_iter().collect();
         let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let a: Histogram = [1u64, 2, 2, 9].into_iter().collect();
+        let b: Histogram = [2u64, 9, 9, 40].into_iter().collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let reference: Histogram = [1u64, 2, 2, 9, 2, 9, 9, 40].into_iter().collect();
+        assert_eq!(merged, reference);
+        // Merging an empty histogram is the identity.
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(7, 0);
+        assert!(h.is_empty());
+        h.record_n(7, 3);
+        assert_eq!(h.len(), 3);
     }
 
     #[test]

@@ -21,11 +21,13 @@
 pub mod average;
 pub mod histogram;
 pub mod imbalance;
+pub mod phase;
 pub mod summary;
 pub mod workload;
 
 pub use average::average_workload;
 pub use histogram::Histogram;
 pub use imbalance::{beta_from_tick_loads, max_load_factor};
+pub use phase::PhaseSummary;
 pub use summary::Summary;
 pub use workload::{NatureRow, ParallelWorkload, WorkerLoad, Workload};

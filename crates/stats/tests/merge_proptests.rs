@@ -1,0 +1,63 @@
+//! Property tests for [`Histogram::merge`]: splitting one event stream
+//! across any number of per-worker histograms and merging them back
+//! must reproduce the single-stream reference exactly, in any merge
+//! order. This is the algebraic fact the parallel engine's phase
+//! aggregation relies on.
+
+use logicsim_stats::{Histogram, PhaseSummary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merged_worker_histograms_equal_single_stream(
+        stream in proptest::collection::vec(0u64..10_000, 0..400),
+        workers in 1usize..9,
+        order_seed in any::<u64>(),
+    ) {
+        // Single observer of the whole stream.
+        let reference: Histogram = stream.iter().copied().collect();
+
+        // Deal the stream round-robin across `workers` lanes.
+        let mut lanes = vec![Histogram::new(); workers];
+        for (i, &v) in stream.iter().enumerate() {
+            lanes[i % workers].record(v);
+        }
+
+        // Merge in a seed-dependent order: merge must be commutative.
+        let mut idx: Vec<usize> = (0..workers).collect();
+        let mut s = order_seed;
+        for i in (1..idx.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            idx.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut merged = Histogram::new();
+        for &w in &idx {
+            merged.merge(&lanes[w]);
+        }
+
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(
+            PhaseSummary::from_histogram(&merged),
+            PhaseSummary::from_histogram(&reference)
+        );
+        // Totals are preserved exactly.
+        prop_assert_eq!(merged.len(), stream.len() as u64);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record(
+        pairs in proptest::collection::vec((0u64..1000, 0u64..20), 0..50),
+    ) {
+        let mut bulk = Histogram::new();
+        let mut unit = Histogram::new();
+        for &(v, c) in &pairs {
+            bulk.record_n(v, c);
+            for _ in 0..c {
+                unit.record(v);
+            }
+        }
+        prop_assert_eq!(bulk, unit);
+    }
+}

@@ -8,6 +8,10 @@
 //!                                    modeled multiprocessor and compare
 //!                                    against the paper's analytical model
 //! lsim lint    <netlist> [options]   static netlist analysis (LS0001..)
+//! lsim trace   <netlist> [options]   run the parallel engine with phase
+//!                                    timing armed; write a Chrome
+//!                                    trace_event JSON and print measured
+//!                                    machine parameters (tS/tD/tE/tM)
 //! lsim dot     <netlist>             emit Graphviz
 //! lsim bench   <name>                write a built-in benchmark circuit
 //!
@@ -32,6 +36,12 @@
 //! lint options:
 //!   --json                 print the report as JSON
 //!   --deny warnings        exit nonzero on warnings as well as errors
+//!
+//! trace options:
+//!   --p N                  worker threads (default 2)
+//!   --out FILE             Chrome trace output path (default trace.json)
+//!   accepts `bench:NAME` (default stimulus) or a netlist file with the
+//!   usual stimulus options
 //! ```
 
 use logicsim::netlist::analyze::{analyze, Severity};
@@ -47,6 +57,8 @@ struct Options {
     seed: u64,
     stimulus: StimulusSpec,
     vcd_path: Option<String>,
+    out_path: Option<String>,
+    trace_p: usize,
     machine_p: u32,
     machine_l: u32,
     machine_w: u32,
@@ -56,9 +68,10 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lsim <stats|sim|machine|dot|lint> <netlist-file> [options]\n\
+        "usage: lsim <stats|sim|machine|dot|lint|trace> <netlist-file> [options]\n\
          \x20      lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>\n\
          \x20      lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]\n\
+         \x20      lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]\n\
          options: --until T --warmup T --seed N --vcd FILE\n\
          \x20        --clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH\n\
          machine options: --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)"
@@ -73,6 +86,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 1987,
         stimulus: StimulusSpec::new(),
         vcd_path: None,
+        out_path: None,
+        trace_p: 2,
         machine_p: 8,
         machine_l: 5,
         machine_w: 1,
@@ -161,7 +176,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--vcd" => opts.vcd_path = Some(need("--vcd")?),
-            "--p" => opts.machine_p = need("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--out" => opts.out_path = Some(need("--out")?),
+            "--p" => {
+                let v: u32 = need("--p")?.parse().map_err(|e| format!("--p: {e}"))?;
+                opts.machine_p = v;
+                opts.trace_p = v.max(1) as usize;
+            }
             "--l" => opts.machine_l = need("--l")?.parse().map_err(|e| format!("--l: {e}"))?,
             "--w" => opts.machine_w = need("--w")?.parse().map_err(|e| format!("--w: {e}"))?,
             "--h" => opts.machine_h = need("--h")?.parse().map_err(|e| format!("--h: {e}"))?,
@@ -295,17 +315,20 @@ fn run_machine(netlist: &Netlist, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn bench_netlist(name: &str) -> Option<Netlist> {
+fn bench_by_name(name: &str) -> Option<logicsim::circuits::Benchmark> {
     use logicsim::circuits::Benchmark;
-    let b = match name {
+    Some(match name {
         "stopwatch" => Benchmark::StopWatch,
         "assoc_mem" => Benchmark::AssocMem,
         "priority_queue" => Benchmark::PriorityQueue,
         "rtp" => Benchmark::RtpChip,
         "crossbar" => Benchmark::CrossbarSwitch,
         _ => return None,
-    };
-    Some(b.build_default().netlist)
+    })
+}
+
+fn bench_netlist(name: &str) -> Option<Netlist> {
+    Some(bench_by_name(name)?.build_default().netlist)
 }
 
 fn bench_source(name: &str) -> Option<String> {
@@ -318,6 +341,90 @@ fn load_or_bench(path: &str) -> Result<Netlist, String> {
         Some(name) => bench_netlist(name).ok_or_else(|| format!("unknown benchmark `{name}`")),
         None => load(path),
     }
+}
+
+/// `lsim trace`: run the parallel engine with phase timing armed, write
+/// a Chrome `trace_event` JSON, and print the measured machine
+/// parameters next to the paper's assumed ones.
+#[cfg(feature = "obs")]
+fn run_trace(path: &str, opts: &Options) -> Result<(), String> {
+    use logicsim::measure::{observed, MeasureOptions};
+    use logicsim::sim::Phase;
+
+    let workers = opts.trace_p;
+    let run = match path.strip_prefix("bench:") {
+        Some(name) => {
+            let bench = bench_by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let mopts = MeasureOptions {
+                warmup_periods: 8,
+                window_ticks: opts.until.min(3_000),
+                seed: opts.seed,
+                collect_trace: false,
+            };
+            observed::observe_benchmark(bench, workers, &mopts)
+        }
+        None => {
+            let netlist = load(path)?;
+            // A plain netlist has no vector period; `--warmup` counts
+            // raw ticks here.
+            let mopts = MeasureOptions {
+                warmup_periods: opts.warmup,
+                window_ticks: opts.until,
+                seed: opts.seed,
+                collect_trace: false,
+            };
+            observed::observe_netlist(&netlist, &opts.stimulus, 1, workers, &mopts)
+        }
+    };
+    let out = opts.out_path.as_deref().unwrap_or("trace.json");
+    std::fs::write(out, run.report.chrome_trace()).map_err(|e| format!("write {out}: {e}"))?;
+    let samples: usize = run.report.lanes.iter().map(|l| l.samples.len()).sum();
+    println!(
+        "wrote {out}: {samples} phase samples across {} lanes ({} dropped to ring wrap-around)",
+        run.report.lanes.len(),
+        run.report.dropped()
+    );
+    println!(
+        "window      : {} executed ticks in {:.3} ms wall at P={}",
+        run.params.executed_ticks,
+        run.wall_ns as f64 / 1e6,
+        run.workers
+    );
+    println!("phase            n    total(us)   mean(us)    p50    p95    p99");
+    for phase in Phase::ALL {
+        if let Some(s) = run.report.summary(phase) {
+            println!(
+                "{:<10} {:>7} {:>12.1} {:>10.2} {:>6.1} {:>6.1} {:>6.1}",
+                phase.name(),
+                s.count,
+                s.total as f64 / 1e3,
+                s.mean / 1e3,
+                s.p50 as f64 / 1e3,
+                s.p95 as f64 / 1e3,
+                s.p99 as f64 / 1e3,
+            );
+        }
+    }
+    let p = &run.params;
+    println!("measured    : {p}");
+    println!(
+        "calibrated  : t_SYNC={:.2} us, tE={:.4} syncs, tM={:.4} syncs (paper assumed 4000 / 3)",
+        p.t_sync_ns() / 1e3,
+        p.calibrated_design().t_eval,
+        p.calibrated_design().t_msg
+    );
+    let crossover = p.crossover_processors(1.0);
+    if crossover.is_finite() {
+        println!("crossover   : eval/comm balance at P* = {crossover:.1} (Eq. 16 with measured parameters)");
+    } else {
+        println!("crossover   : no message cost measured; evaluation-bound at any P");
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "obs"))]
+fn run_trace(_path: &str, _opts: &Options) -> Result<(), String> {
+    Err("this lsim was built without the `obs` feature; rebuild with `--features obs`".into())
 }
 
 /// `lsim lint`: run the static analyses and report. Exits nonzero when
@@ -398,6 +505,13 @@ fn main() -> ExitCode {
             run_machine(&netlist, &opts).map(|()| ExitCode::SUCCESS)
         }
         "lint" => run_lint(rest),
+        "trace" => {
+            let (path, optargs) = rest
+                .split_first()
+                .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
+            let opts = parse_options(optargs)?;
+            run_trace(path, &opts).map(|()| ExitCode::SUCCESS)
+        }
         "dot" => {
             let path = rest
                 .first()

@@ -170,6 +170,155 @@ pub fn measure_instance(
     }
 }
 
+/// Machine-parameter observation runs (the `obs` feature): drive the
+/// thread-parallel engine with phase timing armed and distill the
+/// paper's machine parameters from the wall-clock measurements.
+#[cfg(feature = "obs")]
+pub mod observed {
+    use super::MeasureOptions;
+    use logicsim_circuits::Benchmark;
+    use logicsim_machine::MeasuredParams;
+    use logicsim_netlist::Netlist;
+    use logicsim_partition::{Partitioner, RandomPartitioner};
+    use logicsim_sim::{ObsReport, ParSimulator, Phase, SimConfig};
+    use logicsim_stats::Workload;
+    use std::time::Instant;
+
+    /// Distills the paper's machine parameters from an observation
+    /// report: per-executed-tick means for the synchronization phases
+    /// (`tS` from START, `tD` from DONE, barrier skew) and per-item
+    /// means for `tE` (per evaluation) and `tM` (per routed message).
+    /// Exchange distribution samples carry `items == 0`, so their
+    /// overhead amortizes across the real messages.
+    #[must_use]
+    pub fn measured_params(report: &ObsReport, workers: u32) -> MeasuredParams {
+        let ticks = report.executed_ticks();
+        let per_tick = |phase: Phase| {
+            if ticks == 0 {
+                0.0
+            } else {
+                report.total(phase).total_ns as f64 / ticks as f64
+            }
+        };
+        let per_item = |phase: Phase| {
+            let t = report.total(phase);
+            if t.items == 0 {
+                0.0
+            } else {
+                t.total_ns as f64 / t.items as f64
+            }
+        };
+        MeasuredParams {
+            workers,
+            executed_ticks: ticks,
+            t_start_ns: per_tick(Phase::Start),
+            t_done_ns: per_tick(Phase::Done),
+            barrier_ns: per_tick(Phase::Barrier),
+            t_eval_ns: per_item(Phase::Eval),
+            t_msg_ns: per_item(Phase::Exchange),
+            evaluations: report.total(Phase::Eval).items,
+            messages: report.total(Phase::Exchange).items,
+        }
+    }
+
+    /// One observed run of the parallel engine: the raw phase report,
+    /// the distilled machine parameters, and the stopwatch wall time of
+    /// the measured window.
+    #[derive(Debug)]
+    pub struct ObservedRun {
+        /// Worker threads used.
+        pub workers: u32,
+        /// Raw per-lane phase report (Chrome-trace exportable).
+        pub report: ObsReport,
+        /// Distilled machine parameters.
+        pub params: MeasuredParams,
+        /// Wall-clock time of the measured window, nanoseconds.
+        pub wall_ns: u64,
+        /// Aggregate workload of the measured window.
+        pub workload: Workload,
+    }
+
+    /// Runs a netlist on the parallel engine with observation armed:
+    /// the standard recipe (seeded random partition, warm-up, then a
+    /// measured window) with per-phase wall-clock timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails the engine pre-flight or the
+    /// benchmark stimulus does not resolve.
+    #[must_use]
+    pub fn observe_netlist(
+        netlist: &Netlist,
+        stimulus: &logicsim_sim::StimulusSpec,
+        vector_period: u64,
+        workers: usize,
+        options: &MeasureOptions,
+    ) -> ObservedRun {
+        let mut stim = stimulus
+            .build(netlist, options.seed)
+            .expect("stimulus resolves against the netlist");
+        let part = RandomPartitioner::new(options.seed).partition(netlist, workers as u32);
+        let mut sim = ParSimulator::with_config(
+            netlist,
+            part.as_slice(),
+            workers,
+            SimConfig {
+                collect_trace: options.collect_trace,
+                observe: true,
+                ..SimConfig::default()
+            },
+        )
+        .expect("netlist passes the engine pre-flight");
+        let warmup = options.warmup_periods * vector_period.max(1);
+        sim.run_with(warmup, |tick, frame| {
+            stim.apply_with(tick, |net, level| frame.set(net, level));
+        });
+        sim.reset_measurements();
+        let t0 = Instant::now();
+        sim.run_with(warmup + options.window_ticks, |tick, frame| {
+            stim.apply_with(tick, |net, level| frame.set(net, level));
+        });
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let c = sim.counters();
+        let workload = Workload::new(
+            c.busy_ticks as f64,
+            c.idle_ticks as f64,
+            c.events as f64,
+            c.messages_inf as f64,
+        );
+        let report = sim.obs_report();
+        let params = measured_params(&report, workers as u32);
+        ObservedRun {
+            workers: workers as u32,
+            report,
+            params,
+            wall_ns,
+            workload,
+        }
+    }
+
+    /// [`observe_netlist`] for a built-in benchmark with its default
+    /// stimulus.
+    #[must_use]
+    pub fn observe_benchmark(
+        bench: Benchmark,
+        workers: usize,
+        options: &MeasureOptions,
+    ) -> ObservedRun {
+        let inst = bench.build_default();
+        observe_netlist(
+            &inst.netlist,
+            &inst.stimulus,
+            inst.vector_period,
+            workers,
+            options,
+        )
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use observed::{measured_params, observe_benchmark, observe_netlist, ObservedRun};
+
 #[cfg(test)]
 mod tests {
     use super::*;

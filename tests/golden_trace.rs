@@ -15,6 +15,11 @@
 //! and counters for every worker count `P` in {1, 2, 4, 8} — the
 //! determinism contract of `logicsim::sim::par_engine`.
 //!
+//! Both engines run with the `obs` phase-timing layer **armed** (the
+//! root crate's default feature), so these digests additionally pin
+//! that observation is pure measurement: any timing side effect on
+//! event ordering or counters would break every row at every `P`.
+//!
 //! Regenerate the table with
 //! `cargo test --test golden_trace -- --ignored --nocapture`.
 
@@ -82,6 +87,9 @@ fn measure(bench: Benchmark) -> Golden {
         &inst.netlist,
         SimConfig {
             collect_trace: true,
+            // Observation armed: the digests below prove phase timing
+            // never perturbs simulation state.
+            observe: cfg!(feature = "obs"),
             ..SimConfig::default()
         },
     )
@@ -120,6 +128,8 @@ fn measure_par(bench: Benchmark, workers: usize) -> Golden {
         workers,
         SimConfig {
             collect_trace: true,
+            // Same digests must come out with per-phase timing armed.
+            observe: cfg!(feature = "obs"),
             ..SimConfig::default()
         },
     )

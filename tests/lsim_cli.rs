@@ -202,6 +202,37 @@ output y
     let _ = std::fs::remove_file(path);
 }
 
+#[cfg(feature = "obs")]
+#[test]
+fn trace_subcommand_writes_chrome_trace_and_prints_params() {
+    let trace_path =
+        std::env::temp_dir().join(format!("logicsim_test_trace_{}.json", std::process::id()));
+    let out = lsim()
+        .args(["trace", "bench:stopwatch", "--until", "600", "--p", "2"])
+        .args(["--out", trace_path.to_str().unwrap()])
+        .output()
+        .expect("run lsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("measured"), "{stdout}");
+    assert!(stdout.contains("calibrated"), "{stdout}");
+    assert!(stdout.contains("eval"), "{stdout}");
+    // The written file is a Chrome-loadable trace: valid JSON with a
+    // traceEvents array that actually contains phase slices.
+    let body = std::fs::read_to_string(&trace_path).expect("trace written");
+    let value: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(events.len() > 3, "expected metadata + samples");
+    let _ = std::fs::remove_file(trace_path);
+}
+
 #[test]
 fn lint_json_on_stopwatch_matches_golden_file() {
     let out = lsim()
