@@ -2,6 +2,10 @@
 //! against the paper's model, sweeping `P` in {1, 2, 4, 8} over the
 //! five benchmark circuits.
 //!
+//! The study measures the **statically optimized** circuits (the
+//! `analyze::opt` rewrite every production run executes); each
+//! circuit's header line prints the optimizer's component reduction.
+//!
 //! For each (circuit, P) cell the study runs the identical seeded
 //! measurement window on the serial engine and on `ParSimulator` under
 //! a random partition (the model's assumption) and under
@@ -37,7 +41,7 @@
 //! Exits with code 2 when `LSIM_THREADS` exceeds the host core count:
 //! an oversubscribed study reports scheduling noise, not speedups.
 
-use logicsim::circuits::Benchmark;
+use logicsim::circuits::{Benchmark, BenchmarkInstance};
 use logicsim::core::bounds::{comm_bound_speedup, ideal_speedup};
 use logicsim::core::speedup::speedup;
 use logicsim::core::{BaseMachine, MachineDesign};
@@ -69,8 +73,7 @@ struct SerialRun {
 }
 
 /// Serial baseline: warm up, reset, time the measurement window.
-fn run_serial(bench: Benchmark, win: u64) -> SerialRun {
-    let inst = bench.build_default();
+fn run_serial(inst: &BenchmarkInstance, win: u64) -> SerialRun {
     let mut stim = inst.stimulus.build(&inst.netlist, SEED).expect("stimulus");
     let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
     let warmup = 8 * inst.vector_period.max(1);
@@ -95,12 +98,12 @@ struct ParRun {
 /// One parallel run under `strategy`, asserting bit-identical counters.
 fn run_parallel(
     bench: Benchmark,
+    inst: &BenchmarkInstance,
     win: u64,
     workers: usize,
     strategy: &dyn Partitioner,
     serial: &WorkloadCounters,
 ) -> ParRun {
-    let inst = bench.build_default();
     let mut stim = inst.stimulus.build(&inst.netlist, SEED).expect("stimulus");
     let part = strategy.partition(&inst.netlist, workers as u32);
     let mut sim = ParSimulator::with_config(
@@ -180,7 +183,11 @@ fn main() {
 
     let mut rows: Vec<Value> = Vec::new();
     for bench in Benchmark::ALL {
-        let serial = run_serial(bench, win);
+        // The study measures the statically optimized circuits — the
+        // graph a production run executes. Partitions are computed on
+        // the optimized netlist directly.
+        let (inst, opt) = bench.build_default().optimized();
+        let serial = run_serial(&inst, win);
         let c = &serial.counters;
         let w = Workload::new(
             c.busy_ticks as f64,
@@ -194,6 +201,13 @@ fn main() {
             c.events as f64 / serial.wall_seconds.max(1e-12) / 1e3,
             c.events,
             w.simultaneity()
+        );
+        println!(
+            "optimizer: {} -> {} components ({} rewrites in {} passes)",
+            opt.components_before,
+            opt.components_after,
+            opt.total_rewrites(),
+            opt.passes
         );
         println!(
             "{:<3} {:<8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>10} {:>10} {:>6} {:>6} {:>9} {:>7}",
@@ -217,7 +231,7 @@ fn main() {
             let fm = FiducciaMattheysesPartitioner::new(SEED);
             let strategies: [&dyn Partitioner; 2] = [&random, &fm];
             for strategy in strategies {
-                let par = run_parallel(bench, win, workers, strategy, c);
+                let par = run_parallel(bench, &inst, win, workers, strategy, c);
                 let s_meas = serial.wall_seconds / par.wall_seconds.max(1e-12);
                 // The software-analog machine: P unpipelined evaluators
                 // at base speed on one bus.

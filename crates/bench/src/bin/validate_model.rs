@@ -16,11 +16,11 @@ use logicsim::machine::synthetic::SyntheticWorkload;
 use logicsim::machine::{
     validate_against_model, MachineConfig, MeasuredExecution, MeasuredParams, NetworkKind,
 };
-use logicsim::measure::{observe_benchmark, MeasureOptions};
+use logicsim::measure::{observe_netlist, MeasureOptions};
 use logicsim::measure_benchmark;
 use logicsim::partition::{Partition, Partitioner, RandomPartitioner};
 use logicsim::sim::stimulus::run_with_stimulus;
-use logicsim::sim::{ParSimulator, Simulator};
+use logicsim::sim::{ParSimulator, SimConfig, Simulator};
 use logicsim_bench::{banner, measure_options, parallel};
 use logicsim_machine::sim::random_component_partition;
 use std::time::Instant;
@@ -31,13 +31,21 @@ const MEASURE_WINDOW: u64 = 2_000;
 
 /// Times the serial engine and the thread-parallel `ParSimulator` under
 /// `part` on the same stimulus window; the real third column next to
-/// model and machine-simulator.
+/// model and machine-simulator. Both engines run with
+/// [`SimConfig::optimize`]: the static optimizer rewrites the netlist
+/// at construction (the partition, computed on the original graph, is
+/// remapped through the optimizer's component map inside the engine),
+/// so this column measures what a production run actually executes.
 fn measure_execution(inst: &BenchmarkInstance, part: &Partition, p: u32) -> MeasuredExecution {
+    let optimize = SimConfig {
+        optimize: true,
+        ..SimConfig::default()
+    };
     let mut stim = inst
         .stimulus
         .build(&inst.netlist, 0x1987)
         .expect("stimulus");
-    let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
+    let mut sim = Simulator::with_config(&inst.netlist, optimize.clone()).expect("pre-flight");
     let t0 = Instant::now();
     run_with_stimulus(&mut sim, &mut stim, MEASURE_WINDOW);
     let serial = t0.elapsed().as_secs_f64();
@@ -47,8 +55,8 @@ fn measure_execution(inst: &BenchmarkInstance, part: &Partition, p: u32) -> Meas
         .stimulus
         .build(&inst.netlist, 0x1987)
         .expect("stimulus");
-    let mut psim =
-        ParSimulator::new(&inst.netlist, part.as_slice(), p as usize).expect("pre-flight");
+    let mut psim = ParSimulator::with_config(&inst.netlist, part.as_slice(), p as usize, optimize)
+        .expect("pre-flight");
     let t0 = Instant::now();
     psim.run_with(MEASURE_WINDOW, |tick, frame| {
         stim.apply_with(tick, |net, level| frame.set(net, level));
@@ -188,8 +196,16 @@ fn main() {
 
     banner("Calibrated model: paper parameters vs measured parameters vs stopwatch");
     println!(
-        "{:<26} {:>3} {:>12} {:>12} {:>12} {:>10} {:>8} {:>7}",
-        "circuit", "P", "paper(ms)", "calib(ms)", "meas(ms)", "paper err", "cal err", "P*"
+        "{:<26} {:>3} {:>12} {:>12} {:>12} {:>10} {:>8} {:>7} {:>6}",
+        "circuit",
+        "P",
+        "paper(ms)",
+        "calib(ms)",
+        "meas(ms)",
+        "paper err",
+        "cal err",
+        "P*",
+        "-comps"
     );
     let workers = 2usize;
     let mopts = MeasureOptions {
@@ -198,11 +214,22 @@ fn main() {
         seed: 0x1987,
         collect_trace: false,
     };
+    // Observe the statically optimized circuits: the machine-parameter
+    // calibration should see the graph a production run executes, and
+    // the optimizer preserves net ids so the stimulus carries over.
     let runs = parallel::par_map(Benchmark::ALL.to_vec(), |bench| {
-        (bench, observe_benchmark(bench, workers, &mopts))
+        let (oinst, report) = bench.build_default().optimized();
+        let run = observe_netlist(
+            &oinst.netlist,
+            &oinst.stimulus,
+            oinst.vector_period,
+            workers,
+            &mopts,
+        );
+        (bench, report.reduction(), run)
     });
     let mut calibrated_wins = 0usize;
-    for (bench, run) in &runs {
+    for (bench, reduction, run) in &runs {
         let paper_ns = run.params.paper_prediction_ns(1.0);
         let calib_ns = run.params.predict_runtime_ns(1.0);
         let meas_ns = run.wall_ns as f64;
@@ -213,7 +240,7 @@ fn main() {
         }
         let crossover = run.params.crossover_processors(1.0);
         println!(
-            "{:<26} {:>3} {:>12.2} {:>12.2} {:>12.2} {:>9.0}x {:>+7.0}% {:>7.1}",
+            "{:<26} {:>3} {:>12.2} {:>12.2} {:>12.2} {:>9.0}x {:>+7.0}% {:>7.1} {:>6}",
             bench.paper_name(),
             run.workers,
             paper_ns / 1e6,
@@ -221,7 +248,8 @@ fn main() {
             meas_ns / 1e6,
             paper_err + 1.0,
             calib_err * 100.0,
-            crossover
+            crossover,
+            reduction
         );
     }
     println!(
@@ -231,7 +259,10 @@ fn main() {
          absolute prediction is off by orders of magnitude on this host;\n\
          feeding the measured tS/tD/tE/tM back into the same Eq. 10\n\
          structure is what makes the model portable. P* is Eq. 16's\n\
-         eval/comm crossover recomputed from the measured parameters.",
+         eval/comm crossover recomputed from the measured parameters.\n\
+         `-comps` is the component count removed by the static optimizer\n\
+         (`lsim opt`): this section calibrates against the optimized\n\
+         graphs, the ones a production run executes.",
         runs.len()
     );
     assert!(

@@ -33,6 +33,7 @@ pub mod priority_queue;
 pub mod rtp;
 pub mod stopwatch;
 
+use logicsim_netlist::analyze::opt::{self, OptReport};
 use logicsim_netlist::{CircuitCharacteristics, Clocking, Netlist, Technology};
 use logicsim_sim::StimulusSpec;
 
@@ -112,6 +113,26 @@ impl BenchmarkInstance {
     #[must_use]
     pub fn characteristics(&self) -> CircuitCharacteristics {
         CircuitCharacteristics::measure(&self.netlist, self.technology, self.clocking)
+    }
+
+    /// Runs the static optimizer over this instance's netlist and
+    /// returns the rewritten instance along with the optimizer's
+    /// report. The optimizer preserves net ids, net names, and the
+    /// input/output declarations, so the original stimulus plan and
+    /// observation points carry over unchanged.
+    #[must_use]
+    pub fn optimized(&self) -> (BenchmarkInstance, OptReport) {
+        let o = opt::optimize(&self.netlist);
+        (
+            BenchmarkInstance {
+                netlist: o.netlist,
+                stimulus: self.stimulus.clone(),
+                technology: self.technology,
+                clocking: self.clocking,
+                vector_period: self.vector_period,
+            },
+            o.report,
+        )
     }
 }
 

@@ -19,6 +19,18 @@ pub enum Code {
     Ls0004FloatingNet,
     /// Logic depth exceeds the configured threshold.
     Ls0005ExcessiveDepth,
+    /// Net proven constant by ternary abstract interpretation; the
+    /// optimizer folds its driver or specializes its readers.
+    Ls0006ConstantNet,
+    /// Structurally duplicate component (same kind, delay, and input
+    /// nets as an earlier one); the optimizer merges the pair.
+    Ls0007DuplicateGate,
+    /// Buffer/inverter chain whose inversion parity can be moved to the
+    /// chain head, canonicalizing the chain for duplicate merging.
+    Ls0008CollapsibleChain,
+    /// Logic outside the observability cone of the declared outputs;
+    /// the optimizer prunes it.
+    Ls0009UnobservableCone,
 }
 
 impl Code {
@@ -31,6 +43,10 @@ impl Code {
             Code::Ls0003DeadLogic => "LS0003",
             Code::Ls0004FloatingNet => "LS0004",
             Code::Ls0005ExcessiveDepth => "LS0005",
+            Code::Ls0006ConstantNet => "LS0006",
+            Code::Ls0007DuplicateGate => "LS0007",
+            Code::Ls0008CollapsibleChain => "LS0008",
+            Code::Ls0009UnobservableCone => "LS0009",
         }
     }
 
@@ -43,6 +59,12 @@ impl Code {
             | Code::Ls0003DeadLogic
             | Code::Ls0004FloatingNet
             | Code::Ls0005ExcessiveDepth => Severity::Warning,
+            // Optimizer findings describe provably sound rewrites, not
+            // modelling mistakes: purely informational.
+            Code::Ls0006ConstantNet
+            | Code::Ls0007DuplicateGate
+            | Code::Ls0008CollapsibleChain
+            | Code::Ls0009UnobservableCone => Severity::Info,
         }
     }
 }
@@ -117,6 +139,40 @@ impl Diagnostic {
         self
     }
 
+    /// A total order for deterministic report output: rule code first,
+    /// then the lowest involved component id, then the lowest net id.
+    #[must_use]
+    pub fn sort_key(&self) -> (Code, u32, u32) {
+        let comp = self
+            .components
+            .iter()
+            .map(|c| c.0)
+            .min()
+            .unwrap_or(u32::MAX);
+        let net = self.nets.iter().map(|n| n.0).min().unwrap_or(u32::MAX);
+        (self.code, comp, net)
+    }
+
+    /// The JSON-friendly form with ids resolved against `netlist`.
+    #[must_use]
+    pub fn to_json(&self, netlist: &Netlist) -> JsonDiagnostic {
+        JsonDiagnostic {
+            code: self.code.as_str().to_string(),
+            severity: self.severity.to_string(),
+            message: self.message.clone(),
+            components: self
+                .components
+                .iter()
+                .map(|&c| describe_component(netlist, c))
+                .collect(),
+            nets: self
+                .nets
+                .iter()
+                .map(|&n| netlist.net_name(n).to_string())
+                .collect(),
+        }
+    }
+
     /// Renders the diagnostic with names resolved against `netlist`,
     /// in the `severity[CODE]: message` style.
     #[must_use]
@@ -169,6 +225,11 @@ pub fn describe_component(netlist: &Netlist, id: CompId) -> String {
         Component::Supply { net, .. } => format!("{id} SUPPLY {}", netlist.net_name(*net)),
     }
 }
+
+/// Version of the `--json` lint report layout. Bumped whenever a field
+/// is added, removed, or changes meaning, so downstream consumers can
+/// dispatch on it instead of sniffing keys.
+pub const LINT_SCHEMA_VERSION: u32 = 2;
 
 /// The result of running the static analyses over one netlist.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
@@ -232,28 +293,16 @@ impl Report {
     #[must_use]
     pub fn to_json(&self, netlist: &Netlist) -> JsonReport {
         JsonReport {
+            schema_version: LINT_SCHEMA_VERSION,
             circuit: netlist.name().to_string(),
             errors: self.count(Severity::Error),
             warnings: self.count(Severity::Warning),
+            infos: self.count(Severity::Info),
             max_logic_depth: self.max_logic_depth,
             diagnostics: self
                 .diagnostics
                 .iter()
-                .map(|d| JsonDiagnostic {
-                    code: d.code.as_str().to_string(),
-                    severity: d.severity.to_string(),
-                    message: d.message.clone(),
-                    components: d
-                        .components
-                        .iter()
-                        .map(|&c| describe_component(netlist, c))
-                        .collect(),
-                    nets: d
-                        .nets
-                        .iter()
-                        .map(|&n| netlist.net_name(n).to_string())
-                        .collect(),
-                })
+                .map(|d| d.to_json(netlist))
                 .collect(),
         }
     }
@@ -262,12 +311,16 @@ impl Report {
 /// JSON-friendly report with all ids resolved to names.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JsonReport {
+    /// Report layout version ([`LINT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Circuit name.
     pub circuit: String,
     /// Error-level finding count.
     pub errors: usize,
     /// Warning-level finding count.
     pub warnings: usize,
+    /// Info-level finding count.
+    pub infos: usize,
     /// Maximum logic depth over all nets.
     pub max_logic_depth: u32,
     /// The findings.

@@ -11,6 +11,15 @@
 //! | LS0003 | warning  | logic unreachable from any primary output |
 //! | LS0004 | warning  | floating or charge-only nets beyond builder errors |
 //! | LS0005 | warning  | logic depth above the configured threshold |
+//! | LS0006 | info     | constant nets the [`opt`] optimizer can exploit |
+//! | LS0007 | info     | structurally duplicate components [`opt`] can merge |
+//! | LS0008 | info     | buffer/inverter chains [`opt`] can canonicalize |
+//! | LS0009 | info     | logic outside the observability cone [`opt`] can prune |
+//!
+//! The info-level rules are a dry run of the [`opt`] static optimizer:
+//! each reports a rewrite the optimizer would perform, never a
+//! modelling mistake, so they do not affect exit status even under
+//! `--deny warnings`.
 //!
 //! Error-level findings mean the event-driven engine cannot simulate
 //! the netlist faithfully; [`Simulator::new`] runs the same pre-flight
@@ -27,11 +36,13 @@ mod depth;
 mod diag;
 mod drive;
 mod float;
+pub mod opt;
 
 pub use dead::live_components;
 pub use depth::Levelization;
 pub use diag::{
     describe_component, Code, Diagnostic, JsonDiagnostic, JsonReport, Report, Severity,
+    LINT_SCHEMA_VERSION,
 };
 
 use crate::netlist::Netlist;
@@ -75,7 +86,10 @@ pub fn analyze_with(netlist: &Netlist, config: &AnalyzeConfig) -> Report {
     dead::check(netlist, &mut diagnostics);
     float::check(netlist, &mut diagnostics);
     let levels = depth::check(netlist, config.max_depth, &mut diagnostics);
-    diagnostics.sort_by_key(|d| d.code);
+    // Dry-run the optimizer: its aggregated findings (LS0006–LS0009)
+    // surface what `lsim opt` would rewrite, against original ids.
+    diagnostics.extend(opt::optimize(netlist).report.findings);
+    diagnostics.sort_by_key(Diagnostic::sort_key);
     Report {
         diagnostics,
         max_logic_depth: levels.max_depth(),
@@ -151,7 +165,10 @@ mod tests {
         let strict = analyze_with(&n, &AnalyzeConfig { max_depth: 4 });
         assert_eq!(strict.count(Severity::Warning), 1);
         let lax = analyze(&n);
-        assert!(lax.is_empty());
+        // The inverter chain is an LS0008 info finding, not a warning.
+        assert_eq!(lax.count(Severity::Warning), 0);
+        assert!(!lax.has_errors());
+        assert_eq!(lax.count(Severity::Info), 1);
         assert_eq!(lax.max_logic_depth, 8);
     }
 }

@@ -1,0 +1,142 @@
+//! Property tests for the static optimizer (`analyze::opt`).
+//!
+//! Random layered DAG circuits with deliberately injected constant
+//! rails, structural duplicates, and buffer/inverter chains pin three
+//! optimizer-wide claims over many shapes:
+//!
+//! 1. **Fixpoint speed** — the ternary abstract interpretation of a
+//!    feed-forward circuit stabilizes within `depth + 2` Jacobi rounds
+//!    (`depth + 1` to propagate, one to detect no change), on every
+//!    rewrite pass.
+//! 2. **Findings are realized** — every component an LS0006–LS0009
+//!    finding names was actually rewritten: it is either gone from the
+//!    optimized netlist or survives in a different form. The optimizer
+//!    never reports a rewrite it did not perform.
+//! 3. **Idempotence** — a second run over the optimized netlist makes
+//!    zero rewrites, reports nothing, and returns an identical netlist.
+//!
+//! Circuit depth stays far below the engine's 128 power-up relaxation
+//! rounds, the regime in which the optimizer's constant-propagation
+//! soundness argument applies (see `DESIGN.md` §14).
+
+use logicsim_netlist::analyze::{opt, Levelization};
+use logicsim_netlist::{CompId, Delay, GateKind, Level, Netlist, NetlistBuilder};
+use proptest::prelude::*;
+
+/// Gate alphabet for the random fabric (all commutative multi-input
+/// kinds, so duplicate injection can also permute inputs).
+const KINDS: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+];
+
+/// Builds a layered random DAG seeded with supply rails (constant
+/// fodder for LS0006), occasional exact-duplicate gates (LS0007), and a
+/// buffer/inverter tail (LS0008). Gates read the most recent net plus
+/// one arbitrary earlier net, so the netlist is connected front to back
+/// and its depth is bounded by the gate count.
+fn build_circuit(picks: &[(u8, u8, u8)], chain: u8) -> Netlist {
+    let mut b = NetlistBuilder::new("optprop");
+    let zero = b.net("gnd");
+    b.supply(zero, Level::Zero);
+    let one = b.net("vdd");
+    b.supply(one, Level::One);
+    let mut nets = vec![b.input("a"), b.input("b"), zero, one];
+    for &(src, kind_sel, dup) in picks {
+        let prev = *nets.last().unwrap();
+        let other = nets[src as usize % nets.len()];
+        let kind = KINDS[kind_sel as usize % KINDS.len()];
+        let out = b.fresh("g");
+        b.gate(kind, &[prev, other], out, Delay::uniform(1));
+        if dup % 4 == 0 {
+            // An exact structural duplicate on its own net; later gates
+            // may pick it up as an operand, or the cone prune eats it.
+            let twin = b.fresh("t");
+            b.gate(kind, &[prev, other], twin, Delay::uniform(1));
+            nets.push(twin);
+        }
+        nets.push(out);
+    }
+    let mut cur = *nets.last().unwrap();
+    for i in 0..chain % 8 {
+        let next = b.fresh("c");
+        let kind = if i % 2 == 0 {
+            GateKind::Not
+        } else {
+            GateKind::Buf
+        };
+        b.gate(kind, &[cur], next, Delay::uniform(1));
+        cur = next;
+    }
+    b.mark_output(cur);
+    b.finish().expect("random circuit is structurally valid")
+}
+
+fn picks() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..40)
+}
+
+proptest! {
+    #[test]
+    fn absint_reaches_fixpoint_within_depth_plus_two(picks in picks(), chain in any::<u8>()) {
+        let n = build_circuit(&picks, chain);
+        let depth = Levelization::compute(&n).max_depth();
+        let o = opt::optimize(&n);
+        // `absint_rounds` is the max over all rewrite passes; rewrites
+        // never deepen the circuit, so the original depth bounds every
+        // pass.
+        prop_assert!(
+            o.report.absint_rounds <= depth + 2,
+            "absint took {} rounds on a depth-{depth} DAG",
+            o.report.absint_rounds
+        );
+    }
+
+    #[test]
+    fn every_finding_is_realized_by_a_rewrite(picks in picks(), chain in any::<u8>()) {
+        let n = build_circuit(&picks, chain);
+        let o = opt::optimize(&n);
+        for finding in &o.report.findings {
+            prop_assert!(
+                !finding.components.is_empty(),
+                "{}: finding names no components",
+                finding.code.as_str()
+            );
+            for &c in &finding.components {
+                let realized = match o.comp_map[c.index()] {
+                    // Removed outright (fold victims, duplicates, cone).
+                    None => true,
+                    // Survives: must have been rewritten in place.
+                    Some(new) => o.netlist.component(new) != n.component(c),
+                };
+                prop_assert!(
+                    realized,
+                    "{}: component c{} is reported but unchanged",
+                    finding.code.as_str(),
+                    c.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_is_idempotent(picks in picks(), chain in any::<u8>()) {
+        let n = build_circuit(&picks, chain);
+        let once = opt::optimize(&n);
+        let twice = opt::optimize(&once.netlist);
+        prop_assert_eq!(
+            twice.report.total_rewrites(), 0,
+            "second run still rewrote: {:?}", twice.report
+        );
+        prop_assert!(twice.report.findings.is_empty());
+        prop_assert_eq!(&twice.netlist, &once.netlist);
+        // And the identity map: nothing removed, nothing renumbered.
+        for (i, m) in twice.comp_map.iter().enumerate() {
+            prop_assert_eq!(*m, Some(CompId(i as u32)));
+        }
+    }
+}

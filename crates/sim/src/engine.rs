@@ -107,6 +107,14 @@ pub struct SimConfig {
     /// older samples are overwritten at capacity. Exact per-phase
     /// totals are kept separately and never windowed.
     pub obs_capacity: usize,
+    /// Run the static optimizer
+    /// ([`logicsim_netlist::analyze::opt::optimize`]) on the netlist at
+    /// construction and simulate the optimized circuit instead. Net
+    /// ids, names, inputs, and outputs are preserved, so stimulus and
+    /// output observation work unchanged; component ids are renumbered
+    /// (the parallel engine remaps partition assignments through the
+    /// optimizer's component map automatically).
+    pub optimize: bool,
 }
 
 impl Default for SimConfig {
@@ -118,6 +126,27 @@ impl Default for SimConfig {
             init_rounds: 128,
             observe: false,
             obs_capacity: 4096,
+            optimize: false,
+        }
+    }
+}
+
+/// Either a borrowed caller netlist or one owned by the engine (the
+/// product of [`SimConfig::optimize`]).
+#[derive(Debug)]
+pub(crate) enum NetHold<'a> {
+    /// The caller's netlist, borrowed.
+    Borrowed(&'a Netlist),
+    /// An optimizer-produced netlist the engine owns.
+    Owned(Box<Netlist>),
+}
+
+impl NetHold<'_> {
+    /// The netlist actually being simulated.
+    pub(crate) fn get(&self) -> &Netlist {
+        match self {
+            NetHold::Borrowed(n) => n,
+            NetHold::Owned(n) => n,
         }
     }
 }
@@ -441,7 +470,7 @@ struct Worklists {
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Simulator<'a> {
-    netlist: &'a Netlist,
+    netlist: NetHold<'a>,
     config: SimConfig,
     wheel: TimingWheel<Change>,
     /// Immutable hot-path image (CSR adjacency, dispatch, group maps).
@@ -493,9 +522,14 @@ impl<'a> Simulator<'a> {
         netlist: &'a Netlist,
         config: SimConfig,
     ) -> Result<Simulator<'a>, PreflightError> {
-        let img = Image::build(netlist)?;
-        let nc = netlist.num_components();
-        let nn = netlist.num_nets();
+        let hold = if config.optimize {
+            NetHold::Owned(Box::new(analyze::opt::optimize(netlist).netlist))
+        } else {
+            NetHold::Borrowed(netlist)
+        };
+        let img = Image::build(hold.get())?;
+        let nc = hold.get().num_components();
+        let nn = hold.get().num_nets();
         let num_groups = img.groups.num_groups();
 
         let mut sim = Simulator {
@@ -517,7 +551,7 @@ impl<'a> Simulator<'a> {
                 ..Worklists::default()
             },
             img,
-            netlist,
+            netlist: hold,
             config,
         };
         sim.initialize();
@@ -529,7 +563,7 @@ impl<'a> Simulator<'a> {
     /// repeat until stable (or the round bound). No events are counted.
     fn initialize(&mut self) {
         relax_power_up(
-            self.netlist,
+            self.netlist.get(),
             &self.img,
             self.config.init_rounds,
             &mut self.net_values,
@@ -540,10 +574,11 @@ impl<'a> Simulator<'a> {
         self.trace.end = 0;
     }
 
-    /// The netlist being simulated.
+    /// The netlist being simulated. With [`SimConfig::optimize`] this
+    /// is the optimized netlist the engine owns, not the caller's.
     #[must_use]
-    pub fn netlist(&self) -> &'a Netlist {
-        self.netlist
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist.get()
     }
 
     /// Current simulation tick.
@@ -669,7 +704,7 @@ impl<'a> Simulator<'a> {
     ) {
         out.clear();
         solver::resolve_group_into(
-            self.netlist,
+            self.netlist.get(),
             &self.img.groups,
             gid,
             scratch,

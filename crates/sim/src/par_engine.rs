@@ -61,7 +61,9 @@
 // comment. See also DESIGN.md's safety argument.
 #![allow(unsafe_code)]
 
-use crate::engine::{relax_power_up, EvalKind, Image, PreflightError, SimConfig, StampSet};
+use crate::engine::{
+    relax_power_up, EvalKind, Image, NetHold, PreflightError, SimConfig, StampSet,
+};
 use crate::instrument::{ActivityProfile, WorkloadCounters};
 use crate::obs::{self, Phase};
 use crate::par_sync::{SharedSlots, SharedVec, SpinBarrier};
@@ -183,7 +185,7 @@ impl PartyState {
 /// State shared (read-only or phase-disciplined) between the master and
 /// the workers.
 struct Core<'a> {
-    netlist: &'a Netlist,
+    netlist: NetHold<'a>,
     img: Image,
     config: SimConfig,
     /// Number of evaluator workers `P`. Party indices `0..workers` are
@@ -718,7 +720,7 @@ fn party_resolve(core: &Core<'_>, party: usize, tick: u64) {
     for &gid in &st.gids {
         st.group_out.clear();
         solver::resolve_group_into(
-            core.netlist,
+            core.netlist.get(),
             &core.img.groups,
             gid,
             &mut st.solver,
@@ -949,9 +951,26 @@ impl<'a> ParSimulator<'a> {
             netlist.num_components(),
             "assignment must cover every component"
         );
-        let img = Image::build(netlist)?;
-        let nc = netlist.num_components();
-        let nn = netlist.num_nets();
+        // With [`SimConfig::optimize`] set, rewrite the netlist first
+        // and push the caller's partition through the optimizer's
+        // component map: every surviving component keeps the partition
+        // of the original component it came from, so callers keep
+        // computing assignments on the graph they handed in.
+        let (hold, assignment) = if config.optimize {
+            let opt = logicsim_netlist::analyze::opt::optimize(netlist);
+            let mut remapped = vec![u32::MAX; opt.netlist.num_components()];
+            for (old, mapped) in opt.comp_map.iter().enumerate() {
+                if let Some(new) = mapped {
+                    remapped[new.index()] = assignment[old];
+                }
+            }
+            (NetHold::Owned(Box::new(opt.netlist)), remapped)
+        } else {
+            (NetHold::Borrowed(netlist), assignment.to_vec())
+        };
+        let img = Image::build(hold.get())?;
+        let nc = hold.get().num_components();
+        let nn = hold.get().num_nets();
         let num_groups = img.groups.num_groups();
         let num_parties = workers + 1;
 
@@ -960,7 +979,7 @@ impl<'a> ParSimulator<'a> {
         let mut comp_drive = img.static_drive.clone();
         let mut last_scheduled = vec![Signal::FLOATING; nc];
         relax_power_up(
-            netlist,
+            hold.get(),
             &img,
             config.init_rounds,
             &mut net_values,
@@ -981,7 +1000,7 @@ impl<'a> ParSimulator<'a> {
                 EvalKind::Passive => workers as u32,
             })
             .collect();
-        let group_owner = compute_group_owner(netlist, &img, num_parties);
+        let group_owner = compute_group_owner(hold.get(), &img, num_parties);
         // One phase clock for the whole engine: the barrier advances it
         // at every crossing, and (under `phase-check`) every shared
         // container stamps accesses with it.
@@ -1002,11 +1021,11 @@ impl<'a> ParSimulator<'a> {
 
         Ok(ParSimulator {
             core: Core {
-                netlist,
+                netlist: hold,
                 img,
                 config,
                 workers,
-                assignment: assignment.to_vec(),
+                assignment,
                 owner,
                 group_owner,
                 net_values: SharedVec::from_vec(net_values, &clock),
@@ -1022,10 +1041,11 @@ impl<'a> ParSimulator<'a> {
         })
     }
 
-    /// The netlist being simulated.
+    /// The netlist being simulated. With [`SimConfig::optimize`] this
+    /// is the optimized netlist the engine owns, not the caller's.
     #[must_use]
-    pub fn netlist(&self) -> &'a Netlist {
-        self.core.netlist
+    pub fn netlist(&self) -> &Netlist {
+        self.core.netlist.get()
     }
 
     /// Number of evaluator workers `P`.

@@ -8,6 +8,8 @@
 //!                                    modeled multiprocessor and compare
 //!                                    against the paper's analytical model
 //! lsim lint    <netlist> [options]   static netlist analysis (LS0001..)
+//! lsim opt     <netlist> [options]   statically optimize the netlist and
+//!                                    report the rewrites (LS0006..LS0009)
 //! lsim trace   <netlist> [options]   run the parallel engine with phase
 //!                                    timing armed; write a Chrome
 //!                                    trace_event JSON and print measured
@@ -36,6 +38,10 @@
 //! lint options:
 //!   --json                 print the report as JSON
 //!   --deny warnings        exit nonzero on warnings as well as errors
+//!
+//! opt options:
+//!   --report               print the optimization report as JSON
+//!   --emit FILE            write the optimized netlist (text format)
 //!
 //! trace options:
 //!   --p N                  worker threads (default 2)
@@ -68,9 +74,10 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lsim <stats|sim|machine|dot|lint|trace> <netlist-file> [options]\n\
+        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file> [options]\n\
          \x20      lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>\n\
          \x20      lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]\n\
+         \x20      lsim opt <netlist-file|bench:NAME> [--report] [--emit FILE]\n\
          \x20      lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]\n\
          options: --until T --warmup T --seed N --vcd FILE\n\
          \x20        --clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH\n\
@@ -427,6 +434,50 @@ fn run_trace(_path: &str, _opts: &Options) -> Result<(), String> {
     Err("this lsim was built without the `obs` feature; rebuild with `--features obs`".into())
 }
 
+/// `lsim opt`: run the static optimizer and report what it did.
+/// `--report` prints the machine-readable JSON report; `--emit FILE`
+/// writes the optimized netlist in the text format.
+fn run_opt(args: &[String]) -> Result<ExitCode, String> {
+    use logicsim::netlist::analyze::opt;
+
+    let (path, flags) = args
+        .split_first()
+        .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
+    let mut report_json = false;
+    let mut emit_path: Option<String> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--report" => report_json = true,
+            "--emit" => {
+                emit_path = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--emit needs a file path".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown opt option `{other}`")),
+        }
+    }
+    let netlist = load_or_bench(path)?;
+    let optimized = opt::optimize(&netlist);
+    if report_json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&optimized.report.to_json(&netlist))
+                .map_err(|e| format!("json: {e}"))?
+        );
+    } else {
+        print!("{}", optimized.report.render(&netlist));
+    }
+    if let Some(out) = emit_path {
+        std::fs::write(&out, text::serialize(&optimized.netlist))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("wrote optimized netlist to {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `lsim lint`: run the static analyses and report. Exits nonzero when
 /// any finding reaches `deny` (errors always; warnings too with
 /// `--deny warnings`).
@@ -505,6 +556,7 @@ fn main() -> ExitCode {
             run_machine(&netlist, &opts).map(|()| ExitCode::SUCCESS)
         }
         "lint" => run_lint(rest),
+        "opt" => run_opt(rest),
         "trace" => {
             let (path, optargs) = rest
                 .split_first()

@@ -234,6 +234,85 @@ fn trace_subcommand_writes_chrome_trace_and_prints_params() {
 }
 
 #[test]
+fn opt_subcommand_reports_and_emits_optimized_netlist() {
+    let path = write_temp(
+        "opt_src",
+        "\
+circuit redundant
+input a
+net n1
+net n2
+net y
+gate NOT n1 a
+gate NOT n2 a
+gate AND y n1 n2
+output y
+",
+    );
+    let emit_path =
+        std::env::temp_dir().join(format!("logicsim_test_opt_{}.lsim", std::process::id()));
+    let out = lsim()
+        .args(["opt", path.to_str().unwrap()])
+        .args(["--emit", emit_path.to_str().unwrap()])
+        .output()
+        .expect("run lsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The duplicate inverter merges: 3 -> 2 gates.
+    assert!(stdout.contains("info[LS0007]"), "{stdout}");
+    assert!(stdout.contains("4 -> 3 components"), "{stdout}");
+    // The emitted netlist re-parses and is the smaller circuit.
+    let emitted = std::fs::read_to_string(&emit_path).expect("emitted netlist");
+    let netlist = logicsim::netlist::text::parse(&emitted).expect("parseable");
+    assert_eq!(netlist.num_gates(), 2);
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(emit_path);
+}
+
+#[test]
+fn opt_report_json_is_machine_readable() {
+    let out = lsim()
+        .args(["opt", "bench:stopwatch", "--report"])
+        .output()
+        .expect("run lsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        value
+            .get("schema_version")
+            .and_then(serde_json::Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        value.get("circuit").and_then(serde_json::Value::as_str),
+        Some("stopwatch")
+    );
+    let before = value
+        .get("components_before")
+        .and_then(serde_json::Value::as_u64)
+        .expect("before");
+    let after = value
+        .get("components_after")
+        .and_then(serde_json::Value::as_u64)
+        .expect("after");
+    assert!(after < before, "stopwatch must shrink: {before} -> {after}");
+    let findings = value
+        .get("findings")
+        .and_then(serde_json::Value::as_array)
+        .expect("findings array");
+    assert!(!findings.is_empty());
+}
+
+#[test]
 fn lint_json_on_stopwatch_matches_golden_file() {
     let out = lsim()
         .args(["lint", "bench:stopwatch", "--json"])

@@ -20,6 +20,15 @@
 //! The scan tokenizes just enough Rust to ignore `unsafe` appearing in
 //! comments, strings, and doc text, so prose about unsafety does not
 //! trip the audit.
+//!
+//! * `bench-diff [--band PCT]` — perf-regression gate. Finds the two
+//!   newest versioned `BENCH_<N>.json` snapshots in the workspace
+//!   root, compares the metrics both schemas share (per-circuit serial
+//!   `events_per_second`, whole-run `peak_rss_kb`), and exits nonzero
+//!   when any regresses beyond the noise band (default 10%). The
+//!   comparison is schema-drift tolerant: v1 snapshots lack `metadata`
+//!   and per-circuit `parallel[]` rows, so only the common subset is
+//!   diffed.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -43,12 +52,17 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint-unsafe") => lint_unsafe(),
+        Some("bench-diff") => bench_diff(&args.collect::<Vec<_>>()),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint-unsafe)");
+            eprintln!("xtask: unknown task `{other}` (available: lint-unsafe, bench-diff)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint-unsafe  audit unsafe code");
+            eprintln!(
+                "usage: cargo xtask <task>\n\ntasks:\n  \
+                 lint-unsafe             audit unsafe code\n  \
+                 bench-diff [--band PCT] compare the two newest BENCH_N.json snapshots"
+            );
             ExitCode::FAILURE
         }
     }
@@ -396,6 +410,168 @@ fn skip_raw_string(b: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
     i
 }
 
+/// One comparable metric row extracted from a snapshot, keyed by
+/// circuit name (`None` for whole-process metrics like peak RSS).
+#[derive(Debug)]
+struct Metric {
+    circuit: Option<String>,
+    name: &'static str,
+    value: f64,
+    /// `true` when larger is better (throughput); `false` when smaller
+    /// is better (memory).
+    higher_is_better: bool,
+}
+
+/// Extracts the metrics shared by every snapshot schema so far:
+/// per-circuit serial `events_per_second` (v1 and v2) and top-level
+/// `peak_rss_kb`. Schema-specific extras (v2's `metadata`, per-circuit
+/// `parallel[]` rows) are deliberately ignored — the diff only compares
+/// what both snapshot generations can provide.
+fn snapshot_metrics(doc: &serde_json::Value) -> Result<Vec<Metric>, String> {
+    let mut out = Vec::new();
+    let circuits = doc
+        .get("circuits")
+        .and_then(|c| c.as_array())
+        .ok_or("snapshot has no `circuits` array")?;
+    for row in circuits {
+        let circuit = row
+            .get("circuit")
+            .and_then(|v| v.as_str())
+            .ok_or("circuit row has no `circuit` name")?;
+        let eps = row
+            .get("events_per_second")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{circuit}: no `events_per_second`"))?;
+        out.push(Metric {
+            circuit: Some(circuit.to_string()),
+            name: "events_per_second",
+            value: eps,
+            higher_is_better: true,
+        });
+    }
+    if let Some(rss) = doc.get("peak_rss_kb").and_then(serde_json::Value::as_f64) {
+        if rss > 0.0 {
+            out.push(Metric {
+                circuit: None,
+                name: "peak_rss_kb",
+                value: rss,
+                higher_is_better: false,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// `cargo xtask bench-diff [--band PCT]`: find the two newest
+/// `BENCH_<N>.json` snapshots in the workspace root, compare the
+/// metrics they share, and fail when any regresses beyond the noise
+/// band (default 10%). Handles the v1 → v2 schema drift by comparing
+/// only the common subset; improvements and in-band noise pass.
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut band = 10.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--band" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(pct)) if pct >= 0.0 => band = pct,
+                _ => {
+                    eprintln!("xtask bench-diff: --band needs a non-negative percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask bench-diff: unknown option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&root) else {
+        eprintln!("xtask bench-diff: cannot read workspace root");
+        return ExitCode::FAILURE;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            snapshots.push((n, entry.path()));
+        }
+    }
+    snapshots.sort_by_key(|&(n, _)| n);
+    if snapshots.len() < 2 {
+        println!(
+            "xtask bench-diff: only {} BENCH_N.json snapshot(s) in {}; nothing to compare",
+            snapshots.len(),
+            root.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (old_n, old_path) = &snapshots[snapshots.len() - 2];
+    let (new_n, new_path) = &snapshots[snapshots.len() - 1];
+
+    let load = |path: &Path| -> Result<Vec<Metric>, String> {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc: serde_json::Value =
+            serde_json::from_str(&source).map_err(|e| format!("{}: {e}", path.display()))?;
+        snapshot_metrics(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("xtask bench-diff: BENCH_{old_n}.json -> BENCH_{new_n}.json (noise band {band}%)");
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for m in &new {
+        let Some(base) = old
+            .iter()
+            .find(|o| o.circuit == m.circuit && o.name == m.name)
+        else {
+            continue; // metric only in the newer snapshot: nothing to diff
+        };
+        compared += 1;
+        let label = match &m.circuit {
+            Some(c) => format!("{c}.{}", m.name),
+            None => m.name.to_string(),
+        };
+        let change = (m.value - base.value) / base.value * 100.0;
+        let regressed = if m.higher_is_better {
+            change < -band
+        } else {
+            change > band
+        };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "  {label:<38} {:>14.1} -> {:>14.1}  {change:+7.2}%  {verdict}",
+            base.value, m.value
+        );
+        if regressed {
+            regressions += 1;
+        }
+    }
+    if compared == 0 {
+        eprintln!("xtask bench-diff: snapshots share no comparable metrics");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!("xtask bench-diff: {regressions} metric(s) regressed beyond the {band}% band");
+        return ExitCode::FAILURE;
+    }
+    println!("xtask bench-diff: OK — {compared} metric(s) within the band");
+    ExitCode::SUCCESS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +639,39 @@ fn f() -> &'static str {
     fn raw_strings_are_stripped() {
         let src = "fn f() { let _ = r#\"unsafe { }\"#; }";
         assert_eq!(find_unsafe_tokens(src), Vec::new());
+    }
+
+    #[test]
+    fn v1_and_v2_snapshots_share_comparable_metrics() {
+        // Minimal replicas of the two snapshot generations: v1 has no
+        // metadata or parallel rows, v2 has both. The differ must see
+        // the same metric set from each.
+        let v1: serde_json::Value = serde_json::from_str(
+            r#"{"schema":"logicsim-perf-snapshot-v1","peak_rss_kb":1000,
+                "circuits":[{"circuit":"stopwatch","events_per_second":100.0}]}"#,
+        )
+        .unwrap();
+        let v2: serde_json::Value = serde_json::from_str(
+            r#"{"schema":"logicsim-perf-snapshot-v2","peak_rss_kb":1100,
+                "metadata":{"git_commit":"abc","host_cores":8,"lsim_threads":null},
+                "circuits":[{"circuit":"stopwatch","events_per_second":95.0,
+                             "parallel":[{"workers":2,"events_per_second":50.0}]}]}"#,
+        )
+        .unwrap();
+        let m1 = snapshot_metrics(&v1).unwrap();
+        let m2 = snapshot_metrics(&v2).unwrap();
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m2.len(), 2);
+        for (a, b) in m1.iter().zip(&m2) {
+            assert_eq!(a.circuit, b.circuit);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.higher_is_better, b.higher_is_better);
+        }
+    }
+
+    #[test]
+    fn snapshot_without_circuits_is_rejected() {
+        let doc: serde_json::Value = serde_json::from_str(r#"{"peak_rss_kb": 5}"#).unwrap();
+        assert!(snapshot_metrics(&doc).is_err());
     }
 }
