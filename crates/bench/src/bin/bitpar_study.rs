@@ -1,0 +1,136 @@
+//! Lane-throughput study for the bit-parallel compiled backend.
+//!
+//! Sweeps the lane count over {1, 8, 16, 32, 64} on every benchmark
+//! circuit, racing each configuration against the serial event-driven
+//! engine under the identical vector-synchronous quiescence protocol,
+//! and prints a Markdown table: compiled/fallback split, wall times,
+//! scenario·events/second, and the aggregate scenario speedup
+//! `lanes x serial_wall / bitpar_wall`. CI uploads the output as the
+//! lane-throughput artifact of the `bitpar` job.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p logicsim-bench --bin bitpar_study -- [--quick] [--out <path>]
+//! ```
+
+use logicsim::circuits::Benchmark;
+use logicsim::sim::{BitParSim, Simulator, Stimulus64};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Lane counts swept per benchmark.
+const LANE_SWEEP: [usize; 5] = [1, 8, 16, 32, 64];
+
+fn vectors_for(bench: Benchmark, quick: bool) -> u64 {
+    let full = match bench {
+        Benchmark::StopWatch => 4_000,
+        Benchmark::AssocMem => 512,
+        Benchmark::PriorityQueue => 256,
+        Benchmark::RtpChip => 512,
+        Benchmark::CrossbarSwitch => 1_024,
+    };
+    if quick {
+        (full / 8).max(32)
+    } else {
+        full
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "-".to_string());
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# Bit-parallel backend: lane-throughput study\n");
+    let _ = writeln!(
+        md,
+        "Both engines run the vector-synchronous quiescence protocol \
+         (seed 0x1987; serial replays lane 0). `speedup` is the \
+         aggregate scenario speedup `lanes x serial_wall / bitpar_wall`.\n"
+    );
+
+    for bench in Benchmark::ALL {
+        let vectors = vectors_for(bench, quick);
+        let inst = bench.build_default();
+        eprintln!(
+            "bitpar_study: {} over {vectors} vectors ...",
+            bench.paper_name()
+        );
+
+        // Serial baseline (lane 0's stimulus).
+        let mut stim = inst
+            .stimulus
+            .build(&inst.netlist, Stimulus64::lane_seed(0x1987, 0))
+            .expect("stimulus");
+        let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
+        let t0 = Instant::now();
+        for v in 0..vectors {
+            stim.apply_with(v, |net, level| sim.set_input(net, level));
+            let cap = sim.now() + 50_000;
+            sim.run_to_quiescence(cap);
+        }
+        let serial_wall = t0.elapsed().as_secs_f64();
+        let serial_events = sim.counters().events;
+
+        let split = BitParSim::new(&inst.netlist, 1).expect("pre-flight");
+        let st = split.stats();
+        let _ = writeln!(
+            md,
+            "## {} — {} compiled gates + {} solver cells ({} switches, {} ranks), \
+             {} fallback components\n",
+            bench.paper_name(),
+            st.compiled_gates,
+            st.solver_cells,
+            st.compiled_switches,
+            st.ranks,
+            st.fallback_components
+        );
+        let _ = writeln!(
+            md,
+            "serial: {vectors} vectors, {serial_events} events, {:.3} ms\n",
+            serial_wall * 1e3
+        );
+        let _ = writeln!(
+            md,
+            "| lanes | wall (ms) | evals/vec | fb-events/vec | scenario·events/s | speedup |\n\
+             |---:|---:|---:|---:|---:|---:|"
+        );
+
+        for lanes in LANE_SWEEP {
+            let mut stim64 =
+                Stimulus64::new(&inst.stimulus, &inst.netlist, 0x1987, lanes).expect("stimulus");
+            let mut bp = BitParSim::new(&inst.netlist, lanes).expect("pre-flight");
+            let t0 = Instant::now();
+            for v in 0..vectors {
+                stim64.apply_with(v, |net, plane| bp.set_input_plane(net, plane));
+                bp.settle_vector();
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            let run = bp.stats();
+            let _ = writeln!(
+                md,
+                "| {lanes} | {:.3} | {:.1} | {:.1} | {:.3e} | {:.2}x |",
+                wall * 1e3,
+                run.compiled_evals as f64 / vectors as f64,
+                run.fallback_events as f64 / vectors as f64,
+                lanes as f64 * serial_events as f64 / wall.max(1e-12),
+                lanes as f64 * serial_wall / wall.max(1e-12),
+            );
+        }
+        let _ = writeln!(md);
+    }
+
+    if out_path == "-" {
+        println!("{md}");
+    } else {
+        std::fs::write(&out_path, md).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+        eprintln!("bitpar_study: wrote {out_path}");
+    }
+}

@@ -15,7 +15,14 @@
 //! rows with the `obs` layer armed and adds, per row, the measured
 //! machine parameters (`t_sync_ns`/`t_eval_ns`/`t_msg_ns`), the
 //! calibrated Eq. 10 prediction with its signed error against the
-//! stopwatch, and per-phase p50/p95/p99 summaries.
+//! stopwatch, and per-phase p50/p95/p99 summaries. The v4 schema adds a
+//! per-circuit `bitpar` object: the 64-lane bit-parallel compiled
+//! backend and the serial engine both run the vector-synchronous
+//! quiescence protocol, and the row records lane throughput
+//! (scenario·events/second), the aggregate speedup
+//! `lanes x serial_wall / bitpar_wall`, the hybrid's compiled/fallback
+//! split, and the oblivious model term (`G x R` evaluations per vector,
+//! no `tE`/`tM`).
 //!
 //! Usage:
 //!
@@ -28,11 +35,11 @@
 //! `snake_case` name; `--out -` (the default) writes to stdout.
 
 use logicsim::circuits::Benchmark;
-use logicsim::machine::MeasuredParams;
+use logicsim::machine::{MeasuredParams, ObliviousParams};
 use logicsim::measure::measured_params;
 use logicsim::partition::{Partitioner, RandomPartitioner};
 use logicsim::sim::stimulus::run_with_stimulus;
-use logicsim::sim::{ParSimulator, Phase, SimConfig, Simulator};
+use logicsim::sim::{BitParSim, ParSimulator, Phase, SimConfig, Simulator, Stimulus64};
 use logicsim_bench::report::{float, metadata_v2, obj, peak_rss_kb, text, uint};
 use serde_json::Value;
 use std::time::Instant;
@@ -68,6 +75,107 @@ fn slug(bench: Benchmark) -> &'static str {
         Benchmark::RtpChip => "rtp_chip",
         Benchmark::CrossbarSwitch => "crossbar_switch",
     }
+}
+
+/// Vectors for the bit-parallel vs. serial vector-quiescence race (both
+/// engines settle each vector fully, so vectors — not ticks — are the
+/// unit of work here).
+fn vectors_for(bench: Benchmark, quick: bool) -> u64 {
+    let v = window_for(bench, quick) / 8;
+    v.max(32)
+}
+
+/// Races the 64-lane bit-parallel backend against the serial engine
+/// under the identical vector-synchronous quiescence protocol and
+/// returns the v4 `bitpar` object.
+fn bitpar_row(bench: Benchmark, quick: bool) -> Value {
+    let lanes = 64usize;
+    let vectors = vectors_for(bench, quick);
+    let inst = bench.build_default();
+
+    // Serial baseline: the event-driven engine replaying lane 0's
+    // stimulus (Stimulus64 lane 0 uses the base seed unchanged).
+    let mut stim = inst
+        .stimulus
+        .build(&inst.netlist, Stimulus64::lane_seed(0x1987, 0))
+        .expect("stimulus");
+    let mut sim = Simulator::new(&inst.netlist).expect("pre-flight");
+    let t0 = Instant::now();
+    for v in 0..vectors {
+        stim.apply_with(v, |net, level| sim.set_input(net, level));
+        let cap = sim.now() + 50_000;
+        sim.run_to_quiescence(cap);
+    }
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let serial_events = sim.counters().events;
+
+    // The same vectors, 64 scenarios at once, on the bit-parallel
+    // backend.
+    let mut stim64 =
+        Stimulus64::new(&inst.stimulus, &inst.netlist, 0x1987, lanes).expect("stimulus");
+    let mut bp = BitParSim::new(&inst.netlist, lanes).expect("pre-flight");
+    let t0 = Instant::now();
+    for v in 0..vectors {
+        stim64.apply_with(v, |net, plane| bp.set_input_plane(net, plane));
+        bp.settle_vector();
+    }
+    let bp_wall = t0.elapsed().as_secs_f64();
+    let stats = bp.stats();
+
+    // Oblivious model term (Eq. 10 sidebar): G x R evaluations per
+    // vector, amortized over the word width; the kernel time estimate
+    // folds the whole hybrid wall time over the compiled evaluations,
+    // so it is an upper bound whenever the fallback is non-empty.
+    let t_kernel_ns = bp_wall * 1e9 / stats.compiled_evals.max(1) as f64;
+    let model = ObliviousParams {
+        gates: stats.compiled_gates as u64,
+        ranks: stats.ranks,
+        lanes: lanes as u32,
+        t_kernel_ns,
+    };
+    let t_eval_serial_ns = serial_wall * 1e9 / serial_events.max(1) as f64;
+
+    obj([
+        ("lanes", uint(lanes as u64)),
+        ("vectors", uint(vectors)),
+        ("compiled_gates", uint(stats.compiled_gates as u64)),
+        (
+            "fallback_components",
+            uint(stats.fallback_components as u64),
+        ),
+        ("ranks", uint(u64::from(stats.ranks))),
+        ("sweeps", uint(stats.sweeps)),
+        ("compiled_evals", uint(stats.compiled_evals)),
+        ("fallback_events", uint(stats.fallback_events)),
+        ("unconverged_vectors", uint(stats.unconverged_vectors)),
+        ("serial_wall_seconds", float(serial_wall)),
+        ("serial_events", uint(serial_events)),
+        ("wall_seconds", float(bp_wall)),
+        (
+            "scenario_events_per_second",
+            float(lanes as f64 * serial_events as f64 / bp_wall.max(1e-12)),
+        ),
+        (
+            "aggregate_speedup",
+            float(lanes as f64 * serial_wall / bp_wall.max(1e-12)),
+        ),
+        (
+            "model",
+            obj([
+                ("evaluations_per_sweep", uint(model.evaluations_per_sweep())),
+                (
+                    "evaluations_per_vector",
+                    uint(model.evaluations_per_vector()),
+                ),
+                ("t_kernel_ns", float(model.t_kernel_ns)),
+                ("scenario_time_ns", float(model.scenario_time_ns())),
+                (
+                    "break_even_activity",
+                    float(model.break_even_activity(t_eval_serial_ns)),
+                ),
+            ]),
+        ),
+    ])
 }
 
 fn main() {
@@ -189,11 +297,12 @@ fn main() {
                 float(c.evaluations as f64 / elapsed.max(1e-12)),
             ),
             ("parallel", Value::Array(parallel_rows)),
+            ("bitpar", bitpar_row(bench, quick)),
         ]));
     }
 
     let report = obj([
-        ("schema", text("logicsim-perf-snapshot-v3")),
+        ("schema", text("logicsim-perf-snapshot-v4")),
         ("pr", pr.map_or(Value::Null, uint)),
         ("quick", Value::Bool(quick)),
         ("peak_rss_kb", peak_rss_kb().map_or(Value::Null, uint)),

@@ -32,6 +32,7 @@
 pub mod calibrate;
 pub mod config;
 pub mod network;
+pub mod oblivious;
 pub mod report;
 pub mod sim;
 pub mod synthetic;
@@ -39,6 +40,7 @@ pub mod validate;
 
 pub use calibrate::MeasuredParams;
 pub use config::{MachineConfig, NetworkKind};
+pub use oblivious::ObliviousParams;
 pub use report::MachineReport;
 pub use sim::{simulate_synthetic, simulate_trace, MachineSim};
 pub use validate::{validate_against_model, MeasuredExecution, ValidationResult};

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod analyze;
+pub mod bitplane;
 pub mod builder;
 pub mod component;
 pub mod csr;
@@ -42,6 +43,7 @@ pub mod text;
 pub mod value;
 
 pub use analyze::{analyze, analyze_with, AnalyzeConfig, Code, Diagnostic, Report, Severity};
+pub use bitplane::{BitPlanes, Plane, LANES};
 pub use builder::{BuildError, NetlistBuilder};
 pub use component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
 pub use csr::Csr;

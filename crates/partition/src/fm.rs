@@ -176,6 +176,19 @@ impl Partitioner for FiducciaMattheysesPartitioner {
     }
 }
 
+/// FM partitioning as a plain `fn`, signature-compatible with
+/// `logicsim_sim::SimConfig::repartition`: hand this to the parallel
+/// engine so that, under `SimConfig::optimize`, the cut is recomputed
+/// on the optimizer-rewritten graph instead of remapped through the
+/// component map.
+#[must_use]
+pub fn fm_assignment(netlist: &Netlist, parts: u32, seed: u64) -> Vec<u32> {
+    FiducciaMattheysesPartitioner::new(seed)
+        .partition(netlist, parts)
+        .as_slice()
+        .to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ pub mod fm;
 pub mod metrics;
 pub mod strategies;
 
-pub use fm::FiducciaMattheysesPartitioner;
+pub use fm::{fm_assignment, FiducciaMattheysesPartitioner};
 pub use metrics::{cut_size, measured_beta, measured_messages, PartitionQuality};
 pub use strategies::{
     BfsClusterPartitioner, FanoutGreedyPartitioner, KernighanLinPartitioner, Partitioner,

@@ -1,0 +1,102 @@
+//! Regression tests for the optimize-then-repartition path.
+//!
+//! With [`SimConfig::optimize`] the parallel engine rewrites the
+//! netlist before partitioning it across workers. The caller's cut was
+//! computed on the *original* graph; the engine either remaps it
+//! through the optimizer's component map (default) or — with
+//! [`SimConfig::repartition`] — recomputes it on the optimized graph.
+//! These tests pin both properties: the recomputed FM cut is no worse
+//! than the remapped one on every switch-heavy paper benchmark, and the
+//! engine produces bit-identical results either way.
+
+use logicsim_circuits::Benchmark;
+use logicsim_netlist::analyze::opt;
+use logicsim_partition::{
+    cut_size, fm_assignment, FiducciaMattheysesPartitioner, Partition, Partitioner,
+};
+use logicsim_sim::{ParSimulator, SimConfig};
+
+const PARTS: u32 = 4;
+const SEED: u64 = 1987;
+
+/// The remapping the engine applies by default: every surviving
+/// optimized component keeps the partition of the original component it
+/// came from.
+fn remap_through_comp_map(
+    original: &[u32],
+    comp_map: &[Option<logicsim_netlist::CompId>],
+    optimized_components: usize,
+) -> Vec<u32> {
+    let mut remapped = vec![u32::MAX; optimized_components];
+    for (old, mapped) in comp_map.iter().enumerate() {
+        if let Some(new) = mapped {
+            remapped[new.index()] = original[old];
+        }
+    }
+    remapped
+}
+
+#[test]
+fn rerun_fm_cut_is_no_worse_than_remapped_cut() {
+    for bench in Benchmark::ALL {
+        let inst = bench.build_default();
+        let optimized = opt::optimize(&inst.netlist);
+        if optimized.netlist.num_components() == inst.netlist.num_components() {
+            // Nothing rewritten; both paths are the identical cut.
+            continue;
+        }
+        let original = FiducciaMattheysesPartitioner::new(SEED).partition(&inst.netlist, PARTS);
+        let remapped = remap_through_comp_map(
+            original.as_slice(),
+            &optimized.comp_map,
+            optimized.netlist.num_components(),
+        );
+        let remapped_cut = cut_size(&optimized.netlist, &Partition::new(remapped, PARTS));
+        let fresh = fm_assignment(&optimized.netlist, PARTS, SEED);
+        let fresh_cut = cut_size(&optimized.netlist, &Partition::new(fresh, PARTS));
+        assert!(
+            fresh_cut <= remapped_cut,
+            "{}: re-run FM cut {fresh_cut} worse than remapped cut {remapped_cut}",
+            bench.paper_name()
+        );
+    }
+}
+
+#[test]
+fn repartition_hook_preserves_simulation_results() {
+    let inst = Benchmark::StopWatch.build_default();
+    let assignment = fm_assignment(&inst.netlist, PARTS, SEED);
+
+    let run = |config: SimConfig| {
+        let mut stim = inst
+            .stimulus
+            .build(&inst.netlist, SEED)
+            .expect("benchmark stimulus resolves");
+        let mut sim =
+            ParSimulator::with_config(&inst.netlist, &assignment, 2, config).expect("pre-flight");
+        for t in 0..2_000 {
+            stim.apply_with(t, |net, level| sim.set_input(net, level));
+            sim.run_until(t + 1);
+        }
+        inst.netlist
+            .outputs()
+            .iter()
+            .map(|&o| sim.level(o))
+            .collect::<Vec<_>>()
+    };
+
+    let remapped = run(SimConfig {
+        optimize: true,
+        ..SimConfig::default()
+    });
+    let repartitioned = run(SimConfig {
+        optimize: true,
+        repartition: Some(fm_assignment),
+        repartition_seed: SEED,
+        ..SimConfig::default()
+    });
+    assert_eq!(
+        remapped, repartitioned,
+        "partition placement must never change simulated values"
+    );
+}

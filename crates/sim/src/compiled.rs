@@ -21,16 +21,33 @@
 
 use logicsim_netlist::{CompId, Component, Level, NetId, Netlist};
 
+/// One strongly connected gate cluster (a latch or flip-flop built from
+/// gates), placed at its topological position among the ranked gates.
+#[derive(Debug, Clone)]
+pub struct FeedbackGroup {
+    /// Rank of the cluster in the SCC condensation: every gate or group
+    /// feeding this cluster has a strictly smaller rank.
+    pub rank: u32,
+    /// The cluster's gates, in component-id order.
+    pub gates: Vec<CompId>,
+}
+
 /// Topological levelization of a gate-level netlist.
 #[derive(Debug, Clone)]
 pub struct Levelizer {
-    /// Gates in evaluation order (rank-major).
+    /// Acyclic gates in evaluation order (rank-major).
     pub order: Vec<CompId>,
     /// Rank of each ordered gate.
     pub ranks: Vec<u32>,
     /// Gates on combinational feedback loops (latches, flip-flops
     /// built from gates); compiled mode iterates these to a fixpoint.
+    /// Exactly the concatenation of [`Levelizer::feedback_groups`].
     pub feedback: Vec<CompId>,
+    /// The feedback gates clustered by strongly connected component,
+    /// each with its rank in the SCC condensation — so a sweep can
+    /// iterate each latch *in place* between the ranked gates that feed
+    /// it and the ranked gates that read it.
+    pub feedback_groups: Vec<FeedbackGroup>,
 }
 
 impl Levelizer {
@@ -49,67 +66,63 @@ impl Levelizer {
             0,
             "compiled mode supports gate-level netlists only"
         );
-        // Kahn's algorithm over gates; indegree = number of gate-driven
-        // input nets.
+        Levelizer::gate_subset(netlist)
+    }
+
+    /// Levelizes the *gate subset* of an arbitrary netlist (switches
+    /// permitted but ignored): only gate→gate edges contribute to ranks
+    /// and feedback detection, so a gate fed through a switch network
+    /// ranks as if that input were primary. This is the ordering the
+    /// bit-parallel hybrid backend sweeps in; cycles that pass through
+    /// switches are resolved by its boundary stitching loop instead.
+    ///
+    /// `feedback` contains exactly the gates on gate-level cycles
+    /// (strongly connected components of size ≥ 2, plus self-loops) —
+    /// **not** the combinational logic downstream of them. Gates fed by
+    /// feedback outputs are ranked as if those inputs were primary, so
+    /// a synchronous circuit's entire combinational cloud lands in
+    /// `order` and only its latch loops need fixpoint iteration.
+    #[must_use]
+    pub fn gate_subset(netlist: &Netlist) -> Levelizer {
         let gate_ids: Vec<CompId> = netlist
             .iter()
             .filter(|(_, c)| c.is_gate())
             .map(|(id, _)| id)
             .collect();
-        let driver_gate = |net: NetId| -> Option<CompId> {
-            netlist
-                .drivers(net)
-                .iter()
-                .copied()
-                .find(|&d| netlist.component(d).is_gate())
-        };
-        let mut indegree: Vec<u32> = vec![0; netlist.num_components()];
-        for &g in &gate_ids {
-            if let Component::Gate { inputs, .. } = netlist.component(g) {
-                indegree[g.index()] =
-                    inputs.iter().filter(|&&n| driver_gate(n).is_some()).count() as u32;
-            }
+        let mut node_of = vec![u32::MAX; netlist.num_components()];
+        for (i, &g) in gate_ids.iter().enumerate() {
+            node_of[g.index()] = i as u32;
         }
-        let mut queue: Vec<(CompId, u32)> = gate_ids
-            .iter()
-            .copied()
-            .filter(|g| indegree[g.index()] == 0)
-            .map(|g| (g, 0))
-            .collect();
-        let mut order = Vec::with_capacity(gate_ids.len());
-        let mut ranks = Vec::with_capacity(gate_ids.len());
-        let mut done = vec![false; netlist.num_components()];
-        let mut head = 0;
-        while head < queue.len() {
-            let (g, rank) = queue[head];
-            head += 1;
-            if done[g.index()] {
-                continue;
-            }
-            done[g.index()] = true;
-            order.push(g);
-            ranks.push(rank);
+        // Gate → gate-reader adjacency (edges through the output net),
+        // over dense node indices.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); gate_ids.len()];
+        for (i, &g) in gate_ids.iter().enumerate() {
             if let Component::Gate { output, .. } = netlist.component(g) {
                 for &reader in netlist.fanout(*output) {
-                    if netlist.component(reader).is_gate() && !done[reader.index()] {
-                        let d = &mut indegree[reader.index()];
-                        *d = d.saturating_sub(1);
-                        if *d == 0 {
-                            queue.push((reader, rank + 1));
-                        }
+                    let n = node_of[reader.index()];
+                    if n != u32::MAX {
+                        adj[i].push(n);
                     }
                 }
             }
         }
-        let feedback: Vec<CompId> = gate_ids
-            .iter()
-            .copied()
-            .filter(|g| !done[g.index()])
-            .collect();
+        let nl = levelize_nodes(&adj);
         Levelizer {
-            order,
-            ranks,
-            feedback,
+            order: nl.order.iter().map(|&i| gate_ids[i as usize]).collect(),
+            ranks: nl.ranks,
+            feedback: nl
+                .groups
+                .iter()
+                .flat_map(|(_, m)| m.iter().map(|&i| gate_ids[i as usize]))
+                .collect(),
+            feedback_groups: nl
+                .groups
+                .into_iter()
+                .map(|(rank, m)| FeedbackGroup {
+                    rank,
+                    gates: m.into_iter().map(|i| gate_ids[i as usize]).collect(),
+                })
+                .collect(),
         }
     }
 
@@ -123,6 +136,146 @@ impl Levelizer {
     #[must_use]
     pub fn is_combinational(&self) -> bool {
         self.feedback.is_empty()
+    }
+}
+
+/// Levelization of an arbitrary directed node graph: acyclic nodes in
+/// rank order plus strongly connected clusters at their condensation
+/// rank. The generic core behind [`Levelizer::gate_subset`], also used
+/// by the bit-parallel backend to order its mixed gate/switch-cell op
+/// graph.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeLevels {
+    /// Acyclic nodes in evaluation order (rank-major).
+    pub order: Vec<u32>,
+    /// Rank of each ordered node.
+    pub ranks: Vec<u32>,
+    /// Cyclic clusters as `(rank, members)`, members ascending.
+    pub groups: Vec<(u32, Vec<u32>)>,
+}
+
+/// Levelizes a directed graph over dense node indices `0..adj.len()`.
+///
+/// Tarjan's SCC algorithm (iterative) finds the cycles, then Kahn's
+/// algorithm runs over the SCC *condensation*: singleton SCCs become
+/// ranked nodes; multi-node (or self-loop) SCCs become groups carrying
+/// the same rank scale, so downstream readers always rank strictly
+/// after the cluster that feeds them. The FIFO queue pops in
+/// nondecreasing rank order, so a node is ranked one past its
+/// highest-ranked predecessor (longest path).
+pub(crate) fn levelize_nodes(adj: &[Vec<u32>]) -> NodeLevels {
+    let n = adj.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut scc_of = vec![u32::MAX; n];
+    let mut scc_members: Vec<Vec<u32>> = Vec::new();
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != u32::MAX {
+            continue;
+        }
+        call.push((root as u32, 0));
+        while let Some(frame) = call.last_mut() {
+            let v = frame.0 as usize;
+            if frame.1 == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                scc_stack.push(v as u32);
+                on_stack[v] = true;
+            }
+            if frame.1 < adj[v].len() {
+                let w = adj[v][frame.1] as usize;
+                frame.1 += 1;
+                if index[w] == u32::MAX {
+                    call.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.0 as usize;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let sid = scc_members.len() as u32;
+                    let mut members = Vec::new();
+                    loop {
+                        let w = scc_stack.pop().expect("SCC stack underflow") as usize;
+                        on_stack[w] = false;
+                        scc_of[w] = sid;
+                        members.push(w as u32);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_members.push(members);
+                }
+            }
+        }
+    }
+
+    let num_scc = scc_members.len();
+    let is_cyclic = |s: usize| {
+        let m = &scc_members[s];
+        m.len() > 1 || adj[m[0] as usize].contains(&m[0])
+    };
+    let mut indegree = vec![0u32; num_scc];
+    for v in 0..n {
+        let su = scc_of[v];
+        for &r in &adj[v] {
+            let sv = scc_of[r as usize];
+            if sv != su {
+                indegree[sv as usize] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<(u32, u32)> = (0..num_scc)
+        .filter(|&s| indegree[s] == 0)
+        .map(|s| (s as u32, 0))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut ranks = Vec::with_capacity(n);
+    let mut groups = Vec::new();
+    let mut head = 0;
+    while head < queue.len() {
+        let (s, rank) = queue[head];
+        head += 1;
+        let members = &scc_members[s as usize];
+        if is_cyclic(s as usize) {
+            let mut m = members.clone();
+            m.sort_unstable();
+            groups.push((rank, m));
+        } else {
+            order.push(members[0]);
+            ranks.push(rank);
+        }
+        for &m in members {
+            for &r in &adj[m as usize] {
+                let sv = scc_of[r as usize];
+                if sv != s {
+                    let d = &mut indegree[sv as usize];
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push((sv, rank + 1));
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(
+        order.len() + groups.iter().map(|(_, m)| m.len()).sum::<usize>(),
+        n,
+        "every node is either ranked or in a cyclic group"
+    );
+    NodeLevels {
+        order,
+        ranks,
+        groups,
     }
 }
 
@@ -189,12 +342,16 @@ impl<'a> CompiledSim<'a> {
     }
 
     /// One full compiled-mode cycle: every ranked gate evaluated once
-    /// in rank order, then the feedback subset iterated to a fixpoint
-    /// (bounded by `max_feedback_iters`). Returns `true` if the
-    /// feedback subset converged.
+    /// in rank order, then — if the circuit has feedback — the feedback
+    /// gates and the ranked sweep alternated to a joint fixpoint
+    /// (bounded by `max_feedback_iters`). The ranked gates participate
+    /// in the loop because `feedback` holds only the gates *on* cycles;
+    /// the combinational logic downstream of a latch lives in `order`
+    /// and must see the latch's converged outputs. Returns `true` if
+    /// the fixpoint was reached within the bound.
     pub fn settle(&mut self, max_feedback_iters: u32) -> bool {
-        for i in 0..self.levels.order.len() {
-            let g = self.levels.order[i];
+        let order = self.levels.order.clone();
+        for &g in &order {
             self.eval_gate(g);
         }
         let feedback = self.levels.feedback.clone();
@@ -208,17 +365,27 @@ impl<'a> CompiledSim<'a> {
             for &g in &feedback {
                 changed |= self.eval_gate(g);
             }
-            if !changed {
+            if changed {
+                // Latch outputs moved: re-propagate through the ranked
+                // cloud (which may feed other latches' inputs).
+                for &g in &order {
+                    self.eval_gate(g);
+                }
+            } else {
                 return true;
             }
         }
         // Did not converge: oscillating feedback (e.g. an enabled ring
         // oscillator); mark the unstable outputs X like a real compiled
-        // simulator's oscillation detector.
+        // simulator's oscillation detector, and propagate the X through
+        // the ranked cloud.
         for &g in &feedback {
             if let Component::Gate { output, .. } = self.netlist.component(g) {
                 self.values[output.index()] = Level::X;
             }
+        }
+        for &g in &order {
+            self.eval_gate(g);
         }
         false
     }
@@ -345,6 +512,84 @@ mod tests {
         let converged = sim.settle(8);
         assert!(!converged);
         assert_eq!(sim.level(y), Level::X);
+    }
+
+    #[test]
+    fn settle_reports_iteration_bound_on_gated_oscillation() {
+        // A ring oscillator behind an enable: stable while en=0, a bare
+        // inverter loop while en=1. The `false` return must come with
+        // `last_iterations` pinned at the caller's bound, and the
+        // oscillation-detector X must reach ranked logic downstream of
+        // the loop.
+        let mut b = NetlistBuilder::new("gated_osc");
+        let en = b.input("en");
+        let x = b.net("x");
+        let y = b.net("y");
+        let q = b.net("q");
+        b.gate(GateKind::Nand, &[en, x], y, Delay::uniform(1));
+        b.gate(GateKind::Buf, &[y], x, Delay::uniform(1));
+        b.gate(GateKind::Buf, &[y], q, Delay::uniform(1));
+        let n = b.finish().unwrap();
+        let mut sim = CompiledSim::new(&n);
+        sim.set_input(en, Level::Zero);
+        assert!(sim.settle(8), "disabled ring is stable");
+        assert!(sim.last_iterations < 8, "stable loop converges early");
+        assert_eq!(sim.level(q), Level::One);
+        sim.set_input(en, Level::One);
+        for bound in [1, 4, 16] {
+            // Re-seed a known loop state: the X the detector forces on
+            // a failed settle is itself a NAND-loop fixpoint, so an
+            // all-X ring would (correctly) converge on the next call.
+            sim.values[x.index()] = Level::Zero;
+            assert!(!sim.settle(bound), "enabled ring cannot settle");
+            assert_eq!(
+                sim.last_iterations, bound,
+                "oscillation must burn the whole iteration budget"
+            );
+            assert_eq!(sim.level(q), Level::X, "downstream logic sees the X");
+        }
+    }
+
+    #[test]
+    fn gate_latch_converges_and_holds_through_input_changes() {
+        // A transparent D latch from plain gates:
+        //   q = (d AND en) OR (q AND NOT en)
+        // Transparent while en=1; holds the captured bit while en=0,
+        // even as d keeps moving. Every settle must converge.
+        let mut b = NetlistBuilder::new("d_latch");
+        let d = b.input("d");
+        let en = b.input("en");
+        let n_en = b.net("n_en");
+        let a1 = b.net("a1");
+        let a2 = b.net("a2");
+        let q = b.net("q");
+        b.gate(GateKind::Not, &[en], n_en, Delay::uniform(1));
+        b.gate(GateKind::And, &[d, en], a1, Delay::uniform(1));
+        b.gate(GateKind::And, &[q, n_en], a2, Delay::uniform(1));
+        b.gate(GateKind::Or, &[a1, a2], q, Delay::uniform(1));
+        let n = b.finish().unwrap();
+        assert!(
+            !Levelizer::new(&n).feedback.is_empty(),
+            "the latch loop must be classified as feedback"
+        );
+        let mut sim = CompiledSim::new(&n);
+        // Capture a 1, close the latch, then wiggle d: q must hold.
+        for (d_level, en_level, want_q) in [
+            (Level::One, Level::One, Level::One),
+            (Level::One, Level::Zero, Level::One),
+            (Level::Zero, Level::Zero, Level::One),
+            (Level::Zero, Level::One, Level::Zero),
+            (Level::One, Level::Zero, Level::Zero),
+        ] {
+            sim.set_input(d, d_level);
+            sim.set_input(en, en_level);
+            assert!(
+                sim.settle(16),
+                "latch must converge at d={d_level} en={en_level}"
+            );
+            assert!(sim.last_iterations <= 4, "convergence is fast");
+            assert_eq!(sim.level(q), want_q, "d={d_level} en={en_level}");
+        }
     }
 
     #[test]

@@ -82,6 +82,22 @@ struct Change {
     seq: u64,
 }
 
+/// Which simulation backend a front end should construct.
+///
+/// This is advisory routing information for front ends (`lsim`, the
+/// bench binaries): the event-driven [`Simulator`] itself ignores it,
+/// and [`crate::bitpar::BitParSim`] consumes the rest of the config for
+/// its per-lane fallback engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The serial event-driven engine ([`Simulator`]).
+    #[default]
+    Event,
+    /// The 64-lane bit-parallel compiled backend
+    /// ([`crate::bitpar::BitParSim`]).
+    BitPar,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -115,7 +131,30 @@ pub struct SimConfig {
     /// (the parallel engine remaps partition assignments through the
     /// optimizer's component map automatically).
     pub optimize: bool,
+    /// Which backend a front end should construct (see [`Backend`]);
+    /// the event-driven engine itself ignores this.
+    pub backend: Backend,
+    /// Active lanes for the bit-parallel backend (`1..=64`); ignored by
+    /// the event-driven engine.
+    pub lanes: usize,
+    /// Hook the parallel engine uses to re-partition an optimizer-
+    /// rewritten netlist from scratch instead of remapping the caller's
+    /// assignment through the optimizer's component map. The arguments
+    /// are `(netlist, num_parts, seed)`; the result must assign every
+    /// component. `None` keeps the remapping behavior. (A plain `fn`
+    /// pointer, not a closure, so `SimConfig` stays `Clone` + `Debug`;
+    /// the partition crate supplies a compatible free function —
+    /// dependency direction forbids calling it from here directly.)
+    pub repartition: Option<RepartitionFn>,
+    /// Seed forwarded to [`SimConfig::repartition`].
+    pub repartition_seed: u64,
 }
+
+/// Signature of the [`SimConfig::repartition`] hook:
+/// `(netlist, num_parts, seed)` to a full component assignment
+/// (partition id per component, `u32::MAX` for unpartitioned
+/// infrastructure).
+pub type RepartitionFn = fn(&Netlist, u32, u64) -> Vec<u32>;
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
@@ -127,6 +166,10 @@ impl Default for SimConfig {
             observe: false,
             obs_capacity: 4096,
             optimize: false,
+            backend: Backend::Event,
+            lanes: logicsim_netlist::LANES,
+            repartition: None,
+            repartition_seed: 0,
         }
     }
 }
@@ -527,6 +570,34 @@ impl<'a> Simulator<'a> {
         } else {
             NetHold::Borrowed(netlist)
         };
+        Simulator::from_hold(hold, config)
+    }
+
+    /// Creates a simulator that owns its netlist, so the returned value
+    /// carries no borrow (`Simulator<'static>`). This is how a composite
+    /// engine embeds per-lane event-driven simulators next to the
+    /// netlist they simulate — e.g. the bit-parallel backend's
+    /// switch-cluster fallback — without self-referential borrows.
+    ///
+    /// [`SimConfig::optimize`] applies to the supplied netlist as in
+    /// [`Simulator::with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreflightError`] as for [`Simulator::new`].
+    pub fn with_config_owned(
+        netlist: Netlist,
+        config: SimConfig,
+    ) -> Result<Simulator<'static>, PreflightError> {
+        let hold = if config.optimize {
+            NetHold::Owned(Box::new(analyze::opt::optimize(&netlist).netlist))
+        } else {
+            NetHold::Owned(Box::new(netlist))
+        };
+        Simulator::from_hold(hold, config)
+    }
+
+    fn from_hold(hold: NetHold<'a>, config: SimConfig) -> Result<Simulator<'a>, PreflightError> {
         let img = Image::build(hold.get())?;
         let nc = hold.get().num_components();
         let nn = hold.get().num_nets();

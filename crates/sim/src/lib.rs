@@ -31,6 +31,7 @@
 //! assert_eq!(sim.level(y), Level::One);
 //! ```
 
+pub mod bitpar;
 pub mod compiled;
 pub mod engine;
 pub mod heap_list;
@@ -46,15 +47,16 @@ pub mod trace;
 pub mod vcd;
 pub mod wheel;
 
-pub use compiled::{CompiledSim, Levelizer};
-pub use engine::{PreflightError, SimConfig, Simulator};
+pub use bitpar::{BitParSim, BitParStats};
+pub use compiled::{CompiledSim, FeedbackGroup, Levelizer};
+pub use engine::{Backend, PreflightError, RepartitionFn, SimConfig, Simulator};
 pub use heap_list::HeapEventList;
 pub use instrument::{ActivityProfile, WorkloadCounters};
 #[cfg(feature = "obs")]
 pub use obs::{LaneReport, ObsReport, PhaseSample, PhaseTotal};
 pub use obs::{Phase, NUM_PHASES};
 pub use par_engine::{InputFrame, ParSimulator};
-pub use stimulus::{RandomStimulus, SignalRole, Stimulus, StimulusSpec};
+pub use stimulus::{RandomStimulus, SignalRole, Stimulus, Stimulus64, StimulusSpec};
 pub use trace::{EventRecord, TickRecord, TickTrace};
 pub use vcd::VcdRecorder;
 pub use wheel::TimingWheel;

@@ -951,19 +951,41 @@ impl<'a> ParSimulator<'a> {
             netlist.num_components(),
             "assignment must cover every component"
         );
-        // With [`SimConfig::optimize`] set, rewrite the netlist first
-        // and push the caller's partition through the optimizer's
-        // component map: every surviving component keeps the partition
-        // of the original component it came from, so callers keep
-        // computing assignments on the graph they handed in.
+        // With [`SimConfig::optimize`] set, rewrite the netlist first.
+        // The caller's partition was computed on the graph they handed
+        // in; it reaches the optimized graph one of two ways:
+        //
+        // * default: push it through the optimizer's component map, so
+        //   every surviving component keeps the partition of the
+        //   original component it came from (cheap, but rewrites can
+        //   strand a merged component on a cut it no longer earns);
+        // * with [`SimConfig::repartition`] set: partition the
+        //   *optimized* graph from scratch with the supplied hook — the
+        //   cut is computed on the topology actually being simulated.
         let (hold, assignment) = if config.optimize {
             let opt = logicsim_netlist::analyze::opt::optimize(netlist);
-            let mut remapped = vec![u32::MAX; opt.netlist.num_components()];
-            for (old, mapped) in opt.comp_map.iter().enumerate() {
-                if let Some(new) = mapped {
-                    remapped[new.index()] = assignment[old];
+            let num_parts = assignment
+                .iter()
+                .filter(|&&a| a != u32::MAX)
+                .max()
+                .map_or(1, |&m| m + 1);
+            let remapped = if let Some(partition) = config.repartition {
+                let fresh = partition(&opt.netlist, num_parts, config.repartition_seed);
+                assert_eq!(
+                    fresh.len(),
+                    opt.netlist.num_components(),
+                    "repartition hook must cover every optimized component"
+                );
+                fresh
+            } else {
+                let mut remapped = vec![u32::MAX; opt.netlist.num_components()];
+                for (old, mapped) in opt.comp_map.iter().enumerate() {
+                    if let Some(new) = mapped {
+                        remapped[new.index()] = assignment[old];
+                    }
                 }
-            }
+                remapped
+            };
             (NetHold::Owned(Box::new(opt.netlist)), remapped)
         } else {
             (NetHold::Borrowed(netlist), assignment.to_vec())

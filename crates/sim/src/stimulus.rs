@@ -10,7 +10,7 @@
 //! reproducible.
 
 use crate::engine::Simulator;
-use logicsim_netlist::{Level, NetId};
+use logicsim_netlist::{Level, NetId, Plane, LANES};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -189,6 +189,163 @@ impl Stimulus for RandomStimulus {
     }
 }
 
+/// A 64-lane batch stimulus: one independently seeded [`RandomStimulus`]
+/// per lane, all built from the same [`StimulusSpec`], producing one
+/// [`Plane`] per assigned input per tick.
+///
+/// Lane 0 uses the base seed unchanged, so a serial reference run with
+/// the same seed reproduces lane 0 exactly; lane `i` uses
+/// [`Stimulus64::lane_seed`]`(base, i)`. This is the contract the
+/// differential harness leans on: any lane of a
+/// [`BitParSim`](crate::bitpar::BitParSim) batch can be replayed on the
+/// event-driven engine by building a `RandomStimulus` with that lane's
+/// seed.
+#[derive(Debug, Clone)]
+pub struct Stimulus64 {
+    nets: Vec<NetId>,
+    roles: Vec<SignalRole>,
+    /// One RNG per lane, seeded with [`Stimulus64::lane_seed`]; lane
+    /// `l` consumes draws in the same order as a serial
+    /// [`RandomStimulus`] with that seed (inputs-major per tick).
+    rngs: Vec<ChaCha8Rng>,
+    /// Current plane per input. Deterministic roles splat a shared
+    /// level; random roles toggle per-lane `val` bits on their period
+    /// boundaries — so a quiet tick costs one branch per input instead
+    /// of `lanes x inputs` level computations.
+    planes: Vec<Plane>,
+    /// Cached deterministic level per input (`None` until first apply).
+    det: Vec<Option<Level>>,
+    active_mask: u64,
+}
+
+impl Stimulus64 {
+    /// The seed lane `lane` draws its random decisions from. Lane 0 is
+    /// the base seed itself; other lanes mix in a golden-ratio stride.
+    #[must_use]
+    pub fn lane_seed(base: u64, lane: usize) -> u64 {
+        base.wrapping_add((lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Builds `lanes` per-lane drivers from `spec` against `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if the spec references an unknown net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not in `1..=64`.
+    pub fn new(
+        spec: &StimulusSpec,
+        netlist: &logicsim_netlist::Netlist,
+        base_seed: u64,
+        lanes: usize,
+    ) -> Result<Stimulus64, String> {
+        assert!(
+            (1..=LANES).contains(&lanes),
+            "lanes must be 1..=64, got {lanes}"
+        );
+        let mut nets = Vec::with_capacity(spec.assignments.len());
+        for (name, _) in &spec.assignments {
+            nets.push(
+                netlist
+                    .find_net(name)
+                    .ok_or_else(|| format!("stimulus references unknown net `{name}`"))?,
+            );
+        }
+        let active_mask = if lanes == LANES {
+            !0
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let roles: Vec<SignalRole> = spec.assignments.iter().map(|(_, r)| r.clone()).collect();
+        // Initial planes mirror `RandomStimulus::new`'s initial levels:
+        // random data starts at Zero, constants/pulses at their level.
+        let planes = roles
+            .iter()
+            .map(|role| {
+                let l = match role {
+                    SignalRole::Const(l) => *l,
+                    SignalRole::Pulse { active, .. } => *active,
+                    _ => Level::Zero,
+                };
+                Plane::splat(l).masked(active_mask)
+            })
+            .collect();
+        let det = vec![None; roles.len()];
+        let rngs = (0..lanes)
+            .map(|l| ChaCha8Rng::seed_from_u64(Stimulus64::lane_seed(base_seed, l)))
+            .collect();
+        Ok(Stimulus64 {
+            nets,
+            roles,
+            rngs,
+            planes,
+            det,
+            active_mask,
+        })
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn num_lanes(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Feeds this tick's input planes to a sink (typically
+    /// [`BitParSim::set_input_plane`](crate::bitpar::BitParSim::set_input_plane)),
+    /// advancing every lane's random state exactly as a serial
+    /// [`Stimulus::apply`] with that lane's seed would. Lanes beyond
+    /// [`Stimulus64::num_lanes`] are left `X` in every plane.
+    pub fn apply_with(&mut self, tick: u64, mut set: impl FnMut(NetId, Plane)) {
+        for idx in 0..self.nets.len() {
+            match self.roles[idx] {
+                SignalRole::Const(_) => {} // plane fixed at build
+                SignalRole::Clock { half_period, phase } => {
+                    let l = if tick < phase {
+                        Level::Zero
+                    } else {
+                        Level::from_bool(((tick - phase) / half_period) % 2 == 1)
+                    };
+                    self.set_det(idx, l);
+                }
+                SignalRole::Pulse { active, width } => {
+                    let l = if tick < width { active } else { active.not() };
+                    self.set_det(idx, l);
+                }
+                SignalRole::Random {
+                    period,
+                    phase,
+                    toggle_prob,
+                } => {
+                    if (tick + phase).is_multiple_of(period) {
+                        // One draw per lane, in lane order: each lane's
+                        // RNG sees the same inputs-major sequence a
+                        // serial run with its seed would.
+                        let mut p = self.planes[idx];
+                        for (lane, rng) in self.rngs.iter_mut().enumerate() {
+                            if rng.gen_bool(toggle_prob) {
+                                p.val ^= 1u64 << lane;
+                            }
+                        }
+                        self.planes[idx] = p;
+                    }
+                }
+            }
+            set(self.nets[idx], self.planes[idx]);
+        }
+    }
+
+    /// Refreshes input `idx`'s plane from a lane-shared deterministic
+    /// level, re-splatting only when the level actually changed.
+    fn set_det(&mut self, idx: usize, l: Level) {
+        if self.det[idx] != Some(l) {
+            self.det[idx] = Some(l);
+            self.planes[idx] = Plane::splat(l).masked(self.active_mask);
+        }
+    }
+}
+
 /// Runs a simulator under a stimulus until `end_tick` (exclusive).
 ///
 /// This is the standard measurement loop: call
@@ -271,6 +428,49 @@ mod tests {
         assert_eq!(run(42), run(42));
         // Different seeds should (overwhelmingly) differ in event counts.
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn stimulus64_lane0_matches_serial_with_base_seed() {
+        let n = buf_circuit();
+        let spec = StimulusSpec::new()
+            .with(
+                "a",
+                SignalRole::Random {
+                    period: 3,
+                    phase: 0,
+                    toggle_prob: 0.5,
+                },
+            )
+            .with(
+                "clk",
+                SignalRole::Clock {
+                    half_period: 2,
+                    phase: 0,
+                },
+            );
+        let mut batch = Stimulus64::new(&spec, &n, 42, 8).unwrap();
+        let mut serial = spec.build(&n, 42).unwrap();
+        for tick in 0..100 {
+            let mut batch_lane0 = Vec::new();
+            batch.apply_with(tick, |net, plane| batch_lane0.push((net, plane.lane(0))));
+            let mut serial_levels = Vec::new();
+            serial.apply_with(tick, |net, level| serial_levels.push((net, level)));
+            assert_eq!(batch_lane0, serial_levels, "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn stimulus64_inactive_lanes_stay_x() {
+        let n = buf_circuit();
+        let spec = StimulusSpec::new().with("a", SignalRole::Const(Level::One));
+        let mut batch = Stimulus64::new(&spec, &n, 0, 2).unwrap();
+        batch.apply_with(0, |_, plane| {
+            assert_eq!(plane.lane(0), Level::One);
+            assert_eq!(plane.lane(1), Level::One);
+            assert_eq!(plane.lane(2), Level::X);
+            assert_eq!(plane.lane(63), Level::X);
+        });
     }
 
     #[test]

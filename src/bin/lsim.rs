@@ -31,6 +31,16 @@
 //!   --const NET=0|1        hold NET constant
 //!   --pulse NET:WIDTH      drive NET high for WIDTH ticks, then low
 //!   --vcd FILE             write output-net waveforms as VCD
+//!   --backend event|bitpar pick the engine for stats/sim (default event)
+//!   --lanes N              active lanes for `--backend bitpar` (1..=64,
+//!                          default 64); lane i seeds its stimulus from
+//!                          lane_seed(--seed, i)
+//!
+//! With `--backend bitpar`, `stats`/`sim` run the bit-parallel compiled
+//! engine under the vector-synchronous quiescence protocol: `--until T`
+//! counts applied vectors (not ticks), each settled before the next,
+//! and `sim` prints each output as one level character per lane.
+//! `--vcd` and `--warmup` are tick-based and therefore event-only.
 //!
 //! machine options (with defaults):
 //!   --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)
@@ -54,7 +64,9 @@ use logicsim::netlist::analyze::{analyze, Severity};
 use logicsim::netlist::text;
 use logicsim::netlist::{Level, Netlist};
 use logicsim::sim::stimulus::{run_with_stimulus, Stimulus};
-use logicsim::sim::{SignalRole, SimConfig, Simulator, StimulusSpec};
+use logicsim::sim::{
+    Backend, BitParSim, SignalRole, SimConfig, Simulator, Stimulus64, StimulusSpec,
+};
 use std::process::ExitCode;
 
 struct Options {
@@ -65,6 +77,8 @@ struct Options {
     vcd_path: Option<String>,
     out_path: Option<String>,
     trace_p: usize,
+    backend: Backend,
+    lanes: usize,
     machine_p: u32,
     machine_l: u32,
     machine_w: u32,
@@ -81,6 +95,7 @@ fn usage() -> ExitCode {
          \x20      lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]\n\
          options: --until T --warmup T --seed N --vcd FILE\n\
          \x20        --clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH\n\
+         \x20        --backend event|bitpar --lanes N (64; bitpar runs --until T vectors)\n\
          machine options: --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)"
     );
     ExitCode::FAILURE
@@ -95,6 +110,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         vcd_path: None,
         out_path: None,
         trace_p: 2,
+        backend: Backend::Event,
+        lanes: logicsim::netlist::LANES,
         machine_p: 8,
         machine_l: 5,
         machine_w: 1,
@@ -184,6 +201,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--vcd" => opts.vcd_path = Some(need("--vcd")?),
             "--out" => opts.out_path = Some(need("--out")?),
+            "--backend" => {
+                opts.backend = match need("--backend")?.as_str() {
+                    "event" => Backend::Event,
+                    "bitpar" => Backend::BitPar,
+                    other => {
+                        return Err(format!(
+                            "--backend expects `event` or `bitpar`, got `{other}`"
+                        ))
+                    }
+                };
+            }
+            "--lanes" => {
+                let v: usize = need("--lanes")?
+                    .parse()
+                    .map_err(|e| format!("--lanes: {e}"))?;
+                if !(1..=logicsim::netlist::LANES).contains(&v) {
+                    return Err(format!("--lanes must be 1..=64, got {v}"));
+                }
+                opts.lanes = v;
+            }
             "--p" => {
                 let v: u32 = need("--p")?.parse().map_err(|e| format!("--p: {e}"))?;
                 opts.machine_p = v;
@@ -204,7 +241,69 @@ fn load(path: &str) -> Result<Netlist, String> {
     text::parse(&source).map_err(|e| format!("{path}: {e}"))
 }
 
+/// `stats`/`sim` on the bit-parallel backend: `--until` counts settled
+/// vectors, lane `i` draws stimulus from `lane_seed(seed, i)`, and
+/// outputs print as one level character per lane.
+fn run_bitpar(netlist: &Netlist, opts: &Options, print_outputs: bool) -> Result<(), String> {
+    if opts.vcd_path.is_some() {
+        return Err("--vcd records tick waveforms; use `--backend event`".into());
+    }
+    if opts.warmup > 0 {
+        return Err("--warmup counts ticks; use `--backend event`".into());
+    }
+    let mut stim = Stimulus64::new(&opts.stimulus, netlist, opts.seed, opts.lanes)
+        .map_err(|e| format!("stimulus: {e}"))?;
+    let config = SimConfig {
+        backend: Backend::BitPar,
+        lanes: opts.lanes,
+        ..SimConfig::default()
+    };
+    let mut sim =
+        BitParSim::with_config(netlist, opts.lanes, &config).map_err(|e| e.to_string())?;
+    for v in 0..opts.until {
+        stim.apply_with(v, |net, plane| sim.set_input_plane(net, plane));
+        sim.settle_vector();
+    }
+    let st = sim.stats();
+    println!("circuit     : {}", netlist.name());
+    println!(
+        "components  : {} ({} gates, {} switches)",
+        netlist.num_simulated_components(),
+        netlist.num_gates(),
+        netlist.num_switches()
+    );
+    println!(
+        "compiled    : {} gates + {} solver cells ({} switches, {} ranks)",
+        st.compiled_gates, st.solver_cells, st.compiled_switches, st.ranks
+    );
+    println!("fallback    : {} components", st.fallback_components);
+    println!("lanes       : {}", st.lanes);
+    println!(
+        "vectors     : {} ({} sweeps, {} unconverged)",
+        st.vectors, st.sweeps, st.unconverged_vectors
+    );
+    println!("gate evals  : {}", st.compiled_evals);
+    println!("fb events   : {}", st.fallback_events);
+    if print_outputs {
+        println!("outputs after {} vectors (one level per lane):", st.vectors);
+        for &o in netlist.outputs() {
+            let levels: String = (0..opts.lanes)
+                .map(|lane| match sim.level(o, lane) {
+                    Level::Zero => '0',
+                    Level::One => '1',
+                    Level::X => 'X',
+                })
+                .collect();
+            println!("  {} = {levels}", netlist.net_name(o));
+        }
+    }
+    Ok(())
+}
+
 fn run(netlist: &Netlist, opts: &Options, print_outputs: bool) -> Result<(), String> {
+    if opts.backend == Backend::BitPar {
+        return run_bitpar(netlist, opts, print_outputs);
+    }
     let mut stim = opts
         .stimulus
         .build(netlist, opts.seed)

@@ -91,6 +91,73 @@ fn bench_subcommand_round_trips_through_parser() {
 }
 
 #[test]
+fn usage_text_pins_every_subcommand_and_option() {
+    let out = lsim().output().expect("run lsim");
+    assert!(!out.status.success(), "no arguments must print usage");
+    let usage = String::from_utf8_lossy(&out.stderr);
+    // One line per front-end surface; a missing line here means the
+    // usage text drifted from the implemented commands/options.
+    for needle in [
+        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file> [options]",
+        "lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>",
+        "lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]",
+        "lsim opt <netlist-file|bench:NAME> [--report] [--emit FILE]",
+        "lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]",
+        "options: --until T --warmup T --seed N --vcd FILE",
+        "--clock NET:HALF --random NET:PERIOD:PROB --const NET=0|1 --pulse NET:WIDTH",
+        "--backend event|bitpar --lanes N (64; bitpar runs --until T vectors)",
+        "machine options: --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)",
+    ] {
+        assert!(usage.contains(needle), "usage lost `{needle}`:\n{usage}");
+    }
+}
+
+#[test]
+fn bitpar_backend_simulates_vectors_per_lane() {
+    let path = write_temp("bitpar", TOGGLE);
+    let out = lsim()
+        .args(["sim", path.to_str().unwrap(), "--until", "8"])
+        .args(["--backend", "bitpar", "--lanes", "4"])
+        .args(["--clock", "clk:1", "--const", "d=1"])
+        .output()
+        .expect("run lsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lanes       : 4"), "{stdout}");
+    assert!(
+        stdout.contains("vectors     : 8"),
+        "bitpar --until counts vectors: {stdout}"
+    );
+    // XOR of an alternating clock (tick parity) against constant 1 is
+    // identical in every lane: vector 7 has clk=1, so y=0 in all lanes.
+    assert!(stdout.contains("y = 0000"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn bitpar_backend_rejects_tick_based_options() {
+    let path = write_temp("bitpar_vcd", TOGGLE);
+    let out = lsim()
+        .args(["sim", path.to_str().unwrap(), "--backend", "bitpar"])
+        .args(["--vcd", "/tmp/never_written.vcd"])
+        .output()
+        .expect("run lsim");
+    assert!(!out.status.success(), "--vcd is event-only");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--backend event"));
+    let out = lsim()
+        .args(["sim", path.to_str().unwrap(), "--lanes", "65"])
+        .output()
+        .expect("run lsim");
+    assert!(!out.status.success(), "lanes are capped at the word width");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--lanes must be 1..=64"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn bad_input_fails_with_message() {
     let out = lsim()
         .args(["stats", "/nonexistent.lsim"])

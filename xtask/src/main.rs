@@ -423,10 +423,14 @@ struct Metric {
 }
 
 /// Extracts the metrics shared by every snapshot schema so far:
-/// per-circuit serial `events_per_second` (v1 and v2) and top-level
-/// `peak_rss_kb`. Schema-specific extras (v2's `metadata`, per-circuit
-/// `parallel[]` rows) are deliberately ignored — the diff only compares
-/// what both snapshot generations can provide.
+/// per-circuit serial `events_per_second` (v1 onward), per-circuit
+/// `bitpar.aggregate_speedup` (v4 onward), and top-level `peak_rss_kb`.
+/// Schema-specific extras (v2's `metadata`, per-circuit `parallel[]`
+/// rows) are deliberately ignored — the diff only compares what both
+/// snapshot generations can provide. The peak-RSS metric is qualified
+/// by the schema tag because each schema generation changes the
+/// workload the snapshot process runs (v4 added the 64-lane bit-plane
+/// race), so its footprint is only comparable within one generation.
 fn snapshot_metrics(doc: &serde_json::Value) -> Result<Vec<Metric>, String> {
     let mut out = Vec::new();
     let circuits = doc
@@ -448,11 +452,27 @@ fn snapshot_metrics(doc: &serde_json::Value) -> Result<Vec<Metric>, String> {
             value: eps,
             higher_is_better: true,
         });
+        if let Some(speedup) = row
+            .get("bitpar")
+            .and_then(|b| b.get("aggregate_speedup"))
+            .and_then(serde_json::Value::as_f64)
+        {
+            out.push(Metric {
+                circuit: Some(circuit.to_string()),
+                name: "bitpar.aggregate_speedup",
+                value: speedup,
+                higher_is_better: true,
+            });
+        }
     }
     if let Some(rss) = doc.get("peak_rss_kb").and_then(serde_json::Value::as_f64) {
         if rss > 0.0 {
+            let schema = doc
+                .get("schema")
+                .and_then(serde_json::Value::as_str)
+                .unwrap_or("v1");
             out.push(Metric {
-                circuit: None,
+                circuit: Some(schema.to_string()),
                 name: "peak_rss_kb",
                 value: rss,
                 higher_is_better: false,
@@ -644,8 +664,10 @@ fn f() -> &'static str {
     #[test]
     fn v1_and_v2_snapshots_share_comparable_metrics() {
         // Minimal replicas of the two snapshot generations: v1 has no
-        // metadata or parallel rows, v2 has both. The differ must see
-        // the same metric set from each.
+        // metadata or parallel rows, v2 has both. Throughput metrics
+        // compare across generations; peak RSS is schema-qualified (the
+        // snapshot workload changes each generation) so it must NOT
+        // pair up between v1 and v2.
         let v1: serde_json::Value = serde_json::from_str(
             r#"{"schema":"logicsim-perf-snapshot-v1","peak_rss_kb":1000,
                 "circuits":[{"circuit":"stopwatch","events_per_second":100.0}]}"#,
@@ -662,11 +684,43 @@ fn f() -> &'static str {
         let m2 = snapshot_metrics(&v2).unwrap();
         assert_eq!(m1.len(), 2);
         assert_eq!(m2.len(), 2);
-        for (a, b) in m1.iter().zip(&m2) {
+        assert_eq!(m1[0].circuit, m2[0].circuit);
+        assert_eq!(m1[0].name, "events_per_second");
+        assert_eq!(m2[0].name, "events_per_second");
+        assert_eq!(m1[1].name, "peak_rss_kb");
+        assert_eq!(m2[1].name, "peak_rss_kb");
+        assert_ne!(
+            m1[1].circuit, m2[1].circuit,
+            "cross-schema RSS must not be compared"
+        );
+    }
+
+    #[test]
+    fn v4_snapshots_compare_bitpar_speedup_and_rss() {
+        // Two v4-generation snapshots: the bit-parallel aggregate
+        // speedup and the (same-schema) peak RSS both become
+        // comparable metrics.
+        let make = |speedup: f64, rss: u32| -> serde_json::Value {
+            serde_json::from_str(&format!(
+                r#"{{"schema":"logicsim-perf-snapshot-v4","peak_rss_kb":{rss},
+                    "circuits":[{{"circuit":"stopwatch","events_per_second":100.0,
+                                 "bitpar":{{"lanes":64,"aggregate_speedup":{speedup}}}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let old = snapshot_metrics(&make(40.0, 1000)).unwrap();
+        let new = snapshot_metrics(&make(44.0, 1010)).unwrap();
+        assert_eq!(old.len(), 3);
+        for (a, b) in old.iter().zip(&new) {
             assert_eq!(a.circuit, b.circuit);
             assert_eq!(a.name, b.name);
-            assert_eq!(a.higher_is_better, b.higher_is_better);
         }
+        let speedup = new
+            .iter()
+            .find(|m| m.name == "bitpar.aggregate_speedup")
+            .expect("v4 exposes the lane-throughput metric");
+        assert!(speedup.higher_is_better);
+        assert_eq!(speedup.circuit.as_deref(), Some("stopwatch"));
     }
 
     #[test]
