@@ -8,14 +8,26 @@
 //! `lanes x serial_wall / bitpar_wall`. CI uploads the output as the
 //! lane-throughput artifact of the `bitpar` job.
 //!
+//! With `--workers <N>` the study adds a multi-worker section per
+//! circuit: one private 64-lane `BitParSim` per `par_map` worker, each
+//! replaying a *disjoint* seed block (worker `w` covers the lanes
+//! `[64w, 64w + 64)` of the global lane-seed sequence), so `W` workers
+//! settle `64 W` independent scenarios per vector. The table sweeps
+//! powers of two up to `N` and reports aggregate scenarios/second —
+//! the throughput story for batch fault/corner campaigns, where the
+//! bit-parallel backend's single-thread word-level parallelism and the
+//! host's cores multiply.
+//!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p logicsim-bench --bin bitpar_study -- [--quick] [--out <path>]
+//! cargo run --release -p logicsim-bench --bin bitpar_study -- \
+//!     [--quick] [--workers <N>] [--out <path>]
 //! ```
 
 use logicsim::circuits::Benchmark;
 use logicsim::sim::{BitParSim, Simulator, Stimulus64};
+use logicsim_bench::parallel::par_map_with_workers;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -46,6 +58,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "-".to_string());
+    let max_workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
 
     let mut md = String::new();
     let _ = writeln!(md, "# Bit-parallel backend: lane-throughput study\n");
@@ -125,6 +142,49 @@ fn main() {
             );
         }
         let _ = writeln!(md);
+
+        // Multi-worker mode: W private 64-lane engines over disjoint
+        // seed blocks, mapped onto W threads.
+        if let Some(maxw) = max_workers {
+            let _ = writeln!(
+                md,
+                "### multi-worker: one 64-lane engine per thread\n\n\
+                 | workers | wall (ms) | scenarios | scenarios/s | scenario·events/s | scaling |\n\
+                 |---:|---:|---:|---:|---:|---:|"
+            );
+            let mut base_wall = 0.0f64;
+            let mut w = 1usize;
+            while w <= maxw {
+                let t0 = Instant::now();
+                par_map_with_workers(w, (0..w).collect(), |worker| {
+                    // Worker `w` replays lanes [64w, 64w + 64) of the
+                    // global lane-seed sequence.
+                    let base = Stimulus64::lane_seed(0x1987, worker * 64);
+                    let mut stim64 =
+                        Stimulus64::new(&inst.stimulus, &inst.netlist, base, 64).expect("stimulus");
+                    let mut bp = BitParSim::new(&inst.netlist, 64).expect("pre-flight");
+                    for v in 0..vectors {
+                        stim64.apply_with(v, |net, plane| bp.set_input_plane(net, plane));
+                        bp.settle_vector();
+                    }
+                });
+                let wall = t0.elapsed().as_secs_f64();
+                if w == 1 {
+                    base_wall = wall;
+                }
+                let scenarios = (w * 64) as u64 * vectors;
+                let _ = writeln!(
+                    md,
+                    "| {w} | {:.3} | {scenarios} | {:.3e} | {:.3e} | {:.2}x |",
+                    wall * 1e3,
+                    scenarios as f64 / wall.max(1e-12),
+                    (w * 64) as f64 * serial_events as f64 / wall.max(1e-12),
+                    w as f64 * base_wall / wall.max(1e-12),
+                );
+                w *= 2;
+            }
+            let _ = writeln!(md);
+        }
     }
 
     if out_path == "-" {

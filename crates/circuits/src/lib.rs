@@ -31,7 +31,10 @@ pub mod cells;
 pub mod crossbar;
 pub mod priority_queue;
 pub mod rtp;
+pub mod scaled;
 pub mod stopwatch;
+
+pub use scaled::{parse_scale, parse_spec, ScaledParams};
 
 use logicsim_netlist::analyze::opt::{self, OptReport};
 use logicsim_netlist::{CircuitCharacteristics, Clocking, Netlist, Technology};
@@ -72,6 +75,46 @@ impl Benchmark {
             Benchmark::RtpChip => "RTP Chip",
             Benchmark::CrossbarSwitch => "CB Switch",
         }
+    }
+
+    /// The machine-readable name used by `lsim` (`bench:NAME`),
+    /// perf-snapshot families, and the scaled-corpus specs
+    /// (`stopwatch@100k`).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Benchmark::StopWatch => "stopwatch",
+            Benchmark::AssocMem => "assoc_mem",
+            Benchmark::PriorityQueue => "priority_queue",
+            Benchmark::RtpChip => "rtp",
+            Benchmark::CrossbarSwitch => "crossbar",
+        }
+    }
+
+    /// Parses a benchmark slug ([`Benchmark::slug`]), also accepting
+    /// the longer aliases `rtp_chip` and `crossbar_switch`.
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<Benchmark> {
+        Some(match slug {
+            "stopwatch" => Benchmark::StopWatch,
+            "assoc_mem" => Benchmark::AssocMem,
+            "priority_queue" => Benchmark::PriorityQueue,
+            "rtp" | "rtp_chip" => Benchmark::RtpChip,
+            "crossbar" | "crossbar_switch" => Benchmark::CrossbarSwitch,
+            _ => return None,
+        })
+    }
+
+    /// Builds the benchmark tiled up to at least `target_components`
+    /// simulated components (see [`scaled`]); targets at or below the
+    /// base size return the default instance.
+    #[must_use]
+    pub fn build_at(self, target_components: usize) -> BenchmarkInstance {
+        scaled::build(&ScaledParams {
+            base: self,
+            target_components,
+            seed: scaled::DEFAULT_SEED,
+        })
     }
 
     /// Builds the benchmark at its default scale (sized to land in the

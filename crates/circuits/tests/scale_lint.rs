@@ -1,0 +1,29 @@
+//! Tile-boundary lint checks at the 100k corpus scale.
+//!
+//! Building and analyzing a 100k-component instance is release-speed
+//! work, so this test is `#[ignore]`d by default; the CI `scale` job
+//! runs it explicitly with `cargo test --release -- --ignored`.
+
+use logicsim_circuits::{scaled, Benchmark, ScaledParams};
+use logicsim_netlist::analyze::{analyze, Severity};
+
+#[test]
+#[ignore = "release-speed: run via `cargo test --release -- --ignored` (CI scale job)"]
+fn hundred_k_instances_are_lint_clean() {
+    for bench in Benchmark::ALL {
+        let inst = scaled::build(&ScaledParams {
+            base: bench,
+            target_components: 100_000,
+            seed: scaled::DEFAULT_SEED,
+        });
+        let size = inst.netlist.num_simulated_components();
+        assert!(size >= 100_000, "{}: {size}", bench.paper_name());
+        let report = analyze(&inst.netlist);
+        assert!(
+            !report.has_errors() && report.count(Severity::Warning) == 0,
+            "{}@100k lints dirty:\n{}",
+            bench.paper_name(),
+            report.render(&inst.netlist)
+        );
+    }
+}

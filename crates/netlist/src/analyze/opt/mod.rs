@@ -390,26 +390,13 @@ fn emit(
             components.push(c.clone());
         }
     }
-    let nets = original.num_nets();
-    let mut fanout = vec![Vec::new(); nets];
-    let mut drivers = vec![Vec::new(); nets];
-    for (i, c) in components.iter().enumerate() {
-        for n in c.read_nets() {
-            fanout[n.index()].push(CompId(i as u32));
-        }
-        for n in c.driven_nets() {
-            drivers[n.index()].push(CompId(i as u32));
-        }
-    }
-    let netlist = Netlist {
-        name: original.name.clone(),
+    let netlist = Netlist::from_parts(
+        original.name.clone(),
         components,
-        net_names: original.net_names.clone(),
-        fanout,
-        drivers,
-        inputs: original.inputs.clone(),
-        outputs: original.outputs.clone(),
-    };
+        original.net_names.clone(),
+        original.inputs.clone(),
+        original.outputs.clone(),
+    );
     let mut findings = Vec::new();
     let diag = |code: Code, t: &Touched, message: String| {
         Diagnostic::new(code, message)

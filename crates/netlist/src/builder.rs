@@ -1,6 +1,7 @@
 //! Incremental construction and validation of [`Netlist`]s.
 
 use crate::component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
+use crate::names::NetNames;
 use crate::netlist::Netlist;
 use crate::value::Level;
 use std::collections::HashMap;
@@ -78,7 +79,7 @@ impl Error for BuildError {}
 pub struct NetlistBuilder {
     name: String,
     components: Vec<Component>,
-    net_names: Vec<String>,
+    net_names: NetNames,
     name_index: HashMap<String, NetId>,
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
@@ -102,8 +103,38 @@ impl NetlistBuilder {
             return id;
         }
         let id = NetId(self.net_names.len() as u32);
-        self.name_index.insert(name.clone(), id);
-        self.net_names.push(name);
+        self.net_names.push(&name);
+        self.name_index.insert(name, id);
+        id
+    }
+
+    /// Declares a net with a formatted name *without* interning it in the
+    /// duplicate-name index: the bulk-generation fast path. The caller
+    /// guarantees uniqueness (the tiled generator derives names from the
+    /// tile index, so collisions are impossible); a duplicate would
+    /// silently create a second net rather than unify.
+    pub fn bulk_net(&mut self, name: fmt::Arguments<'_>) -> NetId {
+        NetId(self.net_names.push_fmt(name) as u32)
+    }
+
+    /// Preallocates room for `nets` more nets (of about `name_bytes`
+    /// total name length) and `components` more components, so bulk
+    /// generation does not grow the arenas incrementally.
+    pub fn reserve(&mut self, nets: usize, name_bytes: usize, components: usize) {
+        self.net_names.reserve(nets, name_bytes);
+        self.components.reserve(components);
+    }
+
+    /// Appends an already-constructed component; returns its id. Input
+    /// components are recorded in the primary-input list exactly as
+    /// [`NetlistBuilder::input`] would. Validation still happens in
+    /// [`NetlistBuilder::finish`].
+    pub fn add_component(&mut self, comp: Component) -> CompId {
+        let id = CompId(self.components.len() as u32);
+        if let Component::Input { net } = comp {
+            self.inputs.push(net);
+        }
+        self.components.push(comp);
         id
     }
 
@@ -212,15 +243,6 @@ impl NetlistBuilder {
             return Err(BuildError::Empty);
         }
         let num_nets = self.net_names.len();
-        let check = |net: NetId| -> Result<(), BuildError> {
-            if net.index() >= num_nets {
-                Err(BuildError::UnknownNet { net })
-            } else {
-                Ok(())
-            }
-        };
-        let mut fanout: Vec<Vec<CompId>> = vec![Vec::new(); num_nets];
-        let mut drivers: Vec<Vec<CompId>> = vec![Vec::new(); num_nets];
         for (i, comp) in self.components.iter().enumerate() {
             let id = CompId(i as u32);
             if let Component::Gate { kind, inputs, .. } = comp {
@@ -234,35 +256,40 @@ impl NetlistBuilder {
                     });
                 }
             }
-            for net in comp.read_nets() {
-                check(net)?;
-                fanout[net.index()].push(id);
-            }
-            for net in comp.driven_nets() {
-                check(net)?;
-                drivers[net.index()].push(id);
+            let mut bad: Option<NetId> = None;
+            let mut check = |net: NetId| {
+                if net.index() >= num_nets && bad.is_none() {
+                    bad = Some(net);
+                }
+            };
+            comp.for_each_read(&mut check);
+            comp.for_each_driven(&mut check);
+            if let Some(net) = bad {
+                return Err(BuildError::UnknownNet { net });
             }
         }
+        // Indices are built arena-backed in O(components): a count /
+        // prefix-sum / fill pass, no per-net vectors.
+        let netlist = Netlist::from_parts(
+            self.name,
+            self.components,
+            self.net_names,
+            self.inputs,
+            self.outputs,
+        );
         // A net that is read must be drivable by something. Switch channel
         // terminals count both as reads and potential drives, so a pure
         // switch network never trips this; a gate input left floating does.
         for i in 0..num_nets {
-            if !fanout[i].is_empty() && drivers[i].is_empty() {
+            let net = NetId(i as u32);
+            if !netlist.fanout(net).is_empty() && netlist.drivers(net).is_empty() {
                 return Err(BuildError::UndrivenNet {
-                    net: NetId(i as u32),
-                    name: self.net_names[i].clone(),
+                    net,
+                    name: netlist.net_name(net).to_string(),
                 });
             }
         }
-        Ok(Netlist {
-            name: self.name,
-            components: self.components,
-            net_names: self.net_names,
-            fanout,
-            drivers,
-            inputs: self.inputs,
-            outputs: self.outputs,
-        })
+        Ok(netlist)
     }
 }
 
@@ -350,6 +377,37 @@ mod tests {
         b.transmission_gate(c, cn, a, z);
         let n = b.finish().unwrap();
         assert_eq!(n.num_switches(), 2);
+    }
+
+    #[test]
+    fn bulk_nets_and_raw_components_round_trip() {
+        let mut b = NetlistBuilder::new("bulk");
+        b.reserve(3, 16, 3);
+        let a = b.bulk_net(format_args!("t{}|a", 0));
+        let y = b.bulk_net(format_args!("t{}|y", 0));
+        b.add_component(Component::Input { net: a });
+        b.add_component(Component::Gate {
+            kind: GateKind::Not,
+            inputs: vec![a],
+            output: y,
+            delay: Delay::default(),
+        });
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        assert_eq!(n.net_name(a), "t0|a");
+        assert_eq!(n.net_name(y), "t0|y");
+        assert_eq!(n.inputs(), &[a]);
+        assert_eq!(n.fanout(a).len(), 1);
+        assert_eq!(n.drivers(y).len(), 1);
+    }
+
+    #[test]
+    fn bulk_nets_skip_interning() {
+        let mut b = NetlistBuilder::new("bulk");
+        let n1 = b.bulk_net(format_args!("same"));
+        let n2 = b.bulk_net(format_args!("same"));
+        // No unification: bulk nets trust the caller for uniqueness.
+        assert_ne!(n1, n2);
     }
 
     #[test]

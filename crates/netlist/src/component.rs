@@ -322,6 +322,41 @@ impl Component {
         }
     }
 
+    /// Visits the nets this component reads without allocating; the
+    /// builder's O(n) index construction walks every component through
+    /// this instead of materializing [`Component::read_nets`] vectors.
+    #[inline]
+    pub fn for_each_read(&self, mut f: impl FnMut(NetId)) {
+        match self {
+            Component::Gate { inputs, .. } => {
+                for &n in inputs {
+                    f(n);
+                }
+            }
+            Component::Switch { control, a, b, .. } => {
+                f(*control);
+                f(*a);
+                f(*b);
+            }
+            Component::Input { .. } | Component::Pull { .. } | Component::Supply { .. } => {}
+        }
+    }
+
+    /// Visits the nets this component can drive without allocating.
+    #[inline]
+    pub fn for_each_driven(&self, mut f: impl FnMut(NetId)) {
+        match self {
+            Component::Gate { output, .. } => f(*output),
+            Component::Switch { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            Component::Input { net }
+            | Component::Pull { net, .. }
+            | Component::Supply { net, .. } => f(*net),
+        }
+    }
+
     /// The nets this component can drive.
     #[must_use]
     pub fn driven_nets(&self) -> Vec<NetId> {

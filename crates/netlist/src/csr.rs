@@ -1,11 +1,11 @@
 //! Compressed sparse row (CSR) views of netlist adjacency.
 //!
 //! The simulator's hot loop walks fanout lists, driver lists, and gate
-//! input pins millions of times per run. The `Vec<Vec<CompId>>` indices
-//! on [`Netlist`] are convenient to build but scatter every row across
-//! the heap; a [`Csr`] packs all rows into one contiguous `items` array
-//! addressed through an `offsets` array, so a row lookup is two loads
-//! from memory that stays hot in cache.
+//! input pins millions of times per run. [`Netlist`] itself stores its
+//! fanout/driver indices in CSR form (see
+//! [`crate::netlist::NetAdjacency`]); the [`Csr`] views here re-pack
+//! them as bare `u32` arrays for kernels that index by raw id, so a row
+//! lookup is two loads from memory that stays hot in cache.
 //!
 //! The views are derived (not stored on [`Netlist`], whose serialized
 //! shape is stable); build them once at simulator construction.

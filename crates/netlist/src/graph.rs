@@ -132,8 +132,10 @@ pub struct ConnectivityGraph {
     /// Position of each component id in `nodes` (`u32::MAX` for
     /// non-simulated components).
     node_index: Vec<u32>,
-    /// Adjacency: for node `i`, list of `(neighbor_node, weight)`.
-    adj: Vec<Vec<(u32, u32)>>,
+    /// CSR adjacency: node `i`'s `(neighbor, weight)` pairs are
+    /// `adj[adj_off[i] .. adj_off[i + 1]]`, sorted by neighbor.
+    adj_off: Vec<usize>,
+    adj: Vec<(u32, u32)>,
     /// Per-node partitioning weight: 1 for live components, 0 for dead
     /// ones (logic that cannot reach a primary output, per the LS0003
     /// analysis). Dead components are still nodes — they must be placed
@@ -164,55 +166,102 @@ impl ConnectivityGraph {
         }
         let live = crate::analyze::live_components(netlist);
         let weight: Vec<u32> = nodes.iter().map(|id| u32::from(live[id.index()])).collect();
-        let mut weights: HashMap<(u32, u32), u32> = HashMap::new();
-        let mut bump = |a: u32, b: u32| {
+        // Edge accumulation without a hash map: push every connection as a
+        // normalized `a << 32 | b` key, sort once, and count runs. This is
+        // O(E log E) with two contiguous allocations, which at the
+        // million-component scale replaces millions of hash probes and
+        // per-bucket allocations.
+        let mut pairs: Vec<u64> = Vec::new();
+        let bump = |pairs: &mut Vec<u64>, a: u32, b: u32| {
             if a == b {
                 return;
             }
-            let key = if a < b { (a, b) } else { (b, a) };
-            *weights.entry(key).or_insert(0) += 1;
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            pairs.push((u64::from(lo) << 32) | u64::from(hi));
         };
+        let mut drivers: Vec<u32> = Vec::new();
+        let mut readers: Vec<u32> = Vec::new();
+        let mut all: Vec<u32> = Vec::new();
         for net_idx in 0..netlist.num_nets() {
             let net = NetId(net_idx as u32);
-            let sim = |ids: &[CompId]| -> Vec<u32> {
-                ids.iter()
-                    .map(|c| node_index[c.index()])
-                    .filter(|&i| i != u32::MAX)
-                    .collect()
+            let collect = |ids: &[CompId], out: &mut Vec<u32>| {
+                out.clear();
+                out.extend(
+                    ids.iter()
+                        .map(|c| node_index[c.index()])
+                        .filter(|&i| i != u32::MAX),
+                );
             };
-            let drivers = sim(netlist.drivers(net));
-            let readers = sim(netlist.fanout(net));
+            collect(netlist.drivers(net), &mut drivers);
+            collect(netlist.fanout(net), &mut readers);
             if readers.len() <= fanout_clique_limit {
                 // Clique over everything touching the net.
-                let mut all = drivers.clone();
+                all.clear();
+                all.extend_from_slice(&drivers);
                 all.extend_from_slice(&readers);
                 all.sort_unstable();
                 all.dedup();
                 for i in 0..all.len() {
                     for j in (i + 1)..all.len() {
-                        bump(all[i], all[j]);
+                        bump(&mut pairs, all[i], all[j]);
                     }
                 }
             } else {
                 // Star: driver to each reader.
                 for &d in &drivers {
                     for &r in &readers {
-                        bump(d, r);
+                        bump(&mut pairs, d, r);
                     }
                 }
             }
         }
-        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nodes.len()];
-        for ((a, b), w) in weights {
-            adj[a as usize].push((b, w));
-            adj[b as usize].push((a, w));
+        pairs.sort_unstable();
+        // Degree count over unique pairs, then prefix-sum + fill.
+        let mut degree = vec![0usize; nodes.len()];
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j] == pairs[i] {
+                j += 1;
+            }
+            let (a, b) = ((pairs[i] >> 32) as usize, (pairs[i] & 0xffff_ffff) as usize);
+            degree[a] += 1;
+            degree[b] += 1;
+            i = j;
         }
-        for list in &mut adj {
-            list.sort_unstable();
+        let mut adj_off = Vec::with_capacity(nodes.len() + 1);
+        let mut total = 0usize;
+        adj_off.push(0);
+        for &d in &degree {
+            total += d;
+            adj_off.push(total);
+        }
+        let mut adj = vec![(0u32, 0u32); total];
+        let mut cursor: Vec<usize> = adj_off[..nodes.len()].to_vec();
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j] == pairs[i] {
+                j += 1;
+            }
+            let w = (j - i) as u32;
+            let (a, b) = ((pairs[i] >> 32) as u32, (pairs[i] & 0xffff_ffff) as u32);
+            adj[cursor[a as usize]] = (b, w);
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize]] = (a, w);
+            cursor[b as usize] += 1;
+            i = j;
+        }
+        // Each row mixes lower-indexed and higher-indexed neighbors; sort
+        // rows individually so `neighbors` stays ordered by neighbor id
+        // (rows are short, so this is effectively linear).
+        for n in 0..nodes.len() {
+            adj[adj_off[n]..adj_off[n + 1]].sort_unstable();
         }
         ConnectivityGraph {
             nodes,
             node_index,
+            adj_off,
             adj,
             weight,
         }
@@ -250,7 +299,7 @@ impl ConnectivityGraph {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn neighbors(&self, i: u32) -> &[(u32, u32)] {
-        &self.adj[i as usize]
+        &self.adj[self.adj_off[i as usize]..self.adj_off[i as usize + 1]]
     }
 
     /// Partitioning weight of node `i`: 1 when live, 0 when the LS0003
@@ -273,11 +322,7 @@ impl ConnectivityGraph {
     /// Total edge weight of the graph.
     #[must_use]
     pub fn total_weight(&self) -> u64 {
-        self.adj
-            .iter()
-            .flat_map(|l| l.iter().map(|&(_, w)| u64::from(w)))
-            .sum::<u64>()
-            / 2
+        self.adj.iter().map(|&(_, w)| u64::from(w)).sum::<u64>() / 2
     }
 }
 

@@ -37,6 +37,7 @@ pub mod component;
 pub mod csr;
 pub mod dot;
 pub mod graph;
+pub mod names;
 pub mod netlist;
 pub mod stats;
 pub mod text;
@@ -48,6 +49,7 @@ pub use builder::{BuildError, NetlistBuilder};
 pub use component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};
 pub use csr::Csr;
 pub use graph::{ChannelGroups, ConnectivityGraph};
-pub use netlist::Netlist;
+pub use names::NetNames;
+pub use netlist::{NetAdjacency, Netlist};
 pub use stats::{CircuitCharacteristics, Clocking, Technology};
 pub use value::{Level, Signal, Strength};

@@ -1,0 +1,186 @@
+//! Arena-backed net-name storage.
+//!
+//! A million-component netlist has a million-plus net names; storing each
+//! as its own `String` costs one heap allocation (and one cache-missing
+//! pointer chase) per net. [`NetNames`] packs every name into a single
+//! byte buffer addressed through an offsets array, so bulk construction
+//! is one amortized `memcpy` per name and the whole table lives in two
+//! contiguous allocations.
+//!
+//! Serialization round-trips as a plain sequence of strings, so the
+//! [`crate::Netlist`] serialized shape is unchanged from the earlier
+//! `Vec<String>` representation.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A string arena indexed by dense net ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetNames {
+    /// All names concatenated.
+    buf: String,
+    /// `offsets[i]..offsets[i + 1]` is name `i`; one more entry than names.
+    offsets: Vec<u32>,
+}
+
+impl Default for NetNames {
+    fn default() -> NetNames {
+        NetNames {
+            buf: String::new(),
+            offsets: vec![0],
+        }
+    }
+}
+
+impl NetNames {
+    /// An empty table with room for `names` names totalling `bytes` bytes.
+    #[must_use]
+    pub fn with_capacity(names: usize, bytes: usize) -> NetNames {
+        let mut offsets = Vec::with_capacity(names + 1);
+        offsets.push(0);
+        NetNames {
+            buf: String::with_capacity(bytes),
+            offsets,
+        }
+    }
+
+    /// Number of names stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` when no names are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The name at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> &str {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.buf[lo..hi]
+    }
+
+    /// Appends a name, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX` bytes.
+    pub fn push(&mut self, name: &str) -> usize {
+        self.buf.push_str(name);
+        self.seal()
+    }
+
+    /// Appends a formatted name without materializing a temporary
+    /// `String`, returning its index. This is the bulk-generation fast
+    /// path: `names.push_fmt(format_args!("t{tile}|{base}"))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX` bytes.
+    pub fn push_fmt(&mut self, args: fmt::Arguments<'_>) -> usize {
+        self.buf.write_fmt(args).expect("writing to a String");
+        self.seal()
+    }
+
+    /// Reserves room for `names` additional names of `bytes` total size.
+    pub fn reserve(&mut self, names: usize, bytes: usize) {
+        self.offsets.reserve(names);
+        self.buf.reserve(bytes);
+    }
+
+    fn seal(&mut self) -> usize {
+        let end = u32::try_from(self.buf.len()).expect("net-name arena exceeds u32 bytes");
+        self.offsets.push(end);
+        self.len() - 1
+    }
+
+    /// Iterates over the names in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Index of the first name equal to `name` (linear scan).
+    #[must_use]
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.iter().position(|n| n == name)
+    }
+
+    /// Heap bytes held by the arena.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.capacity() + self.offsets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl<'a> FromIterator<&'a str> for NetNames {
+    fn from_iter<T: IntoIterator<Item = &'a str>>(iter: T) -> NetNames {
+        let mut names = NetNames::default();
+        for n in iter {
+            names.push(n);
+        }
+        names
+    }
+}
+
+impl Serialize for NetNames {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|n| Value::String(n.to_string())).collect())
+    }
+}
+
+impl Deserialize for NetNames {
+    fn from_value(value: &Value) -> Result<NetNames, serde::Error> {
+        let rows = value
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected an array of net names"))?;
+        let mut names = NetNames::with_capacity(rows.len(), 0);
+        for row in rows {
+            let s = row
+                .as_str()
+                .ok_or_else(|| serde::Error::custom("net name must be a string"))?;
+            names.push(s);
+        }
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_round_trip() {
+        let mut n = NetNames::default();
+        assert!(n.is_empty());
+        assert_eq!(n.push("clk"), 0);
+        assert_eq!(n.push_fmt(format_args!("t{}|{}", 3, "reset")), 1);
+        assert_eq!(n.push(""), 2);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.get(0), "clk");
+        assert_eq!(n.get(1), "t3|reset");
+        assert_eq!(n.get(2), "");
+        assert_eq!(n.position("t3|reset"), Some(1));
+        assert_eq!(n.position("nope"), None);
+        let collected: Vec<&str> = n.iter().collect();
+        assert_eq!(collected, vec!["clk", "t3|reset", ""]);
+    }
+
+    #[test]
+    fn serde_shape_is_a_string_sequence() {
+        let n: NetNames = ["a", "b", "c"].into_iter().collect();
+        let json = serde_json::to_string(&n).unwrap();
+        assert_eq!(json, r#"["a","b","c"]"#);
+        let back: NetNames = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,7 +1,154 @@
 //! The [`Netlist`] container: components, nets, and derived indices.
 
 use crate::component::{CompId, Component, NetId};
-use serde::{Deserialize, Serialize};
+use crate::names::NetNames;
+use serde::{Deserialize, Serialize, Value};
+
+/// Per-net component lists (fanout or drivers) in compressed sparse row
+/// form: one contiguous `items` array addressed through `offsets`.
+///
+/// The earlier `Vec<Vec<CompId>>` representation cost one heap
+/// allocation per net; at the million-net scale the generator targets,
+/// that is an allocation storm and a pointer chase per lookup. The CSR
+/// form is built in O(components) with a count/prefix-sum/fill pass and
+/// serializes as the same nested-list shape as before.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetAdjacency {
+    /// Row `i` is `items[offsets[i] .. offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Component ids, concatenated row-major.
+    items: Vec<CompId>,
+}
+
+impl NetAdjacency {
+    /// The components of row (net) `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn row(&self, i: usize) -> &[CompId] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Length of row `i` without touching the items array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Number of rows (nets).
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Heap bytes held by the index.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.items.capacity() * std::mem::size_of::<CompId>()
+    }
+
+    /// Builds the fanout (read) and driver adjacency for `components`
+    /// over `num_nets` nets in two O(components) passes: count, prefix
+    /// sum, fill. Row order matches component order, which the golden
+    /// digests depend on.
+    #[must_use]
+    pub(crate) fn build_pair(
+        num_nets: usize,
+        components: &[Component],
+    ) -> (NetAdjacency, NetAdjacency) {
+        let mut fo_count = vec![0u32; num_nets];
+        let mut dr_count = vec![0u32; num_nets];
+        for comp in components {
+            comp.for_each_read(|n| fo_count[n.index()] += 1);
+            comp.for_each_driven(|n| dr_count[n.index()] += 1);
+        }
+        let prefix = |count: &[u32]| -> Vec<u32> {
+            let mut offsets = Vec::with_capacity(count.len() + 1);
+            let mut total = 0u32;
+            offsets.push(0);
+            for &c in count {
+                total = total
+                    .checked_add(c)
+                    .expect("net adjacency exceeds u32 item capacity");
+                offsets.push(total);
+            }
+            offsets
+        };
+        let fo_off = prefix(&fo_count);
+        let dr_off = prefix(&dr_count);
+        let mut fo_items = vec![CompId(0); *fo_off.last().unwrap() as usize];
+        let mut dr_items = vec![CompId(0); *dr_off.last().unwrap() as usize];
+        // Reuse the count arrays as fill cursors.
+        fo_count.copy_from_slice(&fo_off[..num_nets]);
+        dr_count.copy_from_slice(&dr_off[..num_nets]);
+        for (i, comp) in components.iter().enumerate() {
+            let id = CompId(i as u32);
+            comp.for_each_read(|n| {
+                let cur = &mut fo_count[n.index()];
+                fo_items[*cur as usize] = id;
+                *cur += 1;
+            });
+            comp.for_each_driven(|n| {
+                let cur = &mut dr_count[n.index()];
+                dr_items[*cur as usize] = id;
+                *cur += 1;
+            });
+        }
+        (
+            NetAdjacency {
+                offsets: fo_off,
+                items: fo_items,
+            },
+            NetAdjacency {
+                offsets: dr_off,
+                items: dr_items,
+            },
+        )
+    }
+}
+
+impl Serialize for NetAdjacency {
+    fn to_value(&self) -> Value {
+        Value::Array(
+            (0..self.num_rows())
+                .map(|i| Value::Array(self.row(i).iter().map(Serialize::to_value).collect()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for NetAdjacency {
+    fn from_value(value: &Value) -> Result<NetAdjacency, serde::Error> {
+        let rows = value
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected an array of adjacency rows"))?;
+        let mut offsets = vec![0u32];
+        let mut items: Vec<CompId> = Vec::new();
+        for row in rows {
+            let ids = row
+                .as_array()
+                .ok_or_else(|| serde::Error::custom("adjacency row must be an array"))?;
+            for id in ids {
+                items.push(CompId::from_value(id)?);
+            }
+            let end = u32::try_from(items.len())
+                .map_err(|_| serde::Error::custom("adjacency exceeds u32 items"))?;
+            offsets.push(end);
+        }
+        Ok(NetAdjacency { offsets, items })
+    }
+}
 
 /// An immutable, validated circuit.
 ///
@@ -13,11 +160,11 @@ use serde::{Deserialize, Serialize};
 pub struct Netlist {
     pub(crate) name: String,
     pub(crate) components: Vec<Component>,
-    pub(crate) net_names: Vec<String>,
+    pub(crate) net_names: NetNames,
     /// For each net: components that read it (fanout).
-    pub(crate) fanout: Vec<Vec<CompId>>,
+    pub(crate) fanout: NetAdjacency,
     /// For each net: components that can drive it.
-    pub(crate) drivers: Vec<Vec<CompId>>,
+    pub(crate) drivers: NetAdjacency,
     /// Primary input nets in declaration order.
     pub(crate) inputs: Vec<NetId>,
     /// Nets marked as observable outputs.
@@ -25,6 +172,28 @@ pub struct Netlist {
 }
 
 impl Netlist {
+    /// Assembles a netlist from already-validated parts, computing the
+    /// fanout/driver indices in O(components). Callers (the builder and
+    /// the optimizer) are responsible for arity and net-range validity.
+    pub(crate) fn from_parts(
+        name: String,
+        components: Vec<Component>,
+        net_names: NetNames,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Netlist {
+        let (fanout, drivers) = NetAdjacency::build_pair(net_names.len(), &components);
+        Netlist {
+            name,
+            components,
+            net_names,
+            fanout,
+            drivers,
+            inputs,
+            outputs,
+        }
+    }
+
     /// The circuit's name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -94,17 +263,14 @@ impl Netlist {
     /// Panics if `net` is out of range.
     #[must_use]
     pub fn net_name(&self, net: NetId) -> &str {
-        &self.net_names[net.index()]
+        self.net_names.get(net.index())
     }
 
     /// Looks up a net by name (linear scan; intended for tests and small
     /// interactive use, not inner loops).
     #[must_use]
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.net_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| NetId(i as u32))
+        self.net_names.position(name).map(|i| NetId(i as u32))
     }
 
     /// Components that read `net` — the fanout list whose length is the
@@ -115,7 +281,7 @@ impl Netlist {
     /// Panics if `net` is out of range.
     #[must_use]
     pub fn fanout(&self, net: NetId) -> &[CompId] {
-        &self.fanout[net.index()]
+        self.fanout.row(net.index())
     }
 
     /// Components that can drive `net`.
@@ -125,7 +291,7 @@ impl Netlist {
     /// Panics if `net` is out of range.
     #[must_use]
     pub fn drivers(&self, net: NetId) -> &[CompId] {
-        &self.drivers[net.index()]
+        self.drivers.row(net.index())
     }
 
     /// Primary input nets in declaration order.
@@ -146,14 +312,18 @@ impl Netlist {
     /// fanout-list length over driven nets.
     #[must_use]
     pub fn average_fanout(&self) -> f64 {
-        let driven: Vec<usize> = (0..self.num_nets())
-            .filter(|&i| !self.drivers[i].is_empty())
-            .map(|i| self.fanout[i].len())
-            .collect();
-        if driven.is_empty() {
+        let mut driven = 0usize;
+        let mut total = 0usize;
+        for i in 0..self.num_nets() {
+            if self.drivers.row_len(i) > 0 {
+                driven += 1;
+                total += self.fanout.row_len(i);
+            }
+        }
+        if driven == 0 {
             return 0.0;
         }
-        driven.iter().sum::<usize>() as f64 / driven.len() as f64
+        total as f64 / driven as f64
     }
 
     /// Total approximate transistor count (Table 4's right column).
@@ -163,6 +333,111 @@ impl Netlist {
             .iter()
             .map(|c| u64::from(c.approx_transistors()))
             .sum()
+    }
+
+    /// A 64-bit FNV-1a digest over the complete netlist structure: name,
+    /// components (kinds, pins, delays), net names, inputs, and outputs.
+    /// Two netlists with equal digests are structurally identical for
+    /// simulation purposes; the generator's determinism tests pin this.
+    #[must_use]
+    pub fn structural_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, b: &[u8]) {
+                for &x in b {
+                    self.0 = (self.0 ^ u64::from(x)).wrapping_mul(PRIME);
+                }
+            }
+            fn u32(&mut self, v: u32) {
+                self.bytes(&v.to_le_bytes());
+            }
+        }
+        let mut h = Fnv(OFFSET);
+        h.bytes(self.name.as_bytes());
+        h.u32(self.components.len() as u32);
+        for comp in &self.components {
+            match comp {
+                Component::Gate {
+                    kind,
+                    inputs,
+                    output,
+                    delay,
+                } => {
+                    h.u32(1);
+                    h.u32(*kind as u32);
+                    h.u32(inputs.len() as u32);
+                    for n in inputs {
+                        h.u32(n.0);
+                    }
+                    h.u32(output.0);
+                    h.u32(delay.rise);
+                    h.u32(delay.fall);
+                }
+                Component::Switch {
+                    kind,
+                    control,
+                    a,
+                    b,
+                } => {
+                    h.u32(2);
+                    h.u32(*kind as u32);
+                    h.u32(control.0);
+                    h.u32(a.0);
+                    h.u32(b.0);
+                }
+                Component::Input { net } => {
+                    h.u32(3);
+                    h.u32(net.0);
+                }
+                Component::Pull { net, level } => {
+                    h.u32(4);
+                    h.u32(net.0);
+                    h.u32(*level as u32);
+                }
+                Component::Supply { net, level } => {
+                    h.u32(5);
+                    h.u32(net.0);
+                    h.u32(*level as u32);
+                }
+            }
+        }
+        h.u32(self.net_names.len() as u32);
+        for name in self.net_names.iter() {
+            h.bytes(name.as_bytes());
+            h.bytes(&[0xff]);
+        }
+        for n in &self.inputs {
+            h.u32(n.0);
+        }
+        for n in &self.outputs {
+            h.u32(n.0);
+        }
+        h.0
+    }
+
+    /// Approximate heap bytes held by the netlist (components, gate input
+    /// pins, name arena, adjacency indices). Reported per scale by the
+    /// `scale_study` bench alongside process peak RSS.
+    #[must_use]
+    pub fn memory_footprint(&self) -> u64 {
+        let comp_slots = self.components.capacity() * std::mem::size_of::<Component>();
+        let gate_pins: usize = self
+            .components
+            .iter()
+            .map(|c| match c {
+                Component::Gate { inputs, .. } => inputs.capacity() * std::mem::size_of::<NetId>(),
+                _ => 0,
+            })
+            .sum();
+        let ids = (self.inputs.capacity() + self.outputs.capacity()) * std::mem::size_of::<NetId>();
+        (comp_slots
+            + gate_pins
+            + self.net_names.heap_bytes()
+            + self.fanout.heap_bytes()
+            + self.drivers.heap_bytes()
+            + ids) as u64
     }
 }
 
@@ -218,5 +493,32 @@ mod tests {
         // Nets: a (fanout 1), y (fanout 2), z1 (0), z2 (0); all driven.
         let f = n.average_fanout();
         assert!((f - 0.75).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure() {
+        let mut b = NetlistBuilder::new("rt");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::default());
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        let json = serde_json::to_string(&n).unwrap();
+        let back: super::Netlist = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(back.structural_digest(), n.structural_digest());
+    }
+
+    #[test]
+    fn structural_digest_is_sensitive_to_structure() {
+        let build = |delay: u32| {
+            let mut b = NetlistBuilder::new("d");
+            let a = b.input("a");
+            let y = b.net("y");
+            b.gate(GateKind::Not, &[a], y, Delay::uniform(delay));
+            b.finish().unwrap()
+        };
+        assert_eq!(build(1).structural_digest(), build(1).structural_digest());
+        assert_ne!(build(1).structural_digest(), build(2).structural_digest());
     }
 }

@@ -14,6 +14,7 @@ use logicsim_netlist::{ConnectivityGraph, Netlist};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
 
 /// Recursive FM bisection to `parts` blocks.
 #[derive(Debug, Clone)]
@@ -39,29 +40,38 @@ impl FiducciaMattheysesPartitioner {
     }
 
     /// One FM bisection of `nodes`; returns side per position.
+    ///
+    /// Candidate selection uses per-side gain buckets (ordered sets keyed
+    /// by `(gain, vertex)`), so each of the `n` moves costs `O(log n)`
+    /// instead of the linear best-gain scan the first implementation
+    /// used — that scan made every pass `O(n^2)` and the partitioner
+    /// unusable beyond a few thousand components. The bucket pick
+    /// reproduces the linear scan's selection rule exactly (highest
+    /// gain, ties broken toward the largest vertex index, only sides
+    /// above the balance floor), so results are bit-identical to the
+    /// old implementation; the `bucketed_fm_matches_reference` proptest
+    /// pins that equivalence against a naive reimplementation.
     fn bisect(&self, graph: &ConnectivityGraph, nodes: &[u32], rng: &mut ChaCha8Rng) -> Vec<bool> {
         let n = nodes.len();
         if n <= 1 {
             return vec![false; n];
         }
-        let mut local = vec![usize::MAX; graph.num_nodes()];
+        let mut local = vec![u32::MAX; graph.num_nodes()];
         for (i, &g) in nodes.iter().enumerate() {
-            local[g as usize] = i;
+            local[g as usize] = i as u32;
         }
-        // Local adjacency restricted to this region.
-        let adj: Vec<Vec<(usize, i64)>> = nodes
-            .iter()
-            .map(|&g| {
-                graph
-                    .neighbors(g)
-                    .iter()
-                    .filter_map(|&(nb, w)| {
-                        let j = local[nb as usize];
-                        (j != usize::MAX).then_some((j, i64::from(w)))
-                    })
-                    .collect()
-            })
-            .collect();
+        // Local adjacency restricted to this region, in CSR form (one
+        // contiguous array instead of a Vec per vertex).
+        let mut adj_off: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut adj: Vec<(u32, i64)> = Vec::new();
+        adj_off.push(0);
+        for &g in nodes {
+            adj.extend(graph.neighbors(g).iter().filter_map(|&(nb, w)| {
+                let j = local[nb as usize];
+                (j != u32::MAX).then_some((j, i64::from(w)))
+            }));
+            adj_off.push(adj.len());
+        }
 
         // Balanced random initial split.
         let mut order: Vec<usize> = (0..n).collect();
@@ -72,10 +82,11 @@ impl FiducciaMattheysesPartitioner {
         }
 
         let min_side = (n / 2).saturating_sub(self.balance_slack).max(1);
+        let neigh = |i: usize| &adj[adj_off[i]..adj_off[i + 1]];
         let gain_of = |side: &[bool], i: usize| -> i64 {
-            adj[i]
+            neigh(i)
                 .iter()
-                .map(|&(j, w)| if side[j] != side[i] { w } else { -w })
+                .map(|&(j, w)| if side[j as usize] != side[i] { w } else { -w })
                 .sum()
         };
 
@@ -87,25 +98,40 @@ impl FiducciaMattheysesPartitioner {
                 work.iter().filter(|&&s| !s).count(),
                 work.iter().filter(|&&s| s).count(),
             ];
+            // Gain buckets, one per side: `last()` is the highest-gain
+            // unlocked vertex of that side, ties toward the largest index.
+            let mut buckets: [BTreeSet<(i64, u32)>; 2] = [BTreeSet::new(), BTreeSet::new()];
+            for i in 0..n {
+                buckets[usize::from(work[i])].insert((gains[i], i as u32));
+            }
             let mut history: Vec<(usize, i64)> = Vec::with_capacity(n);
             for _ in 0..n {
-                // Highest-gain unlocked vertex whose move keeps balance.
-                let candidate = (0..n)
-                    .filter(|&i| !locked[i])
-                    .filter(|&i| counts[usize::from(work[i])] > min_side)
-                    .max_by_key(|&i| gains[i]);
-                let Some(v) = candidate else { break };
+                // Highest-gain unlocked vertex whose move keeps balance:
+                // the better of the two side tops, considering only sides
+                // still above the balance floor.
+                let mut candidate: Option<(i64, u32)> = None;
+                for (s, bucket) in buckets.iter().enumerate() {
+                    if counts[s] > min_side {
+                        candidate = candidate.max(bucket.last().copied());
+                    }
+                }
+                let Some((gain, v32)) = candidate else { break };
+                let v = v32 as usize;
                 // Move v.
+                buckets[usize::from(work[v])].remove(&(gain, v32));
                 counts[usize::from(work[v])] -= 1;
                 work[v] = !work[v];
                 counts[usize::from(work[v])] += 1;
                 locked[v] = true;
-                history.push((v, gains[v]));
+                history.push((v, gain));
                 // Incremental gain update for neighbors.
-                for &(j, w) in &adj[v] {
+                for &(j32, w) in neigh(v) {
+                    let j = j32 as usize;
                     if locked[j] {
                         continue;
                     }
+                    let s = usize::from(work[j]);
+                    buckets[s].remove(&(gains[j], j32));
                     // v moved: if j is now on the other side of v, the
                     // edge became external (+w to j's gain twice: once
                     // for losing internal, once for gaining external).
@@ -114,6 +140,7 @@ impl FiducciaMattheysesPartitioner {
                     } else {
                         gains[j] -= 2 * w;
                     }
+                    buckets[s].insert((gains[j], j32));
                 }
             }
             // Best prefix of moves.

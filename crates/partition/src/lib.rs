@@ -33,10 +33,12 @@
 
 pub mod fm;
 pub mod metrics;
+pub mod multilevel;
 pub mod strategies;
 
 pub use fm::{fm_assignment, FiducciaMattheysesPartitioner};
-pub use metrics::{cut_size, measured_beta, measured_messages, PartitionQuality};
+pub use metrics::{cut_size, cut_size_with, measured_beta, measured_messages, PartitionQuality};
+pub use multilevel::{multilevel_assignment, MultilevelPartitioner};
 pub use strategies::{
     BfsClusterPartitioner, FanoutGreedyPartitioner, KernighanLinPartitioner, Partitioner,
     RandomPartitioner, RoundRobinPartitioner,

@@ -24,6 +24,17 @@ use logicsim_stats::beta_from_tick_loads;
 #[must_use]
 pub fn cut_size(netlist: &Netlist, partition: &Partition) -> u64 {
     let graph = ConnectivityGraph::build(netlist, 16);
+    cut_size_with(&graph, partition)
+}
+
+/// [`cut_size`] against an already-built connectivity graph.
+///
+/// Building the graph dominates the cost of `cut_size` at the 100k+
+/// scales the `scale_study` bench sweeps; callers comparing several
+/// partitions of the same netlist should build the graph once and use
+/// this variant.
+#[must_use]
+pub fn cut_size_with(graph: &ConnectivityGraph, partition: &Partition) -> u64 {
     let mut cut = 0u64;
     for node in 0..graph.num_nodes() as u32 {
         if graph.node_weight(node) == 0 {

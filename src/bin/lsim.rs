@@ -16,9 +16,15 @@
 //!                                    machine parameters (tS/tD/tE/tM)
 //! lsim dot     <netlist>             emit Graphviz
 //! lsim bench   <name>                write a built-in benchmark circuit
+//! lsim gen     <family@scale>        write a scaled benchmark (tiled to
+//!                                    ≥scale components, e.g.
+//!                                    stopwatch@100k, crossbar@1m)
 //!
-//! `lint` accepts `bench:NAME` in place of a file to check a built-in
-//! benchmark, prints findings (or a JSON report with `--json`), and
+//! `stats`, `sim`, `machine`, `lint`, `opt`, and `trace` accept
+//! `bench:NAME` in place of a file; `NAME` is a family slug with an
+//! optional `@scale` suffix (`bench:stopwatch@100k`), and the
+//! benchmark's shipped stimulus is used when no stimulus options are
+//! given. `lint` prints findings (or a JSON report with `--json`) and
 //! exits nonzero on error-level findings — or on warnings too with
 //! `--deny warnings`.
 //!
@@ -88,8 +94,9 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file> [options]\n\
+        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file|bench:NAME[@scale]> [options]\n\
          \x20      lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>\n\
+         \x20      lsim gen <family[@scale]> [--seed N] [--out FILE]   (e.g. stopwatch@100k)\n\
          \x20      lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]\n\
          \x20      lsim opt <netlist-file|bench:NAME> [--report] [--emit FILE]\n\
          \x20      lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]\n\
@@ -421,31 +428,45 @@ fn run_machine(netlist: &Netlist, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn bench_by_name(name: &str) -> Option<logicsim::circuits::Benchmark> {
-    use logicsim::circuits::Benchmark;
-    Some(match name {
-        "stopwatch" => Benchmark::StopWatch,
-        "assoc_mem" => Benchmark::AssocMem,
-        "priority_queue" => Benchmark::PriorityQueue,
-        "rtp" => Benchmark::RtpChip,
-        "crossbar" => Benchmark::CrossbarSwitch,
-        _ => return None,
+/// Builds a benchmark instance from a `family` or `family@scale` spec
+/// (e.g. `stopwatch`, `crossbar@100k`): the scaled tiled corpus when a
+/// target is given, the paper-sized default otherwise.
+fn bench_instance(name: &str) -> Option<logicsim::circuits::BenchmarkInstance> {
+    let (bench, scale) = logicsim::circuits::parse_spec(name)?;
+    Some(match scale {
+        Some(target) => bench.build_at(target),
+        None => bench.build_default(),
     })
 }
 
 fn bench_netlist(name: &str) -> Option<Netlist> {
-    Some(bench_by_name(name)?.build_default().netlist)
+    Some(bench_instance(name)?.netlist)
 }
 
 fn bench_source(name: &str) -> Option<String> {
     Some(text::serialize(&bench_netlist(name)?))
 }
 
-/// Loads a netlist file, or a built-in benchmark via `bench:NAME`.
+/// Loads a netlist file, or a built-in benchmark via `bench:NAME`
+/// (`NAME` may carry a `@scale` suffix, e.g. `bench:stopwatch@100k`).
 fn load_or_bench(path: &str) -> Result<Netlist, String> {
     match path.strip_prefix("bench:") {
         Some(name) => bench_netlist(name).ok_or_else(|| format!("unknown benchmark `{name}`")),
         None => load(path),
+    }
+}
+
+/// [`load_or_bench`], also returning the benchmark's shipped stimulus
+/// plan so `stats`/`sim`/`machine` on a `bench:` spec produce activity
+/// without hand-written `--clock`/`--random` flags (explicit stimulus
+/// options still take precedence).
+fn load_with_stimulus(path: &str) -> Result<(Netlist, Option<StimulusSpec>), String> {
+    match path.strip_prefix("bench:") {
+        Some(name) => {
+            let inst = bench_instance(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            Ok((inst.netlist, Some(inst.stimulus)))
+        }
+        None => Ok((load(path)?, None)),
     }
 }
 
@@ -460,14 +481,20 @@ fn run_trace(path: &str, opts: &Options) -> Result<(), String> {
     let workers = opts.trace_p;
     let run = match path.strip_prefix("bench:") {
         Some(name) => {
-            let bench = bench_by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let inst = bench_instance(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
             let mopts = MeasureOptions {
                 warmup_periods: 8,
                 window_ticks: opts.until.min(3_000),
                 seed: opts.seed,
                 collect_trace: false,
             };
-            observed::observe_benchmark(bench, workers, &mopts)
+            observed::observe_netlist(
+                &inst.netlist,
+                &inst.stimulus,
+                inst.vector_period,
+                workers,
+                &mopts,
+            )
         }
         None => {
             let netlist = load(path)?;
@@ -577,6 +604,69 @@ fn run_opt(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `lsim gen`: build a (scaled) benchmark instance and write it in the
+/// text netlist format, with a build summary on stderr. `--seed`
+/// varies the inter-tile wiring; `--out` writes to a file instead of
+/// stdout.
+fn run_gen(args: &[String]) -> Result<ExitCode, String> {
+    use logicsim::circuits::{parse_spec, scaled, ScaledParams};
+
+    let (spec, flags) = args
+        .split_first()
+        .ok_or_else(|| "missing benchmark spec (e.g. stopwatch@100k)".to_string())?;
+    let mut seed = scaled::DEFAULT_SEED;
+    let mut out_path: Option<String> = None;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut need = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                seed = need("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => out_path = Some(need("--out")?),
+            other => return Err(format!("unknown gen option `{other}`")),
+        }
+    }
+    let (bench, scale) = parse_spec(spec).ok_or_else(|| format!("bad benchmark spec `{spec}`"))?;
+    let start = std::time::Instant::now();
+    let inst = match scale {
+        Some(target) => scaled::build(&ScaledParams {
+            base: bench,
+            target_components: target,
+            seed,
+        }),
+        None => bench.build_default(),
+    };
+    let built = start.elapsed();
+    let source = text::serialize(&inst.netlist);
+    eprintln!(
+        "{}: {} components ({} gates, {} switches), {} nets, built in {:.1} ms, \
+         digest {:016x}, ~{:.1} MiB in memory",
+        inst.netlist.name(),
+        inst.netlist.num_simulated_components(),
+        inst.netlist.num_gates(),
+        inst.netlist.num_switches(),
+        inst.netlist.num_nets(),
+        built.as_secs_f64() * 1e3,
+        inst.netlist.structural_digest(),
+        inst.netlist.memory_footprint() as f64 / (1024.0 * 1024.0),
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, source).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{source}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `lsim lint`: run the static analyses and report. Exits nonzero when
 /// any finding reaches `deny` (errors always; warnings too with
 /// `--deny warnings`).
@@ -641,19 +731,30 @@ fn main() -> ExitCode {
         "stats" | "sim" => {
             let (path, optargs) = rest
                 .split_first()
-                .ok_or_else(|| "missing netlist file".to_string())?;
-            let netlist = load(path)?;
-            let opts = parse_options(optargs)?;
+                .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
+            let (netlist, default_stim) = load_with_stimulus(path)?;
+            let mut opts = parse_options(optargs)?;
+            if opts.stimulus.assignments.is_empty() {
+                if let Some(stim) = default_stim {
+                    opts.stimulus = stim;
+                }
+            }
             run(&netlist, &opts, cmd == "sim").map(|()| ExitCode::SUCCESS)
         }
         "machine" => {
             let (path, optargs) = rest
                 .split_first()
-                .ok_or_else(|| "missing netlist file".to_string())?;
-            let netlist = load(path)?;
-            let opts = parse_options(optargs)?;
+                .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
+            let (netlist, default_stim) = load_with_stimulus(path)?;
+            let mut opts = parse_options(optargs)?;
+            if opts.stimulus.assignments.is_empty() {
+                if let Some(stim) = default_stim {
+                    opts.stimulus = stim;
+                }
+            }
             run_machine(&netlist, &opts).map(|()| ExitCode::SUCCESS)
         }
+        "gen" => run_gen(rest),
         "lint" => run_lint(rest),
         "opt" => run_opt(rest),
         "trace" => {

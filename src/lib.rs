@@ -53,4 +53,6 @@ pub use logicsim_stats as stats;
 
 pub mod measure;
 
-pub use measure::{measure_benchmark, MeasureOptions, MeasuredCircuit, MeasurementSummary};
+pub use measure::{
+    measure_benchmark, measure_instance, MeasureOptions, MeasuredCircuit, MeasurementSummary,
+};

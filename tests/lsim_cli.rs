@@ -98,8 +98,9 @@ fn usage_text_pins_every_subcommand_and_option() {
     // One line per front-end surface; a missing line here means the
     // usage text drifted from the implemented commands/options.
     for needle in [
-        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file> [options]",
+        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file|bench:NAME[@scale]> [options]",
         "lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>",
+        "lsim gen <family[@scale]> [--seed N] [--out FILE]   (e.g. stopwatch@100k)",
         "lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]",
         "lsim opt <netlist-file|bench:NAME> [--report] [--emit FILE]",
         "lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]",

@@ -424,13 +424,18 @@ struct Metric {
 
 /// Extracts the metrics shared by every snapshot schema so far:
 /// per-circuit serial `events_per_second` (v1 onward), per-circuit
-/// `bitpar.aggregate_speedup` (v4 onward), and top-level `peak_rss_kb`.
-/// Schema-specific extras (v2's `metadata`, per-circuit `parallel[]`
-/// rows) are deliberately ignored — the diff only compares what both
-/// snapshot generations can provide. The peak-RSS metric is qualified
-/// by the schema tag because each schema generation changes the
-/// workload the snapshot process runs (v4 added the 64-lane bit-plane
-/// race), so its footprint is only comparable within one generation.
+/// `bitpar.aggregate_speedup` (v4 onward), per-scale-row build/sim
+/// metrics (v5 onward, keyed `family@scale`), and top-level
+/// `peak_rss_kb`. Schema-specific extras (v2's `metadata`, per-circuit
+/// `parallel[]` rows) are deliberately ignored — the diff only compares
+/// what both snapshot generations can provide, so new metric families
+/// (like v5's `scale` array) never produce false regressions against
+/// an older snapshot: a metric present only in the newer file is
+/// skipped, and gating starts with the first same-generation pair. The
+/// peak-RSS metric is qualified by the schema tag because each schema
+/// generation changes the workload the snapshot process runs (v4 added
+/// the 64-lane bit-plane race, v5 the 1M-component corpus builds), so
+/// its footprint is only comparable within one generation.
 fn snapshot_metrics(doc: &serde_json::Value) -> Result<Vec<Metric>, String> {
     let mut out = Vec::new();
     let circuits = doc
@@ -463,6 +468,53 @@ fn snapshot_metrics(doc: &serde_json::Value) -> Result<Vec<Metric>, String> {
                 value: speedup,
                 higher_is_better: true,
             });
+        }
+    }
+    // v5 scale rows: keyed by `family@scale` so a new family or a new
+    // scale in a later snapshot simply has no partner and is skipped.
+    if let Some(scale_rows) = doc.get("scale").and_then(|s| s.as_array()) {
+        for row in scale_rows {
+            let (Some(circuit), Some(scale)) = (
+                row.get("circuit").and_then(|v| v.as_str()),
+                row.get("scale").and_then(|v| v.as_str()),
+            ) else {
+                return Err("scale row has no `circuit`/`scale` labels".into());
+            };
+            let key = format!("{circuit}@{scale}");
+            if let Some(build) = row
+                .get("build_components_per_second")
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    circuit: Some(key.clone()),
+                    name: "scale.build_components_per_second",
+                    value: build,
+                    higher_is_better: true,
+                });
+            }
+            if let Some(bytes) = row
+                .get("memory_footprint_bytes")
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    circuit: Some(key.clone()),
+                    name: "scale.memory_footprint_bytes",
+                    value: bytes,
+                    higher_is_better: false,
+                });
+            }
+            if let Some(eps) = row
+                .get("event")
+                .and_then(|e| e.get("events_per_second"))
+                .and_then(serde_json::Value::as_f64)
+            {
+                out.push(Metric {
+                    circuit: Some(key),
+                    name: "scale.events_per_second",
+                    value: eps,
+                    higher_is_better: true,
+                });
+            }
         }
     }
     if let Some(rss) = doc.get("peak_rss_kb").and_then(serde_json::Value::as_f64) {
@@ -721,6 +773,84 @@ fn f() -> &'static str {
             .expect("v4 exposes the lane-throughput metric");
         assert!(speedup.higher_is_better);
         assert_eq!(speedup.circuit.as_deref(), Some("stopwatch"));
+    }
+
+    #[test]
+    fn v5_scale_metrics_do_not_regress_against_v4() {
+        // A v4 -> v5 diff must gate only what both generations share:
+        // the v5-only `scale` rows have no v4 partner (so they cannot
+        // produce false regressions), the throughput metrics still pair
+        // up, and peak RSS stays schema-qualified.
+        let v4: serde_json::Value = serde_json::from_str(
+            r#"{"schema":"logicsim-perf-snapshot-v4","peak_rss_kb":1000,
+                "circuits":[{"circuit":"stopwatch","events_per_second":100.0,
+                             "bitpar":{"lanes":64,"aggregate_speedup":40.0}}]}"#,
+        )
+        .unwrap();
+        let v5: serde_json::Value = serde_json::from_str(
+            r#"{"schema":"logicsim-perf-snapshot-v5","peak_rss_kb":90000,
+                "circuits":[{"circuit":"stopwatch","events_per_second":99.0,
+                             "bitpar":{"lanes":64,"aggregate_speedup":41.0}}],
+                "scale":[{"circuit":"stopwatch","scale":"100k",
+                          "build_components_per_second":4.0e6,
+                          "memory_footprint_bytes":10000000,
+                          "event":{"events_per_second":2.0e6}}]}"#,
+        )
+        .unwrap();
+        let old = snapshot_metrics(&v4).unwrap();
+        let new = snapshot_metrics(&v5).unwrap();
+        let shared: Vec<&Metric> = new
+            .iter()
+            .filter(|m| {
+                old.iter()
+                    .any(|o| o.circuit == m.circuit && o.name == m.name)
+            })
+            .collect();
+        // Exactly the two throughput metrics survive: no scale metric
+        // pairs up (they are v5-only) and the RSS keys differ by
+        // schema, so the 90x RSS growth cannot be flagged.
+        let names: Vec<&str> = shared.iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["events_per_second", "bitpar.aggregate_speedup"]);
+    }
+
+    #[test]
+    fn v5_to_v5_gates_scale_rows_and_skips_new_families() {
+        // Same-generation diffs gate the scale rows; a family or scale
+        // that only the newer snapshot measured is skipped, not failed.
+        let make = |extra: &str| -> serde_json::Value {
+            serde_json::from_str(&format!(
+                r#"{{"schema":"logicsim-perf-snapshot-v5","peak_rss_kb":90000,
+                    "circuits":[{{"circuit":"stopwatch","events_per_second":100.0}}],
+                    "scale":[{{"circuit":"stopwatch","scale":"100k",
+                              "build_components_per_second":4.0e6,
+                              "memory_footprint_bytes":10000000,
+                              "event":{{"events_per_second":2.0e6}}}}{extra}]}}"#
+            ))
+            .unwrap()
+        };
+        let old = snapshot_metrics(&make("")).unwrap();
+        let new = snapshot_metrics(&make(
+            r#",{"circuit":"crossbar_switch","scale":"1m",
+                "build_components_per_second":3.0e6,
+                "memory_footprint_bytes":100000000,
+                "event":{"events_per_second":1.0e6}}"#,
+        ))
+        .unwrap();
+        let shared = new
+            .iter()
+            .filter(|m| {
+                old.iter()
+                    .any(|o| o.circuit == m.circuit && o.name == m.name)
+            })
+            .count();
+        // serial eps + RSS + the three stopwatch@100k scale metrics;
+        // the crossbar_switch@1m row is new-only and skipped.
+        assert_eq!(shared, 5);
+        assert!(new
+            .iter()
+            .any(|m| m.circuit.as_deref() == Some("stopwatch@100k")
+                && m.name == "scale.memory_footprint_bytes"
+                && !m.higher_is_better));
     }
 
     #[test]
