@@ -229,7 +229,8 @@ fn main() {
         for workers in SWEEP {
             let random = RandomPartitioner::new(SEED);
             let fm = FiducciaMattheysesPartitioner::new(SEED);
-            let strategies: [&dyn Partitioner; 2] = [&random, &fm];
+            let fm_act = FiducciaMattheysesPartitioner::new(SEED).with_activity_weights();
+            let strategies: [&dyn Partitioner; 3] = [&random, &fm, &fm_act];
             for strategy in strategies {
                 let par = run_parallel(bench, &inst, win, workers, strategy, c);
                 let s_meas = serial.wall_seconds / par.wall_seconds.max(1e-12);
@@ -328,7 +329,9 @@ fn main() {
     println!(
         "Reading: under random partitioning the M_P ratio should sit\n\
          near 1.0 (Eq. 6 is exact in expectation for C >> 1); FM falls\n\
-         below it. Measured wall speedup approaches the Eq. 11/14 model\n\
+         below it, and fm-act (FM balanced on static-activity weights)\n\
+         should match or beat plain FM's M_P while evening out beta.\n\
+         Measured wall speedup approaches the Eq. 11/14 model\n\
          numbers only when the host grants the threads real cores.\n\
          calib_ms re-evaluates Eq. 10 with the machine parameters the\n\
          obs layer measured in that same run; c_err% is its signed error\n\

@@ -29,15 +29,19 @@
 //! `--quick` limits the sweep to the 10k scale with a short trace
 //! window; the full run adds 100k. (The 1M build path is exercised by
 //! `perf_snapshot`'s scale section, where only build metrics matter.)
+//!
+//! Exits with code 2 when `LSIM_THREADS` exceeds the host core count:
+//! an oversubscribed study reports scheduling noise, not measurements.
 
 use logicsim::circuits::{scaled, Benchmark, ScaledParams};
 use logicsim::measure_instance;
 use logicsim::netlist::ConnectivityGraph;
 use logicsim::partition::{
-    cut_size_with, fm_assignment, measured_messages, multilevel_assignment, Partition, Partitioner,
-    RandomPartitioner,
+    cut_size_with, fm_assignment, measured_messages, multilevel_assignment,
+    multilevel_assignment_activity, Partition, Partitioner, RandomPartitioner,
 };
 use logicsim::MeasureOptions;
+use logicsim_bench::report::{host_cores, lsim_threads};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -58,6 +62,21 @@ fn human(scale: usize) -> String {
 }
 
 fn main() {
+    // Same guard as par_study: the measured traces behind the M_P
+    // columns are wall-clock runs, and an oversubscribed harness
+    // reports scheduling noise, not workload.
+    if let Some(n) = lsim_threads() {
+        if n > host_cores() {
+            eprintln!(
+                "scale_study: LSIM_THREADS={n} exceeds host cores ({}); \
+                 oversubscribed measurements are meaningless — \
+                 lower LSIM_THREADS or unset it",
+                host_cores()
+            );
+            std::process::exit(2);
+        }
+    }
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
@@ -72,11 +91,11 @@ fn main() {
     let _ = writeln!(md, "# Scale study: partition quality vs Eq. 6\n");
     let _ = writeln!(
         md,
-        "| family | scale | comps | nets | build ms | MiB | P | cut rand | cut FM | cut ML | M_P rand | M_P ML | Eq.6 | ML/Eq.6 |"
+        "| family | scale | comps | nets | build ms | MiB | P | cut rand | cut FM | cut ML | M_P rand | M_P ML | M_P ML-act | Eq.6 | ML/Eq.6 | act/ML |"
     );
     let _ = writeln!(
         md,
-        "|--------|-------|-------|------|----------|-----|---|----------|--------|--------|----------|--------|------|---------|"
+        "|--------|-------|-------|------|----------|-----|---|----------|--------|--------|----------|--------|------------|------|---------|--------|"
     );
 
     for bench in Benchmark::ALL {
@@ -132,16 +151,23 @@ fn main() {
                 let rand_part = RandomPartitioner::new(SEED).partition(nl, p);
                 let fm_part = Partition::new(fm_assignment(nl, p, SEED), p);
                 let ml_part = Partition::new(multilevel_assignment(nl, p, SEED), p);
+                let act_part = Partition::new(multilevel_assignment_activity(nl, p, SEED), p);
                 let cut_rand = cut_size_with(&graph, &rand_part);
                 let cut_fm = cut_size_with(&graph, &fm_part);
                 let cut_ml = cut_size_with(&graph, &ml_part);
                 let m_rand = measured_messages(&m.trace, &rand_part);
                 let m_ml = measured_messages(&m.trace, &ml_part);
+                let m_act = measured_messages(&m.trace, &act_part);
                 let eq6 = m_inf * (1.0 - 1.0 / f64::from(p));
                 let ratio = if eq6 > 0.0 { m_ml as f64 / eq6 } else { 0.0 };
+                let act_ratio = if m_ml > 0 {
+                    m_act as f64 / m_ml as f64
+                } else {
+                    0.0
+                };
                 let _ = writeln!(
                     md,
-                    "| {} | {} | {} | {} | {:.1} | {:.1} | {} | {} | {} | {} | {} | {} | {:.0} | {:.3} |",
+                    "| {} | {} | {} | {} | {:.1} | {:.1} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.3} | {:.3} |",
                     bench.slug(),
                     human(scale),
                     comps,
@@ -154,8 +180,10 @@ fn main() {
                     cut_ml,
                     m_rand,
                     m_ml,
+                    m_act,
                     eq6,
                     ratio,
+                    act_ratio,
                 );
             }
         }
@@ -167,7 +195,11 @@ fn main() {
          `ML/Eq.6 < 1` is the dynamic one — the multilevel partitioner \
          moves less message volume than the model's random-partitioning \
          baseline `M_inf (1 - 1/P)` at every P, which is exactly the \
-         improvement the paper's Eq. 6 conjecture left on the table."
+         improvement the paper's Eq. 6 conjecture left on the table. \
+         `M_P ML-act` repeats the multilevel measurement with \
+         static-activity vertex weights (balance on predicted event \
+         load instead of component count); `act/ML <= 1` means the \
+         re-weighting does not cost message volume."
     );
 
     print!("{md}");

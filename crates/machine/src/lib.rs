@@ -35,6 +35,7 @@ pub mod network;
 pub mod oblivious;
 pub mod report;
 pub mod sim;
+pub mod static_cost;
 pub mod synthetic;
 pub mod validate;
 
@@ -43,4 +44,5 @@ pub use config::{MachineConfig, NetworkKind};
 pub use oblivious::ObliviousParams;
 pub use report::MachineReport;
 pub use sim::{simulate_synthetic, simulate_trace, MachineSim};
+pub use static_cost::StaticCost;
 pub use validate::{validate_against_model, MeasuredExecution, ValidationResult};

@@ -31,6 +31,22 @@ pub enum Code {
     /// Logic outside the observability cone of the declared outputs;
     /// the optimizer prunes it.
     Ls0009UnobservableCone,
+    /// Live component whose statically estimated activity is zero: it
+    /// provably never evaluates once the circuit settles, so it
+    /// contributes load-balance weight but no simulation work.
+    Ls0010QuiescentLogic,
+    /// Net whose latest-arrival bound diverged: it sits on feedback
+    /// whose settling time static timing cannot bound (potential
+    /// oscillation under the delay model).
+    Ls0011UnboundedArrival,
+    /// Net that can never leave `X` from the all-`X` power-up
+    /// configuration under any seeded stimulus: un-initializable
+    /// state, usually a missing reset.
+    Ls0012XStuck,
+    /// Gate provably inertial-filter-free: no input can carry a pulse
+    /// shorter than the gate's inertial window, so delay-aware chain
+    /// contraction cannot change its observable waveform.
+    Ls0013FilterFree,
 }
 
 impl Code {
@@ -47,6 +63,10 @@ impl Code {
             Code::Ls0007DuplicateGate => "LS0007",
             Code::Ls0008CollapsibleChain => "LS0008",
             Code::Ls0009UnobservableCone => "LS0009",
+            Code::Ls0010QuiescentLogic => "LS0010",
+            Code::Ls0011UnboundedArrival => "LS0011",
+            Code::Ls0012XStuck => "LS0012",
+            Code::Ls0013FilterFree => "LS0013",
         }
     }
 
@@ -60,11 +80,18 @@ impl Code {
             | Code::Ls0004FloatingNet
             | Code::Ls0005ExcessiveDepth => Severity::Warning,
             // Optimizer findings describe provably sound rewrites, not
-            // modelling mistakes: purely informational.
+            // modelling mistakes: purely informational. The dataflow
+            // facts (LS0010–LS0013) are conservative static estimates
+            // feeding partitioning and cost models; they may be
+            // imprecise on purpose, so they never gate exit status.
             Code::Ls0006ConstantNet
             | Code::Ls0007DuplicateGate
             | Code::Ls0008CollapsibleChain
-            | Code::Ls0009UnobservableCone => Severity::Info,
+            | Code::Ls0009UnobservableCone
+            | Code::Ls0010QuiescentLogic
+            | Code::Ls0011UnboundedArrival
+            | Code::Ls0012XStuck
+            | Code::Ls0013FilterFree => Severity::Info,
         }
     }
 }
@@ -228,8 +255,9 @@ pub fn describe_component(netlist: &Netlist, id: CompId) -> String {
 
 /// Version of the `--json` lint report layout. Bumped whenever a field
 /// is added, removed, or changes meaning, so downstream consumers can
-/// dispatch on it instead of sniffing keys.
-pub const LINT_SCHEMA_VERSION: u32 = 2;
+/// dispatch on it instead of sniffing keys. Version 3 added the
+/// dataflow-analysis findings (LS0010–LS0013).
+pub const LINT_SCHEMA_VERSION: u32 = 3;
 
 /// The result of running the static analyses over one netlist.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]

@@ -15,11 +15,16 @@
 //! | LS0007 | info     | structurally duplicate components [`opt`] can merge |
 //! | LS0008 | info     | buffer/inverter chains [`opt`] can canonicalize |
 //! | LS0009 | info     | logic outside the observability cone [`opt`] can prune |
+//! | LS0010 | info     | live logic with provably zero static activity |
+//! | LS0011 | info     | nets whose arrival window static timing cannot bound |
+//! | LS0012 | info     | state that can never leave X from power-up |
+//! | LS0013 | info     | gates provably immune to inertial pulse filtering |
 //!
-//! The info-level rules are a dry run of the [`opt`] static optimizer:
-//! each reports a rewrite the optimizer would perform, never a
-//! modelling mistake, so they do not affect exit status even under
-//! `--deny warnings`.
+//! The info-level rules are a dry run of the [`opt`] static optimizer
+//! (LS0006–LS0009) or conservative facts from the [`dataflow`]
+//! analyses (LS0010–LS0013): each reports a provable property or a
+//! sound rewrite, never a modelling mistake, so they do not affect
+//! exit status even under `--deny warnings`.
 //!
 //! Error-level findings mean the event-driven engine cannot simulate
 //! the netlist faithfully; [`Simulator::new`] runs the same pre-flight
@@ -30,6 +35,7 @@
 //! [`Simulator::new`]: ../../logicsim_sim/struct.Simulator.html
 
 mod cycles;
+pub mod dataflow;
 mod dead;
 mod depgraph;
 mod depth;
@@ -77,9 +83,22 @@ pub fn preflight(netlist: &Netlist) -> Vec<Diagnostic> {
     diagnostics
 }
 
-/// Runs all analyses with the given configuration.
+/// Runs all analyses with the given configuration and conservative
+/// input seeds for the dataflow passes.
 #[must_use]
 pub fn analyze_with(netlist: &Netlist, config: &AnalyzeConfig) -> Report {
+    analyze_seeded(netlist, config, None)
+}
+
+/// Runs all analyses, seeding the dataflow passes (activity, timing,
+/// X-reachability) from a known stimulus plan when one is available.
+/// `None` falls back to the conservative unconstrained seeds.
+#[must_use]
+pub fn analyze_seeded(
+    netlist: &Netlist,
+    config: &AnalyzeConfig,
+    seeds: Option<&dataflow::seeds::InputSeeds>,
+) -> Report {
     let mut diagnostics = Vec::new();
     cycles::check(netlist, &mut diagnostics);
     drive::check(netlist, &mut diagnostics);
@@ -89,6 +108,8 @@ pub fn analyze_with(netlist: &Netlist, config: &AnalyzeConfig) -> Report {
     // Dry-run the optimizer: its aggregated findings (LS0006–LS0009)
     // surface what `lsim opt` would rewrite, against original ids.
     diagnostics.extend(opt::optimize(netlist).report.findings);
+    // Dataflow facts (LS0010–LS0013): activity, timing, X-reachability.
+    dataflow::lints::check(netlist, seeds, &mut diagnostics);
     diagnostics.sort_by_key(Diagnostic::sort_key);
     Report {
         diagnostics,
@@ -103,7 +124,7 @@ mod tests {
     use crate::{GateKind, NetlistBuilder};
 
     #[test]
-    fn clean_circuit_reports_nothing() {
+    fn clean_circuit_reports_nothing_actionable() {
         let mut b = NetlistBuilder::new("clean");
         let a = b.input("a");
         let y = b.net("y");
@@ -111,7 +132,16 @@ mod tests {
         b.mark_output(y);
         let n = b.finish().unwrap();
         let report = analyze(&n);
-        assert!(report.is_empty(), "{}", report.render(&n));
+        assert_eq!(
+            report.at_least(Severity::Warning).count(),
+            0,
+            "{}",
+            report.render(&n)
+        );
+        // The only finding is the positive LS0013 fact: a uniform-delay
+        // gate fed straight from an input is trivially filter-free.
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::Ls0013FilterFree]);
         assert_eq!(report.max_logic_depth, 1);
     }
 
@@ -165,10 +195,15 @@ mod tests {
         let strict = analyze_with(&n, &AnalyzeConfig { max_depth: 4 });
         assert_eq!(strict.count(Severity::Warning), 1);
         let lax = analyze(&n);
-        // The inverter chain is an LS0008 info finding, not a warning.
+        // The inverter chain is an LS0008 info finding, not a warning;
+        // the uniform-delay chain is also LS0013 filter-free.
         assert_eq!(lax.count(Severity::Warning), 0);
         assert!(!lax.has_errors());
-        assert_eq!(lax.count(Severity::Info), 1);
+        let codes: Vec<Code> = lax.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![Code::Ls0008CollapsibleChain, Code::Ls0013FilterFree]
+        );
         assert_eq!(lax.max_logic_depth, 8);
     }
 }

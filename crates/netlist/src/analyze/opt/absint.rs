@@ -1,93 +1,51 @@
-//! Ternary abstract interpretation over the dependency graph.
+//! Ternary abstract interpretation over the optimizer work graph.
 //!
-//! The abstract domain is [`Level`] itself, read as a Kleene lattice:
-//! `Zero`/`One` mean *proven constant for every stimulus and every
-//! power-up state*, `X` means *unknown or varying*. The transfer
-//! functions are exactly the concrete ones — [`GateKind::evaluate`]
-//! for gates, the strength ladder for multi-driver resolution — so the
-//! abstract fixpoint coincides with the value the engine's power-up
-//! relaxation converges to on every net the analysis proves constant.
-//!
-//! Iteration is Jacobi style (each round reads the previous round's
-//! values), starting from all-`X`. All transfer functions are monotone
-//! in the information order `X ⊑ 0, X ⊑ 1`, so values only ever move
-//! from `X` to a constant and the loop terminates; for a gate DAG it
-//! stabilizes within `depth + 1` rounds and spends one more round
-//! detecting the fixpoint.
-//!
-//! **Switch-group X-conservatism:** a net attached to any switch
-//! channel terminal takes part in bidirectional group resolution with
-//! charge retention, which this per-net analysis does not model. Such
-//! nets are pinned to `X` — with one exception: a net driven by a
-//! supply rail keeps its constant, because a `Supply`-strength drive
-//! beats every through-switch contribution (those arrive at `Strong`
-//! or weaker) in the group solver too. That exception is what lets
-//! constants propagate out of NMOS rails without ever trusting a
-//! switch path.
+//! The analysis itself — the Kleene lattice, the concrete transfer
+//! functions, switch-group X-conservatism — lives in
+//! [`dataflow::ternary`](crate::analyze::dataflow::ternary), running
+//! on the generic monotone-framework engine. This module only adapts
+//! the optimizer's mutable [`Work`] graph to the engine's
+//! [`TernaryView`] topology trait: live components come from the
+//! tombstone-aware `comps` vector and terminal status from the
+//! optimizer's own switch-terminal count, so every pass of the
+//! optimizer re-solves against the current (partially rewritten)
+//! graph.
 
 use super::Work;
+use crate::analyze::dataflow::ternary::{self, TernaryView};
 use crate::component::Component;
-use crate::value::{Level, Signal, Strength};
+use crate::value::Level;
+
+impl TernaryView for Work {
+    fn num_nets(&self) -> usize {
+        Work::num_nets(self)
+    }
+
+    fn for_each_driver(&self, net: u32, f: &mut dyn FnMut(&Component)) {
+        for &d in &self.drivers[net as usize] {
+            if let Some(comp) = self.comps[d as usize].as_ref() {
+                f(comp);
+            }
+        }
+    }
+
+    fn for_each_reader(&self, net: u32, f: &mut dyn FnMut(&Component)) {
+        for &r in &self.readers[net as usize] {
+            if let Some(comp) = self.comps[r as usize].as_ref() {
+                f(comp);
+            }
+        }
+    }
+
+    fn is_terminal(&self, net: u32) -> bool {
+        self.terminal(net as usize)
+    }
+}
 
 /// Runs the abstract interpretation to fixpoint. Returns the per-net
-/// abstract values and the number of rounds taken (including the final
-/// no-change round).
+/// abstract values and the number of rounds taken in the Jacobi sense
+/// (the deepest chain of value refinements plus the final no-change
+/// verification), which the optimizer reports as `absint_rounds`.
 pub(super) fn interpret(w: &Work) -> (Vec<Level>, u32) {
-    let nets = w.num_nets();
-    let mut values = vec![Level::X; nets];
-    let mut rounds = 0;
-    // Monotonicity bounds the rounds by the net count; the cap is a
-    // belt-and-braces guard, not a precision limit.
-    let cap = nets as u32 + 2;
-    loop {
-        rounds += 1;
-        let next: Vec<Level> = (0..nets).map(|n| value_of(w, n, &values)).collect();
-        let done = next == values;
-        values = next;
-        if done || rounds >= cap {
-            break;
-        }
-    }
-    (values, rounds)
-}
-
-/// The abstract signal a component contributes to the nets it drives,
-/// or `None` for switches (their influence is handled by terminal
-/// conservatism in [`value_of`]).
-fn contribution(comp: &Component, values: &[Level]) -> Option<Signal> {
-    match comp {
-        // A primary input varies with the stimulus: strong unknown.
-        Component::Input { .. } => Some(Signal::strong(Level::X)),
-        Component::Pull { .. } | Component::Supply { .. } => comp.static_drive(),
-        Component::Gate { kind, inputs, .. } => {
-            let levels: Vec<Level> = inputs.iter().map(|i| values[i.index()]).collect();
-            Some(kind.evaluate(&levels))
-        }
-        Component::Switch { .. } => None,
-    }
-}
-
-/// Resolves the abstract value of one net from the previous round's
-/// values, mirroring the engine's external-drive resolution.
-fn value_of(w: &Work, net: usize, values: &[Level]) -> Level {
-    let mut best = Signal::FLOATING;
-    for &d in &w.drivers[net] {
-        let comp = w.comps[d as usize].as_ref().expect("live driver");
-        let Some(sig) = contribution(comp, values) else {
-            continue;
-        };
-        best = best.resolve(sig);
-    }
-    if w.terminal(net) {
-        // Group-resolved net: only a supply rail survives conservatism.
-        if best.strength == Strength::Supply {
-            best.level
-        } else {
-            Level::X
-        }
-    } else if best.is_floating() {
-        Level::X
-    } else {
-        best.level
-    }
+    ternary::solve_view(w)
 }

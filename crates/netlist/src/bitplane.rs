@@ -150,7 +150,7 @@ impl Plane {
     /// without surprising readers.
     #[must_use]
     #[inline]
-    #[allow(clippy::should_implement_trait)]
+    #[allow(clippy::should_implement_trait)] // Kleene NOT cannot go through `!`
     pub fn not(self) -> Plane {
         Plane {
             val: self.known & !self.val,

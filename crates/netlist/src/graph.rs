@@ -155,6 +155,30 @@ impl ConnectivityGraph {
     /// which is exactly the message pattern the machine sees.
     #[must_use]
     pub fn build(netlist: &Netlist, fanout_clique_limit: usize) -> ConnectivityGraph {
+        let live = crate::analyze::live_components(netlist);
+        let weights: Vec<u32> = live.iter().map(|&l| u32::from(l)).collect();
+        ConnectivityGraph::build_weighted(netlist, fanout_clique_limit, &weights)
+    }
+
+    /// [`ConnectivityGraph::build`] with caller-supplied per-component
+    /// partitioning weights (indexed by component id; entries for
+    /// non-simulated components are ignored). The static activity
+    /// analysis produces such weights so balanced partitioners equalize
+    /// predicted *event load* rather than component count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is shorter than the component table.
+    #[must_use]
+    pub fn build_weighted(
+        netlist: &Netlist,
+        fanout_clique_limit: usize,
+        weights: &[u32],
+    ) -> ConnectivityGraph {
+        assert!(
+            weights.len() >= netlist.num_components(),
+            "need one weight per component"
+        );
         let nodes: Vec<CompId> = netlist
             .iter()
             .filter(|(_, c)| c.is_gate() || c.is_switch())
@@ -164,8 +188,7 @@ impl ConnectivityGraph {
         for (i, id) in nodes.iter().enumerate() {
             node_index[id.index()] = i as u32;
         }
-        let live = crate::analyze::live_components(netlist);
-        let weight: Vec<u32> = nodes.iter().map(|id| u32::from(live[id.index()])).collect();
+        let weight: Vec<u32> = nodes.iter().map(|id| weights[id.index()]).collect();
         // Edge accumulation without a hash map: push every connection as a
         // normalized `a << 32 | b` key, sort once, and count runs. This is
         // O(E log E) with two contiguous allocations, which at the

@@ -43,7 +43,9 @@ pub mod stats;
 pub mod text;
 pub mod value;
 
-pub use analyze::{analyze, analyze_with, AnalyzeConfig, Code, Diagnostic, Report, Severity};
+pub use analyze::{
+    analyze, analyze_seeded, analyze_with, AnalyzeConfig, Code, Diagnostic, Report, Severity,
+};
 pub use bitplane::{BitPlanes, Plane, LANES};
 pub use builder::{BuildError, NetlistBuilder};
 pub use component::{CompId, Component, Delay, GateKind, NetId, SwitchKind};

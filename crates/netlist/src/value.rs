@@ -34,7 +34,7 @@ impl Level {
     /// An inherent method rather than `std::ops::Not` so it chains
     /// naturally with [`Level::and`]/[`Level::or`] in truth-table code.
     #[must_use]
-    #[allow(clippy::should_implement_trait)]
+    #[allow(clippy::should_implement_trait)] // X-propagating NOT cannot go through `!`
     pub fn not(self) -> Level {
         match self {
             Level::Zero => Level::One,

@@ -22,10 +22,15 @@ pub struct FiducciaMattheysesPartitioner {
     /// Maximum refinement passes per bisection.
     pub max_passes: u32,
     /// Allowed imbalance: each side holds at least
-    /// `floor(n/2) - slack` vertices.
+    /// `floor(n/2) - slack` vertices (scaled by the heaviest vertex
+    /// when activity weighting is on).
     pub balance_slack: usize,
     /// Seed for the initial splits.
     pub seed: u64,
+    /// Balance on static-activity vertex weights instead of component
+    /// counts (see [`crate::activity_graph`]). Off by default; the
+    /// unweighted path is bit-identical to the historical behavior.
+    pub activity_weighted: bool,
 }
 
 impl FiducciaMattheysesPartitioner {
@@ -36,10 +41,21 @@ impl FiducciaMattheysesPartitioner {
             max_passes: 6,
             balance_slack: 1,
             seed,
+            activity_weighted: false,
         }
     }
 
-    /// One FM bisection of `nodes`; returns side per position.
+    /// Enables activity-weighted balance.
+    #[must_use]
+    pub fn with_activity_weights(mut self) -> FiducciaMattheysesPartitioner {
+        self.activity_weighted = true;
+        self
+    }
+
+    /// One FM bisection of `nodes`; returns side per position. `vw` is
+    /// the balance weight per position: all ones in the default
+    /// (count-balanced) mode, static-activity weights in
+    /// activity-weighted mode.
     ///
     /// Candidate selection uses per-side gain buckets (ordered sets keyed
     /// by `(gain, vertex)`), so each of the `n` moves costs `O(log n)`
@@ -48,10 +64,17 @@ impl FiducciaMattheysesPartitioner {
     /// unusable beyond a few thousand components. The bucket pick
     /// reproduces the linear scan's selection rule exactly (highest
     /// gain, ties broken toward the largest vertex index, only sides
-    /// above the balance floor), so results are bit-identical to the
-    /// old implementation; the `bucketed_fm_matches_reference` proptest
-    /// pins that equivalence against a naive reimplementation.
-    fn bisect(&self, graph: &ConnectivityGraph, nodes: &[u32], rng: &mut ChaCha8Rng) -> Vec<bool> {
+    /// above the balance floor), so unit-weight results are
+    /// bit-identical to the old implementation; the
+    /// `bucketed_fm_matches_reference` proptest pins that equivalence
+    /// against a naive reimplementation.
+    fn bisect(
+        &self,
+        graph: &ConnectivityGraph,
+        nodes: &[u32],
+        rng: &mut ChaCha8Rng,
+        vw: &[u64],
+    ) -> Vec<bool> {
         let n = nodes.len();
         if n <= 1 {
             return vec![false; n];
@@ -81,7 +104,15 @@ impl FiducciaMattheysesPartitioner {
             side[i] = true;
         }
 
-        let min_side = (n / 2).saturating_sub(self.balance_slack).max(1);
+        // Balance floor in weight units. With unit weights this is the
+        // historical `floor(n/2) - slack` vertex-count floor; with
+        // activity weights the slack scales by the heaviest vertex so
+        // at least `balance_slack` vertices stay movable.
+        let total_w: u64 = vw.iter().sum();
+        let max_w = vw.iter().copied().max().unwrap_or(1).max(1);
+        let min_side = (total_w / 2)
+            .saturating_sub(self.balance_slack as u64 * max_w)
+            .max(1);
         let neigh = |i: usize| &adj[adj_off[i]..adj_off[i + 1]];
         let gain_of = |side: &[bool], i: usize| -> i64 {
             neigh(i)
@@ -94,10 +125,10 @@ impl FiducciaMattheysesPartitioner {
             let mut work = side.clone();
             let mut gains: Vec<i64> = (0..n).map(|i| gain_of(&work, i)).collect();
             let mut locked = vec![false; n];
-            let mut counts = [
-                work.iter().filter(|&&s| !s).count(),
-                work.iter().filter(|&&s| s).count(),
-            ];
+            let mut counts = [0u64; 2];
+            for (i, &s) in work.iter().enumerate() {
+                counts[usize::from(s)] += vw[i];
+            }
             // Gain buckets, one per side: `last()` is the highest-gain
             // unlocked vertex of that side, ties toward the largest index.
             let mut buckets: [BTreeSet<(i64, u32)>; 2] = [BTreeSet::new(), BTreeSet::new()];
@@ -107,21 +138,28 @@ impl FiducciaMattheysesPartitioner {
             let mut history: Vec<(usize, i64)> = Vec::with_capacity(n);
             for _ in 0..n {
                 // Highest-gain unlocked vertex whose move keeps balance:
-                // the better of the two side tops, considering only sides
-                // still above the balance floor.
+                // the better of the two side tops. A few top entries per
+                // side are scanned so one balance-blocked heavy vertex
+                // does not hide lighter movable ones; with unit weights
+                // the first entry decides, reproducing the historical
+                // side-level `counts[s] > min_side` check exactly.
                 let mut candidate: Option<(i64, u32)> = None;
                 for (s, bucket) in buckets.iter().enumerate() {
-                    if counts[s] > min_side {
-                        candidate = candidate.max(bucket.last().copied());
+                    for &(gain, v32) in bucket.iter().rev().take(8) {
+                        let w = vw[v32 as usize];
+                        if counts[s] >= min_side + w || w == 0 {
+                            candidate = candidate.max(Some((gain, v32)));
+                            break;
+                        }
                     }
                 }
                 let Some((gain, v32)) = candidate else { break };
                 let v = v32 as usize;
                 // Move v.
                 buckets[usize::from(work[v])].remove(&(gain, v32));
-                counts[usize::from(work[v])] -= 1;
+                counts[usize::from(work[v])] -= vw[v];
                 work[v] = !work[v];
-                counts[usize::from(work[v])] += 1;
+                counts[usize::from(work[v])] += vw[v];
                 locked[v] = true;
                 history.push((v, gain));
                 // Incremental gain update for neighbors.
@@ -167,14 +205,26 @@ impl FiducciaMattheysesPartitioner {
 
 impl Partitioner for FiducciaMattheysesPartitioner {
     fn partition(&self, netlist: &Netlist, parts: u32) -> Partition {
-        let graph = ConnectivityGraph::build(netlist, 16);
+        let graph = crate::activity_graph(netlist, self.activity_weighted);
+        // Balance weights per graph node: component counts by default,
+        // the graph's activity weights when enabled.
+        let node_w: Vec<u64> = if self.activity_weighted {
+            (0..graph.num_nodes() as u32)
+                .map(|v| u64::from(graph.node_weight(v)))
+                .collect()
+        } else {
+            vec![1; graph.num_nodes()]
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let levels = (parts as f64).log2().ceil() as u32;
         let mut regions: Vec<Vec<u32>> = vec![(0..graph.num_nodes() as u32).collect()];
+        let mut vw: Vec<u64> = Vec::new();
         for _ in 0..levels {
             let mut next = Vec::with_capacity(regions.len() * 2);
             for region in regions {
-                let sides = self.bisect(&graph, &region, &mut rng);
+                vw.clear();
+                vw.extend(region.iter().map(|&g| node_w[g as usize]));
+                let sides = self.bisect(&graph, &region, &mut rng, &vw);
                 let (mut a, mut b) = (Vec::new(), Vec::new());
                 for (i, &node) in region.iter().enumerate() {
                     if sides[i] {
@@ -199,7 +249,11 @@ impl Partitioner for FiducciaMattheysesPartitioner {
     }
 
     fn name(&self) -> &'static str {
-        "fiduccia-mattheyses"
+        if self.activity_weighted {
+            "fm-act"
+        } else {
+            "fiduccia-mattheyses"
+        }
     }
 }
 
@@ -295,6 +349,33 @@ mod tests {
         let n = two_clusters(16);
         let fm = FiducciaMattheysesPartitioner::new(7);
         assert_eq!(fm.partition(&n, 4), fm.partition(&n, 4));
+    }
+
+    #[test]
+    fn activity_weighted_fm_is_valid_and_balances_load() {
+        let n = two_clusters(24);
+        let p = FiducciaMattheysesPartitioner::new(3)
+            .with_activity_weights()
+            .partition(&n, 2);
+        assert!(p.covers(&n));
+        // Predicted load (activity weight) per side must respect the
+        // weighted balance floor the bisection enforces.
+        let graph = crate::activity_graph(&n, true);
+        let mut load = [0u64; 2];
+        for v in 0..graph.num_nodes() as u32 {
+            let part = p.part_of(graph.component(v)).unwrap() as usize;
+            load[part] += u64::from(graph.node_weight(v));
+        }
+        let total = load[0] + load[1];
+        let max_w = (0..graph.num_nodes() as u32)
+            .map(|v| u64::from(graph.node_weight(v)))
+            .max()
+            .unwrap();
+        let floor = (total / 2).saturating_sub(max_w).max(1);
+        assert!(
+            load[0] >= floor && load[1] >= floor,
+            "load {load:?} below floor {floor}"
+        );
     }
 
     #[test]

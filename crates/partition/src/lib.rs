@@ -38,13 +38,40 @@ pub mod strategies;
 
 pub use fm::{fm_assignment, FiducciaMattheysesPartitioner};
 pub use metrics::{cut_size, cut_size_with, measured_beta, measured_messages, PartitionQuality};
-pub use multilevel::{multilevel_assignment, MultilevelPartitioner};
+pub use multilevel::{
+    multilevel_assignment, multilevel_assignment_activity, MultilevelPartitioner,
+};
 pub use strategies::{
     BfsClusterPartitioner, FanoutGreedyPartitioner, KernighanLinPartitioner, Partitioner,
     RandomPartitioner, RoundRobinPartitioner,
 };
 
-use logicsim_netlist::{CompId, Netlist};
+use logicsim_netlist::{CompId, ConnectivityGraph, Netlist};
+
+/// Weight contrast for activity-weighted partitioning: live vertex
+/// weights span `1 ..= 1 + ACTIVITY_WEIGHT_SCALE` as predicted
+/// evaluations per tick go from 0 to 1. Small enough that a single
+/// busy gate cannot unbalance a part, large enough that a part full
+/// of quiet logic reads as light.
+pub const ACTIVITY_WEIGHT_SCALE: u32 = 7;
+
+/// The connectivity graph the partitioners cut: unweighted (live = 1,
+/// dead = 0) by default, or with static-activity vertex weights so
+/// balanced partitions equalize predicted event load (the paper's
+/// `E/P` term) instead of component count.
+#[must_use]
+pub fn activity_graph(netlist: &Netlist, activity_weighted: bool) -> ConnectivityGraph {
+    if activity_weighted {
+        let w = logicsim_netlist::analyze::dataflow::activity::partition_weights(
+            netlist,
+            None,
+            ACTIVITY_WEIGHT_SCALE,
+        );
+        ConnectivityGraph::build_weighted(netlist, 16, &w)
+    } else {
+        ConnectivityGraph::build(netlist, 16)
+    }
+}
 
 /// An assignment of every simulated component (gate or switch) to one of
 /// `P` processors.

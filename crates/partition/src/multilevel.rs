@@ -38,6 +38,11 @@ pub struct MultilevelPartitioner {
     pub balance_eps: f64,
     /// Seed for coarsening traversal order and initial bisections.
     pub seed: u64,
+    /// Balance on static-activity vertex weights instead of live
+    /// component counts (see [`crate::activity_graph`]). Off by
+    /// default; the refinement core is weighted either way, so this
+    /// only changes which weights flow into it.
+    pub activity_weighted: bool,
 }
 
 impl MultilevelPartitioner {
@@ -49,7 +54,15 @@ impl MultilevelPartitioner {
             max_passes: 8,
             balance_eps: 0.05,
             seed,
+            activity_weighted: false,
         }
+    }
+
+    /// Enables activity-weighted balance.
+    #[must_use]
+    pub fn with_activity_weights(mut self) -> MultilevelPartitioner {
+        self.activity_weighted = true;
+        self
     }
 }
 
@@ -410,7 +423,7 @@ impl MultilevelPartitioner {
 
 impl Partitioner for MultilevelPartitioner {
     fn partition(&self, netlist: &Netlist, parts: u32) -> Partition {
-        let graph = ConnectivityGraph::build(netlist, 16);
+        let graph = crate::activity_graph(netlist, self.activity_weighted);
         let g0 = WorkGraph::from_connectivity(&graph);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let levels = (f64::from(parts)).log2().ceil() as u32;
@@ -445,7 +458,11 @@ impl Partitioner for MultilevelPartitioner {
     }
 
     fn name(&self) -> &'static str {
-        "multilevel"
+        if self.activity_weighted {
+            "ml-act"
+        } else {
+            "multilevel"
+        }
     }
 }
 
@@ -456,6 +473,17 @@ impl Partitioner for MultilevelPartitioner {
 #[must_use]
 pub fn multilevel_assignment(netlist: &Netlist, parts: u32, seed: u64) -> Vec<u32> {
     MultilevelPartitioner::new(seed)
+        .partition(netlist, parts)
+        .as_slice()
+        .to_vec()
+}
+
+/// [`multilevel_assignment`] with activity-weighted balance: parts
+/// equalize the statically predicted event load, not component count.
+#[must_use]
+pub fn multilevel_assignment_activity(netlist: &Netlist, parts: u32, seed: u64) -> Vec<u32> {
+    MultilevelPartitioner::new(seed)
+        .with_activity_weights()
         .partition(netlist, parts)
         .as_slice()
         .to_vec()
@@ -613,5 +641,29 @@ mod tests {
         let via_fn = multilevel_assignment(&n, 4, 7);
         let via_trait = MultilevelPartitioner::new(7).partition(&n, 4);
         assert_eq!(via_fn.as_slice(), via_trait.as_slice());
+    }
+
+    #[test]
+    fn activity_weighted_partition_is_valid_and_stays_competitive() {
+        let n = cluster_ring(4, 40);
+        for parts in [2u32, 4] {
+            let uniform = MultilevelPartitioner::new(11).partition(&n, parts);
+            let weighted = MultilevelPartitioner::new(11)
+                .with_activity_weights()
+                .partition(&n, parts);
+            assert!(weighted.covers(&n));
+            assert_eq!(
+                multilevel_assignment_activity(&n, parts, 11),
+                weighted.as_slice()
+            );
+            // Re-weighting changes what "balanced" means; it must not
+            // wreck the cut the refiner finds on a cluster ring.
+            let cu = cut_size(&n, &uniform);
+            let cw = cut_size(&n, &weighted);
+            assert!(
+                cw <= cu.max(1) * 2,
+                "P={parts}: weighted {cw} vs uniform {cu}"
+            );
+        }
     }
 }

@@ -396,6 +396,8 @@ impl Master {
     /// Executes one busy-candidate tick through the full phase protocol.
     /// All `core.parties` accesses here happen between phases, while
     /// the workers are parked at the barrier.
+    // The phase protocol reads as one unit; splitting it would scatter
+    // the barrier choreography across helpers.
     #[allow(clippy::too_many_lines)]
     fn execute_tick(&mut self, core: &Core<'_>, t: u64) {
         let np = core.num_parties();

@@ -219,7 +219,7 @@ impl<T> SharedSlots<T> {
     /// The caller must be the unique party accessing slot `i` in the
     /// current phase, and must not hold two references to the same slot.
     #[inline]
-    #[allow(clippy::mut_from_ref)]
+    #[allow(clippy::mut_from_ref)] // interior mutability guarded by the phase protocol
     pub(crate) unsafe fn get_mut(&self, i: usize) -> &mut T {
         self.recorder.on_write(i);
         let p = self.slots[i].with_mut(|p| p);

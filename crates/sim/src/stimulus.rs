@@ -10,6 +10,8 @@
 //! reproducible.
 
 use crate::engine::Simulator;
+use logicsim_netlist::analyze::dataflow::seeds::{InputSeed, InputSeeds};
+use logicsim_netlist::analyze::dataflow::xreach::LevelSet;
 use logicsim_netlist::{Level, NetId, Plane, LANES};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -91,6 +93,90 @@ impl StimulusSpec {
             resolved.push((net, role.clone()));
         }
         Ok(RandomStimulus::new(resolved, seed))
+    }
+
+    /// Derives per-input seeds for the static analyses
+    /// (`analyze::dataflow::{activity, timing, xreach}`) from this
+    /// spec's periodicity: a clock's density and separation follow its
+    /// half-period, random data follows its redraw period and toggle
+    /// probability, constants and settled pulses are quiet.
+    ///
+    /// Inputs the spec does not assign keep the conservative
+    /// [`InputSeed::default`]. Unknown net names are skipped rather
+    /// than erroring — the analyses are advisory, and [`Self::build`]
+    /// is where name typos get caught.
+    #[must_use]
+    pub fn activity_seeds(&self, netlist: &logicsim_netlist::Netlist) -> InputSeeds {
+        let mut seeds = InputSeeds::unconstrained(netlist);
+        for (name, role) in &self.assignments {
+            if let Some(net) = netlist.find_net(name) {
+                seeds.set(net, role.activity_seed());
+            }
+        }
+        seeds
+    }
+}
+
+impl SignalRole {
+    /// The static-analysis seed this role justifies. Density and
+    /// separation are provable bounds of the generated waveform; the
+    /// `p1` interval for toggling roles is the steady-state
+    /// distribution (exact for clocks, stationary-limit for random
+    /// data), which is what the activity estimator wants.
+    #[must_use]
+    pub fn activity_seed(&self) -> InputSeed {
+        let sep = |t: u64| u32::try_from(t).unwrap_or(u32::MAX).max(1);
+        let both = LevelSet::just(Level::Zero).union(LevelSet::just(Level::One));
+        match *self {
+            SignalRole::Clock { half_period, .. } => InputSeed {
+                p1_lo: 0.5,
+                p1_hi: 0.5,
+                density: 1.0 / half_period.max(1) as f64,
+                min_separation: sep(half_period),
+                levels: both.0,
+            },
+            SignalRole::Random {
+                period,
+                toggle_prob,
+                ..
+            } => InputSeed {
+                p1_lo: 0.5,
+                p1_hi: 0.5,
+                density: toggle_prob / period.max(1) as f64,
+                min_separation: sep(period),
+                levels: both.0,
+            },
+            SignalRole::Const(l) => {
+                let p = match l {
+                    Level::One => (1.0, 1.0),
+                    Level::Zero => (0.0, 0.0),
+                    Level::X => (0.0, 1.0),
+                };
+                InputSeed {
+                    p1_lo: p.0,
+                    p1_hi: p.1,
+                    density: 0.0,
+                    min_separation: u32::MAX,
+                    levels: LevelSet::just(l).0,
+                }
+            }
+            SignalRole::Pulse { active, width } => {
+                // One settling edge at `width`, quiet forever after;
+                // the steady-state level is the released one.
+                let p = match active.not() {
+                    Level::One => (1.0, 1.0),
+                    Level::Zero => (0.0, 0.0),
+                    Level::X => (0.0, 1.0),
+                };
+                InputSeed {
+                    p1_lo: p.0,
+                    p1_hi: p.1,
+                    density: 0.0,
+                    min_separation: sep(width),
+                    levels: both.union(LevelSet::just(active)).0,
+                }
+            }
+        }
     }
 }
 
@@ -471,6 +557,51 @@ mod tests {
             assert_eq!(plane.lane(2), Level::X);
             assert_eq!(plane.lane(63), Level::X);
         });
+    }
+
+    #[test]
+    fn activity_seeds_follow_stimulus_periodicity() {
+        let n = buf_circuit();
+        let spec = StimulusSpec::new()
+            .with(
+                "clk",
+                SignalRole::Clock {
+                    half_period: 10,
+                    phase: 0,
+                },
+            )
+            .with(
+                "a",
+                SignalRole::Random {
+                    period: 4,
+                    phase: 0,
+                    toggle_prob: 0.5,
+                },
+            );
+        let seeds = spec.activity_seeds(&n);
+        let clk = seeds.get(n.find_net("clk").unwrap()).unwrap();
+        assert!((clk.density - 0.1).abs() < 1e-12);
+        assert_eq!(clk.min_separation, 10);
+        assert!(!LevelSet(clk.levels).contains(Level::X));
+        let a = seeds.get(n.find_net("a").unwrap()).unwrap();
+        assert!((a.density - 0.125).abs() < 1e-12);
+        assert_eq!(a.min_separation, 4);
+    }
+
+    #[test]
+    fn const_and_pulse_seeds_are_quiet() {
+        let c = SignalRole::Const(Level::One).activity_seed();
+        assert_eq!(c.density, 0.0);
+        assert_eq!(c.min_separation, u32::MAX);
+        assert_eq!((c.p1_lo, c.p1_hi), (1.0, 1.0));
+        let p = SignalRole::Pulse {
+            active: Level::One,
+            width: 16,
+        }
+        .activity_seed();
+        assert_eq!(p.density, 0.0);
+        assert_eq!(p.min_separation, 16);
+        assert_eq!((p.p1_lo, p.p1_hi), (0.0, 0.0), "settles at active.not()");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!                                    ≥scale components, e.g.
 //!                                    stopwatch@100k, crossbar@1m)
 //!
-//! `stats`, `sim`, `machine`, `lint`, `opt`, and `trace` accept
+//! `stats`, `sim`, `machine`, `lint`, `analyze`, `opt`, and `trace` accept
 //! `bench:NAME` in place of a file; `NAME` is a family slug with an
 //! optional `@scale` suffix (`bench:stopwatch@100k`), and the
 //! benchmark's shipped stimulus is used when no stimulus options are
@@ -51,9 +51,15 @@
 //! machine options (with defaults):
 //!   --p N (8) --l N (5) --w N (1) --h X (100) --tm X (3)
 //!
-//! lint options:
-//!   --json                 print the report as JSON
+//! lint/analyze options:
+//!   --json                 print the report as JSON (alias for --format json)
+//!   --format text|json|sarif  report layout (sarif for code-scanning upload)
 //!   --deny warnings        exit nonzero on warnings as well as errors
+//!
+//! `analyze` additionally runs the dataflow passes (static activity,
+//! timing windows, X-reachability) seeded from the stimulus plan: a
+//! benchmark's shipped spec, or explicit `--clock`/`--random`/
+//! `--const`/`--pulse` flags.
 //!
 //! opt options:
 //!   --report               print the optimization report as JSON
@@ -94,10 +100,11 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lsim <stats|sim|machine|dot|lint|opt|trace> <netlist-file|bench:NAME[@scale]> [options]\n\
+        "usage: lsim <stats|sim|machine|dot|lint|analyze|opt|trace> <netlist-file|bench:NAME[@scale]> [options]\n\
          \x20      lsim bench <stopwatch|assoc_mem|priority_queue|rtp|crossbar>\n\
          \x20      lsim gen <family[@scale]> [--seed N] [--out FILE]   (e.g. stopwatch@100k)\n\
-         \x20      lsim lint <netlist-file|bench:NAME> [--json] [--deny warnings]\n\
+         \x20      lsim lint <netlist-file|bench:NAME> [--json] [--format text|json|sarif] [--deny warnings]\n\
+         \x20      lsim analyze <netlist-file|bench:NAME> [--format text|json|sarif] [--deny warnings] [stimulus options]\n\
          \x20      lsim opt <netlist-file|bench:NAME> [--report] [--emit FILE]\n\
          \x20      lsim trace <netlist-file|bench:NAME> [--p N] [--out FILE]\n\
          options: --until T --warmup T --seed N --vcd FILE\n\
@@ -667,6 +674,67 @@ fn run_gen(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Output layout for `lint`/`analyze` reports.
+#[derive(Clone, Copy, PartialEq)]
+enum ReportFormat {
+    Text,
+    Json,
+    Sarif,
+}
+
+impl ReportFormat {
+    fn parse(s: &str) -> Result<ReportFormat, String> {
+        match s {
+            "text" => Ok(ReportFormat::Text),
+            "json" => Ok(ReportFormat::Json),
+            "sarif" => Ok(ReportFormat::Sarif),
+            other => Err(format!(
+                "--format expects `text`, `json`, or `sarif`, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Prints a report in the chosen format and returns the exit code for
+/// the deny threshold. `artifact` names the analyzed input in SARIF.
+fn emit_report(
+    report: &logicsim::netlist::Report,
+    netlist: &Netlist,
+    artifact: &str,
+    format: ReportFormat,
+    deny: Severity,
+    what: &str,
+) -> Result<ExitCode, String> {
+    match format {
+        ReportFormat::Text => print!("{}", report.render(netlist)),
+        ReportFormat::Json => println!(
+            "{}",
+            serde_json::to_string_pretty(&report.to_json(netlist))
+                .map_err(|e| format!("json: {e}"))?
+        ),
+        ReportFormat::Sarif => println!(
+            "{}",
+            serde_json::to_string_pretty(&logicsim::sarif::to_sarif(report, netlist, artifact))
+                .map_err(|e| format!("sarif: {e}"))?
+        ),
+    }
+    let mut rules: Vec<_> = report.at_least(deny).map(|d| d.code).collect();
+    let findings = rules.len();
+    rules.sort_unstable();
+    rules.dedup();
+    Ok(if findings > 0 {
+        // Stderr, so `--json`/`--format` consumers piping stdout still
+        // see why the exit code is nonzero.
+        eprintln!(
+            "{what}: {} rule(s) failing at the deny level ({findings} finding(s))",
+            rules.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 /// `lsim lint`: run the static analyses and report. Exits nonzero when
 /// any finding reaches `deny` (errors always; warnings too with
 /// `--deny warnings`).
@@ -674,12 +742,19 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     let (path, flags) = args
         .split_first()
         .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
-    let mut json = false;
+    let mut format = ReportFormat::Text;
     let mut deny = Severity::Error;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--json" => json = true,
+            "--json" => format = ReportFormat::Json,
+            "--format" => {
+                format = ReportFormat::parse(
+                    it.next()
+                        .map(String::as_str)
+                        .ok_or_else(|| "--format needs a value".to_string())?,
+                )?;
+            }
             "--deny" => match it.next().map(String::as_str) {
                 Some("warnings") => deny = Severity::Warning,
                 Some("errors") => deny = Severity::Error,
@@ -695,30 +770,56 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     }
     let netlist = load_or_bench(path)?;
     let report = analyze(&netlist);
-    if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report.to_json(&netlist))
-                .map_err(|e| format!("json: {e}"))?
-        );
-    } else {
-        print!("{}", report.render(&netlist));
+    emit_report(&report, &netlist, path, format, deny, "lint")
+}
+
+/// `lsim analyze`: the full static analysis including the dataflow
+/// passes, seeded from the stimulus plan (a benchmark's shipped spec,
+/// or `--clock`/`--random`/... flags) so activity and timing facts
+/// reflect the actual drive rather than worst-case defaults.
+fn run_analyze(args: &[String]) -> Result<ExitCode, String> {
+    use logicsim::netlist::analyze::{analyze_seeded, AnalyzeConfig};
+
+    let (path, flags) = args
+        .split_first()
+        .ok_or_else(|| "missing netlist file (or bench:NAME)".to_string())?;
+    let mut format = ReportFormat::Text;
+    let mut deny = Severity::Error;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => format = ReportFormat::Json,
+            "--format" => {
+                format = ReportFormat::parse(
+                    it.next()
+                        .map(String::as_str)
+                        .ok_or_else(|| "--format needs a value".to_string())?,
+                )?;
+            }
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny = Severity::Warning,
+                Some("errors") => deny = Severity::Error,
+                other => {
+                    return Err(format!(
+                        "--deny expects `warnings` or `errors`, got `{}`",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            other => rest.push(other.to_string()),
+        }
     }
-    let mut rules: Vec<_> = report.at_least(deny).map(|d| d.code).collect();
-    let findings = rules.len();
-    rules.sort_unstable();
-    rules.dedup();
-    Ok(if findings > 0 {
-        // Stderr, so `--json` consumers piping stdout still see why
-        // the exit code is nonzero.
-        eprintln!(
-            "lint: {} rule(s) failing at the deny level ({findings} finding(s))",
-            rules.len()
-        );
-        ExitCode::FAILURE
+    let (netlist, default_stim) = load_with_stimulus(path)?;
+    let opts = parse_options(&rest)?;
+    let stimulus = if opts.stimulus.assignments.is_empty() {
+        default_stim.unwrap_or_default()
     } else {
-        ExitCode::SUCCESS
-    })
+        opts.stimulus
+    };
+    let seeds = stimulus.activity_seeds(&netlist);
+    let report = analyze_seeded(&netlist, &AnalyzeConfig::default(), Some(&seeds));
+    emit_report(&report, &netlist, path, format, deny, "analyze")
 }
 
 fn main() -> ExitCode {
@@ -756,6 +857,7 @@ fn main() -> ExitCode {
         }
         "gen" => run_gen(rest),
         "lint" => run_lint(rest),
+        "analyze" => run_analyze(rest),
         "opt" => run_opt(rest),
         "trace" => {
             let (path, optargs) = rest

@@ -52,6 +52,7 @@ pub use logicsim_sim as sim;
 pub use logicsim_stats as stats;
 
 pub mod measure;
+pub mod sarif;
 
 pub use measure::{
     measure_benchmark, measure_instance, MeasureOptions, MeasuredCircuit, MeasurementSummary,

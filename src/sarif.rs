@@ -1,0 +1,187 @@
+//! SARIF 2.1.0 emission for lint/analyze reports.
+//!
+//! CI surfaces the `lsim lint`/`lsim analyze` findings as code-scanning
+//! annotations by uploading a SARIF log. This module renders a
+//! [`Report`] into the minimal valid subset of the format: one run,
+//! one `tool.driver` with a rule table for every stable code, and one
+//! `result` per diagnostic. Netlist findings have no file locations —
+//! components and nets are carried as SARIF *logical locations*
+//! instead, and the artifact (the netlist file or `bench:` spec) is
+//! named once on each result so multi-circuit uploads stay
+//! distinguishable.
+//!
+//! The output is deterministic (rules sorted by code, results in
+//! report order) so a golden test can pin it byte for byte.
+
+use crate::netlist::analyze::{Code, Report, Severity};
+use crate::netlist::Netlist;
+use logicsim_netlist::analyze::describe_component;
+use serde_json::{Number, Value};
+
+/// All stable codes, in order, for the driver rule table.
+const ALL_CODES: [Code; 13] = [
+    Code::Ls0001CombinationalCycle,
+    Code::Ls0002DriveFight,
+    Code::Ls0003DeadLogic,
+    Code::Ls0004FloatingNet,
+    Code::Ls0005ExcessiveDepth,
+    Code::Ls0006ConstantNet,
+    Code::Ls0007DuplicateGate,
+    Code::Ls0008CollapsibleChain,
+    Code::Ls0009UnobservableCone,
+    Code::Ls0010QuiescentLogic,
+    Code::Ls0011UnboundedArrival,
+    Code::Ls0012XStuck,
+    Code::Ls0013FilterFree,
+];
+
+/// One-line rule descriptions for the driver table.
+fn rule_description(code: Code) -> &'static str {
+    match code {
+        Code::Ls0001CombinationalCycle => "combinational cycle closed in zero simulated time",
+        Code::Ls0002DriveFight => "statically conflicting always-on drivers",
+        Code::Ls0003DeadLogic => "logic unreachable from any primary output",
+        Code::Ls0004FloatingNet => "floating or charge-only net",
+        Code::Ls0005ExcessiveDepth => "logic depth above the configured threshold",
+        Code::Ls0006ConstantNet => "net proven constant by ternary abstract interpretation",
+        Code::Ls0007DuplicateGate => "structurally duplicate component",
+        Code::Ls0008CollapsibleChain => "collapsible buffer/inverter chain",
+        Code::Ls0009UnobservableCone => "logic outside the observability cone",
+        Code::Ls0010QuiescentLogic => "live logic with provably zero static activity",
+        Code::Ls0011UnboundedArrival => "arrival window not statically boundable",
+        Code::Ls0012XStuck => "state that can never leave X from power-up",
+        Code::Ls0013FilterFree => "gate provably immune to inertial pulse filtering",
+    }
+}
+
+/// The SARIF `level` for a severity (`Info` maps to `note`).
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+fn obj<const N: usize>(pairs: [(&str, Value); N]) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn text(t: &str) -> Value {
+    Value::String(t.to_string())
+}
+
+fn message(t: &str) -> Value {
+    obj([("text", text(t))])
+}
+
+/// Renders `report` as a single-run SARIF 2.1.0 log. `artifact` names
+/// the analyzed netlist (a file path or a `bench:` spec).
+#[must_use]
+pub fn to_sarif(report: &Report, netlist: &Netlist, artifact: &str) -> Value {
+    let rules: Vec<Value> = ALL_CODES
+        .iter()
+        .map(|&code| {
+            obj([
+                ("id", text(code.as_str())),
+                ("shortDescription", message(rule_description(code))),
+                (
+                    "defaultConfiguration",
+                    obj([("level", text(level(code.severity())))]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut logical: Vec<Value> = Vec::new();
+            for &c in &d.components {
+                logical.push(obj([
+                    ("name", text(&describe_component(netlist, c))),
+                    ("kind", text("component")),
+                ]));
+            }
+            for &n in &d.nets {
+                logical.push(obj([
+                    ("name", text(netlist.net_name(n))),
+                    ("kind", text("net")),
+                ]));
+            }
+            let location = obj([
+                (
+                    "physicalLocation",
+                    obj([("artifactLocation", obj([("uri", text(artifact))]))]),
+                ),
+                ("logicalLocations", Value::Array(logical)),
+            ]);
+            obj([
+                ("ruleId", text(d.code.as_str())),
+                ("level", text(level(d.severity))),
+                ("message", message(&d.message)),
+                ("locations", Value::Array(vec![location])),
+            ])
+        })
+        .collect();
+    obj([
+        (
+            "$schema",
+            text("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", text("2.1.0")),
+        (
+            "runs",
+            Value::Array(vec![obj([
+                (
+                    "tool",
+                    obj([(
+                        "driver",
+                        obj([
+                            ("name", text("lsim")),
+                            ("informationUri", text("https://example.invalid/logicsim")),
+                            ("version", text(env!("CARGO_PKG_VERSION"))),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                (
+                    "properties",
+                    obj([
+                        ("circuit", text(netlist.name())),
+                        (
+                            "maxLogicDepth",
+                            Value::Number(Number::PosInt(u64::from(report.max_logic_depth))),
+                        ),
+                    ]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::analyze::analyze;
+    use crate::netlist::{Delay, GateKind, NetlistBuilder};
+
+    #[test]
+    fn sarif_log_has_rules_and_results() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.net("y");
+        b.gate(GateKind::Not, &[a], y, Delay::uniform(1));
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        let report = analyze(&n);
+        let sarif = to_sarif(&report, &n, "t.net");
+        let s = serde_json::to_string_pretty(&sarif).unwrap();
+        assert!(s.contains("\"2.1.0\""), "{s}");
+        assert!(s.contains("\"LS0001\""), "rule table is complete");
+        assert!(s.contains("\"LS0013\""), "{s}");
+        assert!(s.contains("\"note\""), "info maps to note");
+        assert!(s.contains("t.net"), "artifact named");
+    }
+}

@@ -1,0 +1,18 @@
+//! Lint-allow fixture: suppressions with no justification in reach.
+
+/// Doc comments describe the item, not the suppression.
+#[allow(dead_code)]
+fn unexplained() {}
+
+fn body() {
+    #[allow(unused_variables)]
+    let x = 0u32;
+    let _ = x;
+}
+
+// This comment sits three lines above the attribute, one past the
+// window's reach, so it does not excuse the suppression below.
+
+
+#[allow(dead_code)]
+fn out_of_reach() {}

@@ -1,0 +1,23 @@
+//! Lint-allow fixture: every suppression carries a nearby reason.
+
+// Retained for the follow-up decoder work; the wiring lands next.
+#[allow(dead_code)]
+fn parked_helper() {}
+
+#[allow(clippy::needless_pass_by_value)] // signature mirrors the Codec trait
+fn mirrored(v: Vec<u32>) -> usize {
+    v.len()
+}
+
+fn shadowing() {
+    // The handle is deliberately unused until the bus model grows.
+    #[allow(unused_variables)]
+    let handle = 0u32;
+    let _ = handle;
+}
+
+fn not_an_attribute() {
+    // A string mentioning #[allow(dead_code)] must not trip the scan.
+    let doc = "#[allow(dead_code)]";
+    let _ = doc;
+}

@@ -21,6 +21,14 @@
 //! comments, strings, and doc text, so prose about unsafety does not
 //! trip the audit.
 //!
+//! * `lint-allow` — lint-suppression audit. Scans the same first-party
+//!   file set and fails when an `#[allow(...)]` / `#![allow(...)]`
+//!   attribute carries no justification: a plain `//` comment (doc
+//!   comments describe the item, not the suppression) on the same
+//!   line or within the two lines directly above. Suppressing a lint
+//!   is fine; suppressing one silently is how dead `allow`s
+//!   accumulate.
+//!
 //! * `bench-diff [--band PCT]` — perf-regression gate. Finds the two
 //!   newest versioned `BENCH_<N>.json` snapshots in the workspace
 //!   root, compares the metrics both schemas share (per-circuit serial
@@ -52,15 +60,19 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint-unsafe") => lint_unsafe(),
+        Some("lint-allow") => lint_allow(),
         Some("bench-diff") => bench_diff(&args.collect::<Vec<_>>()),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint-unsafe, bench-diff)");
+            eprintln!(
+                "xtask: unknown task `{other}` (available: lint-unsafe, lint-allow, bench-diff)"
+            );
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
                 "usage: cargo xtask <task>\n\ntasks:\n  \
                  lint-unsafe             audit unsafe code\n  \
+                 lint-allow              audit lint suppressions\n  \
                  bench-diff [--band PCT] compare the two newest BENCH_N.json snapshots"
             );
             ExitCode::FAILURE
@@ -192,6 +204,117 @@ fn audit_source(source: &str, allowlisted: bool) -> Vec<Finding> {
     findings
 }
 
+/// How far above an `#[allow(...)]` attribute its justification
+/// comment may sit. Two lines keeps the reason adjacent to the
+/// suppression it excuses, unlike the wider [`SAFETY_WINDOW`] — an
+/// `allow` is one line, not a multi-statement block.
+const ALLOW_WINDOW: usize = 2;
+
+fn lint_allow() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "xtask"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        findings.extend(audit_allows(&source).into_iter().map(|f| (rel.clone(), f)));
+    }
+
+    if findings.is_empty() {
+        println!(
+            "xtask lint-allow: OK — every `#[allow(...)]` carries a justification \
+             comment ({} files scanned)",
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for (rel, f) in &findings {
+        eprintln!("{rel}:{}: {}", f.line, f.message);
+    }
+    eprintln!("xtask lint-allow: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+/// Audits one file for `#[allow(...)]` / `#![allow(...)]` attributes
+/// that lack a justification: a plain `//` comment — doc comments
+/// describe the item, not the suppression — on the attribute's own
+/// line or within [`ALLOW_WINDOW`] lines above it.
+fn audit_allows(source: &str) -> Vec<Finding> {
+    let stripped = strip_noncode(source);
+    let orig_lines: Vec<&str> = source.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, sline) in stripped_lines.iter().enumerate() {
+        if !opens_allow_attribute(sline) {
+            continue;
+        }
+        let start = idx.saturating_sub(ALLOW_WINDOW);
+        let justified = (start..=idx).any(|j| has_plain_comment(orig_lines[j], stripped_lines[j]));
+        if !justified {
+            findings.push(Finding {
+                line: idx + 1,
+                message: format!(
+                    "`#[allow(...)]` without a justification comment within \
+                     {ALLOW_WINDOW} lines"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// True if the stripped line opens an outer (`#[allow(...)]`) or
+/// inner (`#![allow(...)]`) allow attribute. Operating on stripped
+/// source means `"#[allow("` inside a string or comment never trips.
+fn opens_allow_attribute(stripped_line: &str) -> bool {
+    for pat in ["#[allow", "#![allow"] {
+        if let Some(p) = stripped_line.find(pat) {
+            if stripped_line[p + pat.len()..].trim_start().starts_with('(') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True if the line carries a plain `//` comment. `strip_noncode` is
+/// byte-for-byte, so a real line comment is a `//` in the original
+/// whose stripped tail is *all* spaces — it runs to end of line,
+/// which a `//` inside a string literal (stripped, but followed by
+/// surviving code) does not. Doc comments (`///` and `//!`) don't
+/// count — they document the item, not the suppression — but `////`
+/// and deeper are plain.
+fn has_plain_comment(orig: &str, stripped: &str) -> bool {
+    let ob = orig.as_bytes();
+    let sb = stripped.as_bytes();
+    let mut p = 0usize;
+    while p + 1 < ob.len() {
+        if ob[p] == b'/' && ob[p + 1] == b'/' && sb[p..].iter().all(|&c| c == b' ') {
+            let rest = &orig[p..];
+            let doc =
+                (rest.starts_with("///") && !rest.starts_with("////")) || rest.starts_with("//!");
+            return !doc;
+        }
+        p += 1;
+    }
+    false
+}
+
 /// True if a `// SAFETY:` line comment sits within the window above
 /// 1-based `line`.
 fn has_safety_comment(lines: &[&str], line: usize) -> bool {
@@ -264,6 +387,7 @@ fn is_ident_byte(b: u8) -> bool {
 /// (newlines preserved, so line numbers survive). Handles `//`, block
 /// comments with nesting, `"…"` with escapes, raw strings `r#"…"#`,
 /// char literals, and leaves lifetimes (`'a`) alone.
+// One lexer, one loop: splitting the state machine would obscure it.
 #[allow(clippy::too_many_lines)]
 fn strip_noncode(source: &str) -> String {
     let b = source.as_bytes();
@@ -311,7 +435,12 @@ fn strip_noncode(source: &str) -> String {
                 while i < b.len() {
                     match b[i] {
                         b'\\' if i + 1 < b.len() => {
-                            out.extend_from_slice(b"  ");
+                            // A line-continuation escape (`\` before a
+                            // newline) swallows the newline in the
+                            // literal's value, but the stripped text
+                            // must keep it so line numbers survive.
+                            out.push(b' ');
+                            out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
                             i += 2;
                         }
                         b'"' => {
@@ -670,6 +799,38 @@ mod tests {
         assert!(findings[0].message.contains("allowlist"));
     }
 
+    const GOOD_ALLOW: &str = include_str!("../fixtures/good_allow_comment.rs");
+    const BAD_ALLOW: &str = include_str!("../fixtures/bad_allow_missing.rs");
+
+    #[test]
+    fn good_allow_fixture_passes() {
+        assert_eq!(audit_allows(GOOD_ALLOW), Vec::new());
+    }
+
+    #[test]
+    fn bad_allow_fixture_flags_each_unjustified_suppression() {
+        let findings = audit_allows(BAD_ALLOW);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.message.contains("justification")));
+    }
+
+    #[test]
+    fn inner_allow_attributes_are_audited_too() {
+        let bare = "#![allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(audit_allows(bare).len(), 1);
+        let excused = "// The module is scaffolding for the next stage.\n#![allow(dead_code)]\n";
+        assert_eq!(audit_allows(excused), Vec::new());
+    }
+
+    #[test]
+    fn string_mentioning_a_comment_is_not_a_justification() {
+        // The `//` lives inside a string literal on the line above the
+        // attribute; the stripped tail still holds code, so it must
+        // not pass for a comment.
+        let src = "fn f() { let _ = \"// not a reason\"; }\n#[allow(dead_code)]\nfn g() {}\n";
+        assert_eq!(audit_allows(src).len(), 1);
+    }
+
     #[test]
     fn prose_and_strings_do_not_count_as_unsafe() {
         let src = r#"
@@ -711,6 +872,19 @@ fn f() -> &'static str {
     fn raw_strings_are_stripped() {
         let src = "fn f() { let _ = r#\"unsafe { }\"#; }";
         assert_eq!(find_unsafe_tokens(src), Vec::new());
+    }
+
+    #[test]
+    fn line_continuation_strings_keep_line_numbers() {
+        // A `\` before the newline joins the literal's value but must
+        // not join the stripped text's lines, or every finding below
+        // it would be reported one line early.
+        let src =
+            "fn f() -> &'static str {\n    \"a \\\n     b\"\n}\n#[allow(dead_code)]\nfn g() {}\n";
+        assert_eq!(strip_noncode(src).lines().count(), src.lines().count());
+        let findings = audit_allows(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 5);
     }
 
     #[test]
